@@ -1,0 +1,50 @@
+"""Vectorised vs scalar selection-unit throughput.
+
+Not a paper artifact — measures the numpy batch evaluator against the
+bit-faithful scalar model (the classic vectorise-the-hot-loop win for
+design-space sweeps).  Expected: the batch path evaluates thousands of
+queue vectors per scalar-model evaluation's worth of wall clock.
+"""
+
+import numpy as np
+
+from repro.fabric.configuration import FFU_COUNTS
+from repro.isa.futypes import FU_TYPES
+from repro.steering.batch import BatchSelectionUnit
+from repro.steering.selection import ConfigurationSelectionUnit
+
+_N = 10_000
+_RNG = np.random.default_rng(7)
+_REQUIRED = _RNG.integers(0, 8, size=(_N, 5))
+_COUNTS = np.array([FFU_COUNTS[t] for t in FU_TYPES], dtype=np.int64)
+
+
+def test_batch_selection_throughput(benchmark):
+    unit = BatchSelectionUnit()
+    picks = benchmark(unit.select, _REQUIRED, _COUNTS)
+    assert picks.shape == (_N,)
+    assert set(np.unique(picks)) <= {0, 1, 2, 3}
+
+
+def test_scalar_equivalent_workload(benchmark):
+    """Scalar baseline doing the same stage 3+4 work on 100 vectors (the
+    full 10k would dominate the bench run)."""
+    scalar = ConfigurationSelectionUnit()
+    counts = tuple(int(v) for v in _COUNTS)
+    sample = [tuple(int(v) for v in row) for row in _REQUIRED[:100]]
+
+    def run():
+        out = []
+        for row in sample:
+            errors = scalar.candidate_errors(row, counts)
+            out.append(errors.index(min(errors)))
+        return out
+
+    picks = benchmark(run)
+    assert len(picks) == 100
+
+
+def test_batch_agreement_study_throughput(benchmark):
+    unit = BatchSelectionUnit()
+    agreement = benchmark(unit.agreement_with_exact, _REQUIRED, _COUNTS)
+    assert 0.7 <= agreement <= 1.0

@@ -1,0 +1,45 @@
+"""E-CEM: does the cheap shift-approximate metric cost any performance?
+
+Expected shape: IPC with the Fig. 3 barrel-shifter metric is within a few
+percent of IPC with exact division — the justification for the paper's
+"more accurate divider ... at the expense of increased complexity and
+latency" trade-off.
+"""
+
+from repro.core.params import ProcessorParams
+from repro.evaluation.experiments import run_cem_ablation
+from repro.evaluation.report import render_table
+from repro.workloads.kernels import checksum, memcpy, newton_sqrt, saxpy
+
+_WORKLOADS = [
+    ("checksum", checksum(iterations=300).program),
+    ("memcpy", memcpy(n=120).program),
+    ("saxpy", saxpy(n=64).program),
+    ("newton_sqrt", newton_sqrt(iterations=24).program),
+]
+
+
+def test_cem_ablation(benchmark, save_artifact):
+    rows = benchmark.pedantic(
+        run_cem_ablation,
+        kwargs={
+            "workloads": _WORKLOADS,
+            "params": ProcessorParams(reconfig_latency=8),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    table_rows = [
+        (name, approx, exact, f"{(approx / exact - 1) * 100:+.1f}%")
+        for name, approx, exact in rows
+    ]
+    save_artifact(
+        "e_cem_ablation",
+        render_table(
+            ["workload", "shift-approx IPC", "exact-division IPC", "delta"],
+            table_rows,
+            title="E-CEM: approximate vs exact error metric",
+        ),
+    )
+    for name, approx, exact in rows:
+        assert approx >= exact * 0.8, name  # never a large loss

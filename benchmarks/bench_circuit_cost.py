@@ -1,0 +1,41 @@
+"""E-COST: gate count and critical path of the selection unit.
+
+Backs the paper's "fast and efficient micro-architectural solution" claim
+with analytic gate-equivalent and logic-depth estimates, including how the
+cost scales with the queue size.
+"""
+
+from repro.circuits.cost import selection_unit_cost
+from repro.circuits.netlist import Netlist
+from repro.circuits.selection_netlist import (
+    build_requirement_encoders,
+    build_selection_core,
+)
+from repro.evaluation.experiments import run_circuit_cost_report
+
+
+def _measured_netlist_report() -> str:
+    core = build_selection_core()
+    enc = Netlist()
+    build_requirement_encoders(enc, n_entries=7)
+    return (
+        "Measured gate-level netlists (2-input gates, synthesised here):\n"
+        f"  requirement encoders (stage 2): {enc.gate_count} gates, depth {enc.depth}\n"
+        f"  CEM generators + selector (stages 3-4): {core.gate_count} gates, "
+        f"depth {core.depth}"
+    )
+
+
+def test_circuit_cost_report(benchmark, save_artifact):
+    text = benchmark(run_circuit_cost_report, [4, 7, 16])
+    text = text + "\n\n" + _measured_netlist_report()
+    save_artifact("e_circuit_cost", text)
+    costs = selection_unit_cost(n_entries=7)
+    # a few thousand gate equivalents, a few pipeline stages of logic:
+    # cheap next to any superscalar core
+    assert costs["total"].gates < 10_000
+    assert costs["total"].depth < 120
+    # cost scales sub-quadratically with the queue size
+    g4 = selection_unit_cost(n_entries=4)["total"].gates
+    g16 = selection_unit_cost(n_entries=16)["total"].gates
+    assert g16 < g4 * 16

@@ -1,0 +1,31 @@
+"""F2: the four-stage selection unit (Fig. 2) end-to-end.
+
+Regenerates the selection demonstration and times a single selection-unit
+evaluation — the operation the hardware performs every cycle, so its
+(model) throughput is also reported.
+"""
+
+from repro.evaluation.artifacts import figure2_selection_demo
+from repro.fabric.configuration import FFU_COUNTS
+from repro.isa.assembler import assemble
+from repro.isa.futypes import FU_TYPES
+from repro.steering.selection import ConfigurationSelectionUnit
+
+_QUEUE = assemble(
+    "add x1, x2, x3\nmul x4, x5, x6\nlw x7, 0(x8)\n"
+    "fadd f1, f2, f3\nfmul f4, f5, f6\nsub x9, x1, x2\nsw x9, 4(x8)\n"
+).instructions
+_COUNTS = tuple(FFU_COUNTS[t] for t in FU_TYPES)
+
+
+def test_fig2_selection_demo(benchmark, save_artifact):
+    text = benchmark(figure2_selection_demo)
+    save_artifact("fig2_selection", text)
+    assert "integer" in text and "memory" in text and "floating" in text
+
+
+def test_fig2_selection_throughput(benchmark):
+    unit = ConfigurationSelectionUnit()
+    result = benchmark(unit.select, _QUEUE, _COUNTS)
+    assert 0 <= result.index <= 3
+    assert sum(result.required) == 7

@@ -1,0 +1,38 @@
+"""F3: the configuration-error-metric circuit (Fig. 3).
+
+Regenerates the approximation study (shift-divide vs exact division) and
+times one CEM evaluation (the per-cycle hardware operation).
+"""
+
+import pytest
+
+from repro.evaluation.artifacts import figure3_cem_study
+from repro.steering.error_metric import cem_error, hardwired_shifts
+from repro.fabric.configuration import CONFIG_INTEGER
+
+
+def test_fig3_cem_study(benchmark, save_artifact):
+    study = benchmark.pedantic(
+        figure3_cem_study, kwargs={"samples": 2000}, rounds=1, iterations=1
+    )
+    save_artifact(
+        "fig3_cem",
+        "\n\n".join(
+            [
+                study.shift_table,
+                study.table,
+                f"max per-term |approx - exact| : {study.max_term_error:.3f}",
+                f"mean per-term error           : {study.mean_term_error:.3f}",
+                f"selection agreement (random)  : {study.selection_agreement:.3f}",
+            ]
+        ),
+    )
+    # reproduction checks
+    assert study.max_term_error <= 1.0
+    assert study.selection_agreement > 0.75
+
+
+def test_fig3_cem_throughput(benchmark):
+    shifts = hardwired_shifts(CONFIG_INTEGER)
+    error = benchmark(cem_error, (5, 2, 0, 0, 0), shifts)
+    assert error == (5 >> 2) + (2 >> 1)

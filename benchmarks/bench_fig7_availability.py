@@ -1,0 +1,21 @@
+"""F7: the resource-availability circuit (Fig. 7 / Eq. 1)."""
+
+from repro.evaluation.artifacts import figure7_availability_check
+from repro.fabric.availability import available
+from repro.isa.futypes import FUType
+
+
+def test_fig7_availability_check(benchmark, save_artifact):
+    text = benchmark.pedantic(
+        figure7_availability_check, kwargs={"samples": 500}, rounds=1, iterations=1
+    )
+    save_artifact("fig7_availability", text)
+    assert "all agree" in text
+
+
+def test_fig7_circuit_throughput(benchmark):
+    allocation = [1, 2, 7, 3, 0, 4, 7, 7, 1, 2, 7, 3, 5]
+    availability = [True, False, False, True, False, True, True, True,
+                    False, True, True, False, True]
+    result = benchmark(available, FUType.LSU, allocation, availability)
+    assert result is True

@@ -1,0 +1,57 @@
+"""E-SPEC: atomic vs pipelined select-free scheduling ([9] extension).
+
+The paper notes its scheduling "can be extended using the same techniques
+employed in [9]" — pipelined, select-free wake-up where instructions may
+speculatively consider themselves scheduled and replay on collision.
+Expected shape: IPC within a few percent of the atomic scheduler (the
+replays are rare and cheap), with the replay count scaling with unit
+contention — the data behind [9]'s claim that select-free logic is a
+viable pipelining strategy.
+"""
+
+from repro.core.baselines import steering_processor
+from repro.core.params import ProcessorParams
+from repro.evaluation.report import render_table
+from repro.workloads.kernels import checksum, fir_filter, memcpy, saxpy
+
+_WORKLOADS = [
+    ("checksum", checksum(iterations=300).program),
+    ("memcpy", memcpy(n=120).program),
+    ("saxpy", saxpy(n=64).program),
+    ("fir_filter", fir_filter(n=48).program),
+]
+
+
+def _compare():
+    rows = []
+    for name, program in _WORKLOADS:
+        atomic = steering_processor(
+            program, ProcessorParams(reconfig_latency=8)
+        ).run()
+        pipelined = steering_processor(
+            program,
+            ProcessorParams(reconfig_latency=8, pipelined_scheduling=True),
+        ).run()
+        rows.append(
+            (name, atomic.ipc, pipelined.ipc, pipelined.scheduling_replays)
+        )
+    return rows
+
+
+def test_pipelined_scheduling(benchmark, save_artifact):
+    rows = benchmark.pedantic(_compare, rounds=1, iterations=1)
+    save_artifact(
+        "e_pipelined_scheduling",
+        render_table(
+            ["workload", "atomic IPC", "select-free IPC", "replays"],
+            rows,
+            title="E-SPEC: atomic vs pipelined select-free scheduling [9]",
+        ),
+    )
+    for name, atomic, pipelined, replays in rows:
+        # select-free costs single-digit percent, ~9 % worst case on the
+        # contention-heavy FP kernel
+        assert pipelined >= atomic * 0.88, name
+    # contention-heavy FP code replays more than the serial integer loop
+    by_name = {r[0]: r[3] for r in rows}
+    assert by_name["fir_filter"] > by_name["checksum"]

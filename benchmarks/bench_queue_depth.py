@@ -1,0 +1,35 @@
+"""E-Q: sensitivity to the instruction-queue / wake-up-window depth.
+
+The paper fixes the queue at seven entries; this sweep shows what that
+choice costs or buys.  Expected shape: IPC grows with depth and saturates
+near the paper's seven (the 3-bit requirement encoders are sized for it).
+"""
+
+from repro.evaluation.experiments import run_queue_depth_sweep
+from repro.evaluation.report import render_table
+from repro.workloads.phases import phased_program
+from repro.workloads.synthetic import FP_MIX, INT_MIX
+
+_PROGRAM = phased_program([(INT_MIX, 50), (FP_MIX, 50)], seed=7)
+_DEPTHS = [3, 5, 7, 11, 16]
+
+
+def test_queue_depth_sweep(benchmark, save_artifact):
+    rows = benchmark.pedantic(
+        run_queue_depth_sweep,
+        kwargs={"depths": _DEPTHS, "program": _PROGRAM},
+        rounds=1,
+        iterations=1,
+    )
+    save_artifact(
+        "e_queue_depth",
+        render_table(
+            ["window depth", "steering IPC"],
+            rows,
+            title="E-Q: IPC vs wake-up window depth",
+        ),
+    )
+    ipcs = dict(rows)
+    # a deeper window exposes at least as much ILP as a shallow one
+    assert ipcs[7] >= ipcs[3] * 0.95
+    assert ipcs[16] >= ipcs[3] * 0.95

@@ -1,0 +1,40 @@
+"""E-RL: IPC vs reconfiguration latency (§3.2 sensitivity).
+
+Expected shape: steering IPC falls as the per-slot reconfiguration latency
+grows, degrading toward (never catastrophically below) the FFU-only floor,
+while the number of reconfigurations shrinks (busy-slot skipping + slower
+bus = fewer completed loads).
+"""
+
+from repro.evaluation.experiments import run_reconfig_latency_sweep
+from repro.evaluation.report import render_table
+from repro.workloads.phases import phased_program
+from repro.workloads.synthetic import FP_MIX, INT_MIX, MEM_MIX
+
+_PROGRAM = phased_program([(INT_MIX, 40), (FP_MIX, 40), (MEM_MIX, 40)], seed=11)
+_LATENCIES = [1, 4, 16, 64, 256]
+
+
+def test_reconfig_latency_sweep(benchmark, save_artifact):
+    rows = benchmark.pedantic(
+        run_reconfig_latency_sweep,
+        kwargs={"latencies": _LATENCIES, "program": _PROGRAM},
+        rounds=1,
+        iterations=1,
+    )
+    save_artifact(
+        "e_reconfig_latency",
+        render_table(
+            ["latency (cycles/slot)", "steering IPC", "ffu-only IPC", "reconfigs"],
+            rows,
+            title="E-RL: IPC vs reconfiguration latency",
+        ),
+    )
+    ipcs = [r[1] for r in rows]
+    floors = [r[2] for r in rows]
+    # fast reconfiguration beats slow reconfiguration
+    assert ipcs[0] > ipcs[-1]
+    # steering never falls far below the FFU floor even at extreme latency
+    assert ipcs[-1] >= floors[-1] * 0.9
+    # the FFU floor is latency-independent
+    assert max(floors) - min(floors) < 0.02

@@ -1,0 +1,36 @@
+"""Simulator performance: simulated cycles per second of wall clock.
+
+Not a paper artifact — this tracks the cost of the cycle-level model
+itself so regressions in the simulator's own speed are visible.
+"""
+
+from repro.core.baselines import fixed_superscalar, steering_processor
+from repro.core.params import ProcessorParams
+from repro.workloads.kernels import checksum
+
+_KERNEL = checksum(iterations=150)
+_PARAMS = ProcessorParams(reconfig_latency=8)
+
+
+def _run_steering():
+    proc = steering_processor(_KERNEL.program, _PARAMS)
+    result = proc.run(max_cycles=100_000)
+    assert result.halted
+    return result
+
+
+def _run_ffu_only():
+    proc = fixed_superscalar(_KERNEL.program, _PARAMS)
+    result = proc.run(max_cycles=100_000)
+    assert result.halted
+    return result
+
+
+def test_steering_simulation_throughput(benchmark):
+    result = benchmark(_run_steering)
+    assert result.retired > 0
+
+
+def test_ffu_only_simulation_throughput(benchmark):
+    result = benchmark(_run_ffu_only)
+    assert result.retired > 0

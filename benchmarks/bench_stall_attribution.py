@@ -1,0 +1,58 @@
+"""E-STALL: where do the cycles go, and what does steering remove?
+
+Attributes waiting entry-cycles to their cause: front-end starvation,
+data-ready-but-no-unit (structural — what configuration steering attacks),
+and grant contention.  Expected shape: steering slashes the
+resource-blocked count relative to the FFU-only baseline on every
+ILP-bearing workload, and the structural savings explain the IPC gain.
+"""
+
+from repro.core.baselines import fixed_superscalar, steering_processor
+from repro.core.params import ProcessorParams
+from repro.evaluation.report import render_table
+from repro.workloads.kernels import checksum, fir_filter, memcpy, saxpy
+
+_PARAMS = ProcessorParams(reconfig_latency=8)
+_WORKLOADS = [
+    ("checksum", checksum(iterations=300).program),
+    ("memcpy", memcpy(n=120).program),
+    ("saxpy", saxpy(n=64).program),
+    ("fir_filter", fir_filter(n=48).program),
+]
+
+
+def _attribute():
+    rows = []
+    for name, program in _WORKLOADS:
+        ffu = fixed_superscalar(program, _PARAMS).run()
+        steer = steering_processor(program, _PARAMS).run()
+        rows.append(
+            (
+                name,
+                ffu.resource_blocked_cycles,
+                steer.resource_blocked_cycles,
+                ffu.contention_cycles,
+                steer.contention_cycles,
+                f"{ffu.ipc:.3f} -> {steer.ipc:.3f}",
+            )
+        )
+    return rows
+
+
+def test_stall_attribution(benchmark, save_artifact):
+    rows = benchmark.pedantic(_attribute, rounds=1, iterations=1)
+    save_artifact(
+        "e_stall_attribution",
+        render_table(
+            ["workload", "blocked (ffu)", "blocked (steer)",
+             "contention (ffu)", "contention (steer)", "IPC"],
+            rows,
+            title="E-STALL: structural-stall entry-cycles, FFU-only vs steering",
+        ),
+    )
+    for name, b_ffu, b_steer, c_ffu, c_steer, _ in rows:
+        # structural pressure = blocked-on-type + lost-arbitration; the
+        # split depends on how many idle units of the type exist (a single
+        # busy FFU shows up as contention, a missing type as blocked), so
+        # steering is judged on the sum
+        assert (b_steer + c_steer) <= (b_ffu + c_ffu) * 0.6, name

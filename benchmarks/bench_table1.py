@@ -1,0 +1,15 @@
+"""T1: regenerate Table 1 (functional units per configuration)."""
+
+from repro.evaluation.artifacts import table1
+from repro.fabric.configuration import NUM_RFU_SLOTS, PREDEFINED_CONFIGS
+
+
+def test_table1_regeneration(benchmark, save_artifact):
+    text = benchmark(table1)
+    save_artifact("table1", text)
+    # reproduction checks: three steering configs, each exactly 8 slots
+    assert len(PREDEFINED_CONFIGS) == 3
+    for cfg in PREDEFINED_CONFIGS:
+        assert cfg.slot_usage == NUM_RFU_SLOTS
+    for name in ("FFUs", "integer", "memory", "floating"):
+        assert name in text

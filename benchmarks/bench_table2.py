@@ -1,0 +1,15 @@
+"""T2: regenerate Table 2 (3-bit resource-type encodings)."""
+
+from repro.evaluation.artifacts import table2
+from repro.fabric.allocation import EMPTY_ENCODING, SPAN_ENCODING
+from repro.isa.futypes import FU_TYPES
+
+
+def test_table2_regeneration(benchmark, save_artifact):
+    text = benchmark(table2)
+    save_artifact("table2", text)
+    assert EMPTY_ENCODING == 0b000 and SPAN_ENCODING == 0b111
+    encodings = {t.encoding for t in FU_TYPES}
+    assert encodings == {0b001, 0b010, 0b011, 0b100, 0b101}
+    for token in ("EMPTY", "SPAN", "IALU", "FPMDU"):
+        assert token in text

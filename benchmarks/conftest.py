@@ -1,0 +1,31 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench regenerates one paper artifact or experiment.  Besides timing
+(pytest-benchmark), each bench writes its regenerated table/figure to
+``benchmarks/out/<name>.txt`` so the outputs that back EXPERIMENTS.md are
+inspectable after a run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+_OUT = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def artifact_dir() -> pathlib.Path:
+    _OUT.mkdir(exist_ok=True)
+    return _OUT
+
+
+@pytest.fixture
+def save_artifact(artifact_dir):
+    """Write a regenerated artifact to benchmarks/out/<name>.txt."""
+
+    def _save(name: str, text: str) -> None:
+        (artifact_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _save

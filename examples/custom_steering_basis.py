@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Designing a custom steering basis for a domain-specific processor.
+
+Section 5 of the paper proposes formulating an "optimal basis" of steering
+configurations.  This example shows the API for doing exactly that: define
+your own :class:`Configuration` set (validated against the 8-slot budget),
+hand it to the steering policy, and measure the result against the paper's
+general-purpose basis on *your* workload — here, a DSP-flavoured mix of
+FIR filtering and SAXPY.
+
+Run with::
+
+    python examples/custom_steering_basis.py
+"""
+
+from repro import Configuration, FUType, PREDEFINED_CONFIGS, ProcessorParams
+from repro.core.policies import PaperSteering
+from repro.core.processor import Processor
+from repro.workloads.kernels import fir_filter, saxpy
+
+# A DSP shop knows its code is FP-multiply + memory bound; it trades the
+# general-purpose integer configuration for two FP-heavy ones.
+DSP_BASIS = (
+    Configuration(
+        "fp-mul", {FUType.FP_MDU: 2, FUType.INT_ALU: 1, FUType.LSU: 1}
+    ).validate(),
+    Configuration(
+        "fp-stream", {FUType.FP_ALU: 1, FUType.LSU: 4, FUType.INT_ALU: 1}
+    ).validate(),
+    Configuration(
+        "fp-balanced", {FUType.FP_ALU: 1, FUType.FP_MDU: 1, FUType.LSU: 2}
+    ).validate(),
+)
+
+PARAMS = ProcessorParams(reconfig_latency=8)
+
+
+def run_with_basis(program, basis, label: str) -> float:
+    policy = PaperSteering(configs=basis)
+    result = Processor(program, params=PARAMS, policy=policy).run()
+    print(f"  {label:12s} IPC = {result.ipc:.3f} "
+          f"(reconfigurations: {result.reconfigurations})")
+    return result.ipc
+
+
+def main() -> None:
+    for kernel in (fir_filter(n=64), saxpy(n=96)):
+        print(f"{kernel.name}: {kernel.description}")
+        paper = run_with_basis(kernel.program, PREDEFINED_CONFIGS, "paper basis")
+        custom = run_with_basis(kernel.program, DSP_BASIS, "DSP basis")
+        print(f"  custom-basis gain: {custom / paper - 1:+.1%}\n")
+
+    print("Slot budgets of the custom basis (must fit the 8-slot fabric):")
+    for cfg in DSP_BASIS:
+        print(f"  {cfg}: {cfg.slot_usage}/8 slots")
+
+    print(
+        "\nLesson: watch the reconfiguration counts above.  Basis members\n"
+        "that *overlap* in the unit types they provide can alternate as the\n"
+        "minimal-error winner while the fabric is mid-steer, so the loader\n"
+        "thrashes (many reconfigurations, configuration bus saturated) and\n"
+        "IPC can drop below the general-purpose basis.  The paper's advice\n"
+        "to keep the basis 'relatively orthogonal' (Section 5) is exactly\n"
+        "the guard against this failure mode - orthogonal members make the\n"
+        "settled hybrid tie the winner, which stops further reconfiguration."
+    )
+
+
+if __name__ == "__main__":
+    main()

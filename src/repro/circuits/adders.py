@@ -1,0 +1,76 @@
+"""Adder circuits: full adder, ripple-carry, saturating and multi-operand.
+
+The paper's error-metric generator sums five per-type error terms with a
+"3-bit, 5-operand adder"; because the instruction queue holds at most seven
+instructions every term fits in 3 bits, and the sum fits in 6.  These models
+compute bit-exactly what such adders compute, including width truncation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.errors import CircuitError
+from repro.utils.bitops import mask
+
+__all__ = ["full_adder", "ripple_carry_add", "saturating_add", "multi_operand_add"]
+
+
+def _check(name: str, value: int, width: int) -> None:
+    if value < 0 or value > mask(width):
+        raise CircuitError(f"{name}={value:#x} exceeds {width}-bit input width")
+
+
+def full_adder(a: int, b: int, cin: int = 0) -> tuple[int, int]:
+    """One-bit full adder.  Returns ``(sum, carry_out)``."""
+    for name, v in (("a", a), ("b", b), ("cin", cin)):
+        if v not in (0, 1):
+            raise CircuitError(f"full_adder input {name} must be 0 or 1, got {v}")
+    s = a ^ b ^ cin
+    cout = (a & b) | (a & cin) | (b & cin)
+    return s, cout
+
+
+def ripple_carry_add(a: int, b: int, width: int, cin: int = 0) -> tuple[int, int]:
+    """``width``-bit ripple-carry adder.
+
+    Returns ``(sum mod 2**width, carry_out)`` — bit-for-bit what a chain of
+    :func:`full_adder` cells computes (the chain itself lives in the gate
+    netlist model; here the identical function is computed arithmetically
+    because this sits on the simulator's per-cycle hot path).
+    """
+    _check("a", a, width)
+    _check("b", b, width)
+    if cin not in (0, 1):
+        raise CircuitError(f"carry-in must be 0 or 1, got {cin}")
+    total = a + b + cin
+    return total & mask(width), total >> width
+
+
+def saturating_add(a: int, b: int, width: int) -> int:
+    """Add with saturation at ``2**width - 1``.
+
+    The resource-requirement encoders saturate rather than wrap: a queue can
+    never demand more units than it has entries, but the encoder hardware
+    still clamps defensively.
+    """
+    s, carry = ripple_carry_add(a, b, width)
+    return mask(width) if carry else s
+
+
+def multi_operand_add(values: Sequence[int], in_width: int, out_width: int) -> int:
+    """Multi-operand adder tree (e.g. the paper's 3-bit five-operand adder).
+
+    Each operand must fit in ``in_width`` bits; the result is truncated to
+    ``out_width`` bits exactly as a fixed-width adder tree would.  With the
+    paper's parameters (five 3-bit operands, 6-bit result) no truncation can
+    occur since ``5 * 7 = 35 < 64``.
+    """
+    if not values:
+        raise CircuitError("multi_operand_add requires at least one operand")
+    for i, v in enumerate(values):
+        _check(f"operand[{i}]", v, in_width)
+    total = 0
+    for v in values:
+        total, _ = ripple_carry_add(total, v & mask(out_width), out_width)
+    return total

@@ -1,0 +1,69 @@
+"""Comparators and the minimal-error selection network.
+
+The minimal-error selection unit of Fig. 2 compares the four 6-bit error
+metrics and outputs a two-bit configuration index.  Ties are resolved in
+favour of the configuration requiring the least reconfiguration; because
+configuration 0 is always the *current* configuration, scanning in index
+order with a strict-less-than update implements the paper's "current
+configuration is always favoured" rule, and callers order the remaining
+candidates by reconfiguration distance for the secondary tie-break.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.errors import CircuitError
+from repro.utils.bitops import mask
+
+__all__ = ["equals", "less_than", "minimum_index"]
+
+
+def _check(name: str, value: int, width: int) -> None:
+    if value < 0 or value > mask(width):
+        raise CircuitError(f"{name}={value:#x} exceeds {width}-bit comparator width")
+
+
+def equals(a: int, b: int, width: int) -> int:
+    """Equality comparator: XNOR each bit pair, AND-reduce.  Returns 0/1."""
+    _check("a", a, width)
+    _check("b", b, width)
+    return int(a == b)
+
+
+def less_than(a: int, b: int, width: int) -> int:
+    """Unsigned magnitude comparator ``a < b``.  Returns 0/1.
+
+    Models the standard ripple scheme scanning from the MSB: the first bit
+    position where the operands differ decides the comparison.
+    """
+    _check("a", a, width)
+    _check("b", b, width)
+    for i in range(width - 1, -1, -1):
+        abit = (a >> i) & 1
+        bbit = (b >> i) & 1
+        if abit != bbit:
+            return int(abit < bbit)
+    return 0
+
+
+def minimum_index(values: Sequence[int], width: int) -> int:
+    """Index of the minimum value; ties keep the *earliest* index.
+
+    This is the minimal-error selection network: candidate 0 (the current
+    configuration) wins any tie against later candidates, matching the
+    paper's requirement that equal error favours the configuration needing
+    the least reconfiguration.
+    """
+    if not values:
+        raise CircuitError("minimum_index requires at least one candidate")
+    best_index = 0
+    best_value = values[0]
+    _check("values[0]", best_value, width)
+    for i in range(1, len(values)):
+        v = values[i]
+        _check(f"values[{i}]", v, width)
+        if less_than(v, best_value, width):
+            best_index = i
+            best_value = v
+    return best_index

@@ -1,0 +1,55 @@
+"""One-hot encoders, priority encoders and population counters.
+
+The unit decoders of Fig. 2 emit, for each instruction-queue entry, a
+one-hot vector naming the functional-unit type the instruction needs.  The
+resource-requirement encoders then count, per type, how many entries assert
+that type's bit — a population counter over (at most) seven inputs whose
+3-bit output is the "required number of units" fed to the error-metric
+generators.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.circuits.adders import ripple_carry_add
+from repro.errors import CircuitError
+from repro.utils.bitops import mask
+
+__all__ = ["one_hot", "priority_encoder", "popcount_tree"]
+
+
+def one_hot(index: int, width: int) -> int:
+    """Return a ``width``-bit one-hot vector with bit ``index`` set."""
+    if index < 0 or index >= width:
+        raise CircuitError(f"one_hot index {index} out of range for width {width}")
+    return 1 << index
+
+
+def priority_encoder(bitmap: int, width: int) -> tuple[int, int]:
+    """Lowest-set-bit priority encoder.
+
+    Returns ``(index, valid)`` where ``valid`` is 0 when no bit is set (and
+    ``index`` is then 0, as real encoders output a don't-care).
+    """
+    if bitmap < 0 or bitmap > mask(width):
+        raise CircuitError(f"bitmap {bitmap:#x} exceeds encoder width {width}")
+    for i in range(width):
+        if (bitmap >> i) & 1:
+            return i, 1
+    return 0, 0
+
+
+def popcount_tree(inputs: Sequence[int], out_width: int = 3) -> int:
+    """Population counter: count the 1s among single-bit ``inputs``.
+
+    Models the full-adder tree used by the resource-requirement encoders.
+    The result is truncated to ``out_width`` bits; with the paper's 7-entry
+    queue the count never exceeds 7 so no truncation occurs.
+    """
+    total = 0
+    for i, v in enumerate(inputs):
+        if v not in (0, 1):
+            raise CircuitError(f"popcount input [{i}] must be 0 or 1, got {v}")
+        total, _ = ripple_carry_add(total, v, out_width)
+    return total

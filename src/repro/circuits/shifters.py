@@ -1,0 +1,56 @@
+"""Barrel shifters and the Fig. 3(c) shift-control rule.
+
+The configuration-error-metric generators approximate the division
+``required / available`` by a right shift whose amount is the available
+count rounded *down* to a power of two:
+
+* ``available >= 4``      -> shift 2 (divide by 4)
+* ``available in {2, 3}`` -> shift 1 (divide by 2)
+* ``available <= 1``      -> shift 0 (divide by 1)
+
+For the three predefined steering configurations the shift amounts are
+hard-wired (their unit counts are static); for the *current* configuration
+the shift control is derived combinationally from the upper two bits of the
+3-bit count of currently configured units, exactly as Fig. 3(c) shows:
+the high-order quantity bit selects divide-by-4 and the next lower bit
+selects divide-by-2.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CircuitError
+from repro.utils.bitops import mask
+
+__all__ = ["barrel_shift_right", "cem_shift_control"]
+
+
+def barrel_shift_right(value: int, shift: int, width: int) -> int:
+    """Logical right shift of a ``width``-bit value by ``shift`` places.
+
+    Models a mux-based barrel shifter: the shift amount must be expressible
+    in the shifter's control bits (``shift < width``).
+    """
+    if value < 0 or value > mask(width):
+        raise CircuitError(f"value={value:#x} exceeds {width}-bit shifter width")
+    if shift < 0 or shift >= width:
+        raise CircuitError(f"shift amount {shift} out of range for {width}-bit shifter")
+    return (value >> shift) & mask(width)
+
+
+def cem_shift_control(available: int, width: int = 3) -> int:
+    """Shift amount for the current-configuration CEM shifter (Fig. 3(c)).
+
+    ``available`` is the 3-bit count of configured units of one type
+    (FFU + RFU copies).  Returns 2, 1 or 0.
+    """
+    if available < 0 or available > mask(width):
+        raise CircuitError(
+            f"available={available} exceeds {width}-bit quantity input"
+        )
+    high = (available >> (width - 1)) & 1  # quantity bit 2: available >= 4
+    next_lower = (available >> (width - 2)) & 1  # quantity bit 1: available >= 2
+    if high:
+        return 2
+    if next_lower:
+        return 1
+    return 0

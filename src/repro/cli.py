@@ -1,0 +1,229 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``kernels``
+    List the built-in workload kernels.
+``run <kernel-or-file.s> [--policy P] [--reconfig-latency N] ...``
+    Simulate a kernel (by name) or an assembly file and print the result
+    summary; with ``--compare`` runs every policy and prints an IPC table.
+``disasm <file.s>``
+    Assemble a file and print the binary encoding next to the disassembly.
+``artifacts [name ...]``
+    Regenerate paper artifacts (tables/figures); default: all of them.
+``trace <kernel-or-file.s> [--cycles N]``
+    Run with event recording and print the fabric-occupancy timeline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from repro.core.baselines import policy_catalogue
+from repro.core.params import ProcessorParams
+from repro.core.policies import PaperSteering
+from repro.core.processor import Processor
+from repro.core.tracing import render_fabric_timeline
+from repro.evaluation import artifacts as artifacts_mod
+from repro.evaluation.report import render_table
+from repro.isa.assembler import assemble
+from repro.isa.disassembler import format_instruction
+from repro.isa.program import Program
+from repro.workloads.kernels import all_kernels, kernel_by_name
+
+__all__ = ["main"]
+
+_ARTIFACTS = {
+    "table1": lambda: artifacts_mod.table1(),
+    "table2": lambda: artifacts_mod.table2(),
+    "fig1": lambda: artifacts_mod.figure1_inventory(),
+    "fig2": lambda: artifacts_mod.figure2_selection_demo(),
+    "fig3": lambda: artifacts_mod.figure3_cem_study().table,
+    "fig456": lambda: artifacts_mod.figure456_wakeup_example(),
+    "fig7": lambda: artifacts_mod.figure7_availability_check(),
+}
+
+
+def _load_program(target: str) -> Program:
+    """Kernel name, assembly file, or synthetic spec.
+
+    Synthetic specs: ``mix:<int|mem|fp|balanced>[:iterations[:seed]]`` and
+    ``phased[:seed]`` (int -> mem -> fp phases).
+    """
+    if target.startswith("mix:"):
+        from repro.workloads.synthetic import (
+            BALANCED_MIX, FP_MIX, INT_MIX, MEM_MIX, synthetic_program,
+        )
+
+        parts = target.split(":")
+        mixes = {"int": INT_MIX, "mem": MEM_MIX, "fp": FP_MIX,
+                 "balanced": BALANCED_MIX}
+        mix = mixes.get(parts[1])
+        if mix is None:
+            raise SystemExit(f"unknown mix {parts[1]!r}; choose from {sorted(mixes)}")
+        iterations = int(parts[2]) if len(parts) > 2 else 50
+        seed = int(parts[3]) if len(parts) > 3 else 0
+        return synthetic_program(mix, iterations=iterations, seed=seed)
+    if target.startswith("phased"):
+        from repro.workloads.phases import phased_program
+        from repro.workloads.synthetic import FP_MIX, INT_MIX, MEM_MIX
+
+        parts = target.split(":")
+        seed = int(parts[1]) if len(parts) > 1 else 0
+        return phased_program(
+            [(INT_MIX, 50), (MEM_MIX, 50), (FP_MIX, 50)], seed=seed
+        )
+    path = pathlib.Path(target)
+    if path.suffix == ".s" or path.exists():
+        return assemble(path.read_text())
+    return kernel_by_name(target).program
+
+
+def _params_from_args(args: argparse.Namespace) -> ProcessorParams:
+    return ProcessorParams(
+        window_size=args.window,
+        fetch_width=args.width,
+        retire_width=args.width,
+        reconfig_latency=args.reconfig_latency,
+    )
+
+
+def _cmd_kernels(_args: argparse.Namespace) -> int:
+    rows = [(k.name, k.description) for k in all_kernels()]
+    print(render_table(["kernel", "description"], rows))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    program = _load_program(args.target)
+    params = _params_from_args(args)
+    catalogue = policy_catalogue()
+    if args.compare:
+        rows = []
+        for name, factory in catalogue.items():
+            result = factory(program, params).run(max_cycles=args.max_cycles)
+            rows.append((name, result.ipc, result.cycles, result.reconfigurations))
+        rows.sort(key=lambda r: -r[1])
+        print(render_table(["policy", "IPC", "cycles", "reconfigs"], rows))
+        return 0
+    if args.policy not in catalogue:
+        print(f"unknown policy {args.policy!r}; choose from "
+              f"{', '.join(sorted(catalogue))}", file=sys.stderr)
+        return 2
+    result = catalogue[args.policy](program, params).run(max_cycles=args.max_cycles)
+    if args.json:
+        import json
+
+        print(json.dumps(result.to_dict(), indent=2))
+    else:
+        print(result.summary())
+    return 0 if result.halted else 1
+
+
+def _cmd_disasm(args: argparse.Namespace) -> int:
+    program = _load_program(args.target)
+    for pc, (word, instr) in enumerate(
+        zip(program.to_binary(), program.instructions)
+    ):
+        print(f"{pc:5d}: {word:#010x}  {format_instruction(instr)}")
+    return 0
+
+
+def _cmd_artifacts(args: argparse.Namespace) -> int:
+    names = args.names or list(_ARTIFACTS)
+    for name in names:
+        if name not in _ARTIFACTS:
+            print(f"unknown artifact {name!r}; choose from "
+                  f"{', '.join(_ARTIFACTS)}", file=sys.stderr)
+            return 2
+        print(f"==== {name} ====")
+        print(_ARTIFACTS[name]())
+        print()
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.evaluation.harness import generate_report
+
+    text = generate_report(
+        fast=not args.full,
+        progress=lambda msg: print(f"[report] {msg}", file=sys.stderr),
+    )
+    if args.output:
+        pathlib.Path(args.output).write_text(text)
+        print(f"report written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    program = _load_program(args.target)
+    proc = Processor(
+        program,
+        params=_params_from_args(args),
+        policy=PaperSteering(record_trace=True),
+        record_events=True,
+    )
+    proc.run(max_cycles=args.max_cycles)
+    print(render_fabric_timeline(proc.events, stride=args.stride))
+    return 0
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reconfigurable superscalar processor with configuration steering",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("kernels", help="list built-in kernels").set_defaults(
+        func=_cmd_kernels
+    )
+
+    def add_sim_args(p):
+        p.add_argument("target", help="kernel name or .s assembly file")
+        p.add_argument("--reconfig-latency", type=int, default=16)
+        p.add_argument("--window", type=int, default=7)
+        p.add_argument("--width", type=int, default=4)
+        p.add_argument("--max-cycles", type=int, default=1_000_000)
+
+    run = sub.add_parser("run", help="simulate a program")
+    add_sim_args(run)
+    run.add_argument("--policy", default="steering")
+    run.add_argument("--json", action="store_true",
+                     help="emit the result record as JSON")
+    run.add_argument("--compare", action="store_true",
+                     help="run every policy and print an IPC table")
+    run.set_defaults(func=_cmd_run)
+
+    disasm = sub.add_parser("disasm", help="print binary + disassembly")
+    disasm.add_argument("target")
+    disasm.set_defaults(func=_cmd_disasm)
+
+    art = sub.add_parser("artifacts", help="regenerate paper artifacts")
+    art.add_argument("names", nargs="*")
+    art.set_defaults(func=_cmd_artifacts)
+
+    report = sub.add_parser("report", help="regenerate the full reproduction report")
+    report.add_argument("--full", action="store_true", help="full-scale experiments")
+    report.add_argument("--output", "-o", help="write to a file instead of stdout")
+    report.set_defaults(func=_cmd_report)
+
+    trace = sub.add_parser("trace", help="print the fabric timeline")
+    add_sim_args(trace)
+    trace.add_argument("--stride", type=int, default=2)
+    trace.set_defaults(func=_cmd_trace)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

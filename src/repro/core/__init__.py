@@ -1,0 +1,50 @@
+"""The complete reconfigurable superscalar processor (Fig. 1) and its
+evaluation baselines.
+
+:class:`~repro.core.processor.Processor` assembles every module of the
+architecture — fetch unit, trace cache, decoder, register update unit with
+the wake-up array, the fixed and reconfigurable functional units, and a
+pluggable steering policy — into an execution-driven, cycle-level
+simulator.  :mod:`repro.core.policies` provides the paper's configuration
+manager plus the baselines the evaluation compares against (no steering,
+static configurations, random steering, and an oracle with future
+knowledge).
+"""
+
+from repro.core.baselines import (
+    demand_processor,
+    fixed_superscalar,
+    oracle_processor,
+    policy_catalogue,
+    steering_processor,
+)
+from repro.core.params import ProcessorParams
+from repro.core.policies import (
+    DemandSteering,
+    NoSteering,
+    OracleSteering,
+    PaperSteering,
+    RandomSteering,
+    StaticConfiguration,
+    SteeringPolicy,
+)
+from repro.core.processor import Processor
+from repro.core.stats import SimulationResult
+
+__all__ = [
+    "Processor",
+    "ProcessorParams",
+    "SimulationResult",
+    "SteeringPolicy",
+    "PaperSteering",
+    "NoSteering",
+    "StaticConfiguration",
+    "RandomSteering",
+    "OracleSteering",
+    "DemandSteering",
+    "demand_processor",
+    "fixed_superscalar",
+    "steering_processor",
+    "oracle_processor",
+    "policy_catalogue",
+]

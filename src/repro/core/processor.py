@@ -1,0 +1,262 @@
+"""The cycle-level processor: every Fig. 1 module wired together.
+
+Pipeline order within one simulated cycle (back to front, the standard
+discipline so a value never traverses two stages in one cycle):
+
+1. **retire** — in-order commit of completed entries (stores write memory);
+2. **issue/execute** — wake-up requests, grants, functional execution,
+   branch resolution and mispredict recovery;
+3. **dispatch** — decoded instructions enter free wake-up rows;
+4. **decode/fetch** — the fetch unit follows the predicted path into the
+   decode buffer;
+5. **steer** — the configuration-management policy observes the ready
+   queue and (possibly) starts a partial reconfiguration;
+6. **tick** — functional units, the configuration bus and the count-down
+   timers advance one cycle.
+"""
+
+from __future__ import annotations
+
+from repro.core.params import ProcessorParams
+from repro.core.policies import PaperSteering, SteeringPolicy
+from repro.core.stats import SimulationResult
+from repro.core.tracing import CycleEvents, slot_glyphs
+from repro.errors import SimulationError
+from repro.fabric.fabric import Fabric
+from repro.frontend.branch import BTB, BranchPredictor
+from repro.frontend.decode import DecodeStage
+from repro.frontend.fetch import FetchUnit
+from repro.frontend.memory import DataMemory, InstructionMemory
+from repro.frontend.trace_cache import TraceCache
+from repro.isa.futypes import FU_TYPES
+from repro.isa.opcodes import Opcode
+from repro.isa.program import Program
+from repro.sched.ruu import RegisterUpdateUnit
+
+__all__ = ["Processor"]
+
+
+class Processor:
+    """One simulated processor instance executing one program."""
+
+    def __init__(
+        self,
+        program: Program,
+        params: ProcessorParams | None = None,
+        policy: SteeringPolicy | None = None,
+        entry: str = "main",
+        record_events: bool = False,
+    ) -> None:
+        self.params = params if params is not None else ProcessorParams()
+        self.policy = policy if policy is not None else PaperSteering()
+        self.program = program
+
+        self.imem = InstructionMemory(program)
+        self.dmem = DataMemory(size=self.params.dmem_size, image=program.data)
+        self.predictor = BranchPredictor(self.params.predictor_entries)
+        self.btb = BTB(self.params.btb_entries)
+        self.trace_cache = (
+            TraceCache(self.params.trace_cache_capacity)
+            if self.params.use_trace_cache
+            else None
+        )
+        self.fetch = FetchUnit(
+            self.imem,
+            predictor=self.predictor,
+            btb=self.btb,
+            trace_cache=self.trace_cache,
+            width=self.params.fetch_width,
+            entry=program.entry(entry),
+        )
+        self.decode = DecodeStage(
+            width=self.params.fetch_width, capacity=self.params.decode_capacity
+        )
+        self.fabric = Fabric(
+            n_slots=self.params.n_slots,
+            reconfig_latency=self.params.reconfig_latency,
+            ffu_counts=self.params.ffu_counts,
+            reconfig_mode=self.params.reconfig_mode,
+        )
+        self.ruu = RegisterUpdateUnit(
+            self.fabric,
+            self.dmem,
+            window_size=self.params.window_size,
+            retire_width=self.params.retire_width,
+            pipelined_scheduling=self.params.pipelined_scheduling,
+        )
+        self.policy.bind(self.fabric)
+
+        self.cycle_count = 0
+        #: the most recent cycle's events (always kept).
+        self.last_events: CycleEvents | None = None
+        #: full event history when ``record_events`` is set.
+        self.events: list[CycleEvents] | None = [] if record_events else None
+        self._retired_per_type = {t: 0 for t in FU_TYPES}
+        self._busy_cycles = {t: 0 for t in FU_TYPES}
+        self._configured_cycles = {t: 0 for t in FU_TYPES}
+        self._mispredictions = 0
+        self._branch_resolutions = 0
+        self._flushes = 0
+        self._squashed = 0
+        # stall attribution (unit-cycles, accumulated every cycle) --------
+        self._frontend_empty_cycles = 0
+        self._resource_blocked_cycles = 0
+        self._contention_cycles = 0
+
+    # --------------------------------------------------------------- cycle
+    def step(self) -> None:
+        """Simulate one clock cycle."""
+        # 1. retire
+        retired = self.ruu.retire()
+        for entry in retired:
+            self._retired_per_type[entry.fu_type] += 1
+
+        # 2. issue / execute / branch repair
+        issued_seqs: tuple[int, ...] = ()
+        flushed = 0
+        if not self.ruu.halted:
+            if self.ruu.empty:
+                self._frontend_empty_cycles += 1
+            flushed_before = self.ruu.flushed
+            report = self.ruu.issue_and_execute(self.cycle_count)
+            issued_seqs = tuple(
+                e.seq for e in self.ruu.in_order() if e.issue_cycle == self.cycle_count
+            )
+            self._handle_resolutions(report.resolutions)
+            flushed = self.ruu.flushed - flushed_before
+            self._resource_blocked_cycles += report.resource_blocked
+            self._contention_cycles += max(
+                0, report.requests - len(report.granted) - report.memory_stalls
+            )
+
+        # 3. dispatch
+        dispatched: list[int] = []
+        if not self.ruu.halted:
+            room = len(self.ruu.wakeup.free_rows())
+            for fetched in self.decode.pop(limit=room):
+                dispatched.append(self.ruu.dispatch(fetched).seq)
+
+        # 4. fetch into decode
+        fetched_pcs: tuple[int, ...] = ()
+        if not self.ruu.halted and self.decode.can_accept(self.params.fetch_width):
+            packet = self.fetch.fetch_packet()
+            if packet:
+                self.decode.push(packet)
+                fetched_pcs = tuple(f.pc for f in packet)
+
+        # 5. steering policy
+        self.policy.cycle(self.ruu.ready_unscheduled(), self.ruu.retired)
+
+        # 6. record + advance time
+        manager = getattr(self.policy, "manager", None)
+        selection = (
+            manager.trace[-1].selection
+            if manager is not None and manager.trace
+            else None
+        )
+        self.last_events = CycleEvents(
+            cycle=self.cycle_count,
+            fetched=fetched_pcs,
+            dispatched=tuple(dispatched),
+            issued=issued_seqs,
+            retired=tuple(e.seq for e in retired),
+            flushed=flushed,
+            slots=slot_glyphs(self.fabric),
+            selection=selection,
+        )
+        if self.events is not None:
+            self.events.append(self.last_events)
+        self._accumulate_utilisation()
+        self.fabric.tick()
+        self.ruu.tick()
+        self.cycle_count += 1
+
+    def _handle_resolutions(self, resolutions) -> None:
+        """Train the predictors; repair the pipeline on the oldest mispredict."""
+        oldest_mispredict = None
+        for res in resolutions:
+            instr = res.entry.instruction
+            if instr.is_branch:
+                self._branch_resolutions += 1
+                self.predictor.update(
+                    res.entry.pc, res.taken, mispredicted=res.mispredicted
+                )
+            elif instr.opcode is Opcode.JALR:
+                self.btb.update(res.entry.pc, res.target)
+            if res.mispredicted:
+                self._mispredictions += 1
+                if (
+                    oldest_mispredict is None
+                    or res.entry.seq < oldest_mispredict.entry.seq
+                ):
+                    oldest_mispredict = res
+        if oldest_mispredict is not None:
+            self._squashed += self.ruu.flush_younger(oldest_mispredict.entry.seq)
+            self._flushes += 1
+            self.decode.flush()
+            self.fetch.redirect(oldest_mispredict.target)
+
+    def _accumulate_utilisation(self) -> None:
+        for t, (busy, total) in self.fabric.utilisation().items():
+            self._busy_cycles[t] += busy
+            self._configured_cycles[t] += total
+
+    # ----------------------------------------------------------------- run
+    def run(self, max_cycles: int = 1_000_000) -> SimulationResult:
+        """Simulate until the program halts (or the cycle budget runs out)."""
+        if max_cycles <= 0:
+            raise SimulationError("max_cycles must be positive")
+        while not self.ruu.halted and self.cycle_count < max_cycles:
+            self.step()
+        return self.result()
+
+    def result(self) -> SimulationResult:
+        """Snapshot the statistics collected so far."""
+        res = SimulationResult(
+            policy=self.policy.name,
+            cycles=self.cycle_count,
+            retired=self.ruu.retired,
+            halted=self.ruu.halted,
+            retired_per_type=dict(self._retired_per_type),
+            busy_unit_cycles=dict(self._busy_cycles),
+            configured_unit_cycles=dict(self._configured_cycles),
+            mispredictions=self._mispredictions,
+            branch_resolutions=self._branch_resolutions,
+            flushes=self._flushes,
+            squashed=self._squashed,
+            memory_stalls=self.ruu.memory_stalls,
+            scheduling_replays=self.ruu.scheduling_replays,
+            frontend_empty_cycles=self._frontend_empty_cycles,
+            resource_blocked_cycles=self._resource_blocked_cycles,
+            contention_cycles=self._contention_cycles,
+            reconfigurations=self.fabric.reconfigurations,
+            reconfig_bus_cycles=self.fabric.rfus.bus_busy_cycles,
+            fetch_packets=self.fetch.packets,
+            fetched=self.fetch.fetched,
+            trace_cache_hits=self.trace_cache.hits if self.trace_cache else 0,
+            trace_cache_misses=self.trace_cache.misses if self.trace_cache else 0,
+            final_registers=self.ruu.regfile.snapshot(),
+        )
+        manager = getattr(self.policy, "manager", None)
+        if manager is not None:
+            res.steering_selections = dict(manager.stats.selections)
+            res.steering_mean_error = manager.stats.mean_selected_error
+            res.steering_kept_fraction = manager.stats.current_kept_fraction
+        return res
+
+    # ------------------------------------------------------------- helpers
+    def module_inventory(self) -> dict[str, str]:
+        """The Fig. 1 module list with the implementing classes (F1 artefact)."""
+        return {
+            "instruction memory": type(self.imem).__name__,
+            "data memory": type(self.dmem).__name__,
+            "fetch unit": type(self.fetch).__name__,
+            "trace cache": type(self.trace_cache).__name__ if self.trace_cache else "(disabled)",
+            "instruction decoder": type(self.decode).__name__,
+            "register update unit": type(self.ruu).__name__,
+            "register files": type(self.ruu.regfile).__name__,
+            "wake-up array": type(self.ruu.wakeup).__name__,
+            "fixed functional units": type(self.fabric.ffus).__name__,
+            "reconfigurable slots": type(self.fabric.rfus).__name__,
+            "configuration management": self.policy.describe(),
+        }

@@ -1,0 +1,132 @@
+"""Simulation statistics and the result record a run returns."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.futypes import FU_TYPES, FUType
+
+__all__ = ["SimulationResult"]
+
+
+@dataclass
+class SimulationResult:
+    """Everything measured during one simulation run."""
+
+    policy: str
+    cycles: int
+    retired: int
+    halted: bool
+    #: dynamic instruction mix (retired instructions per unit type).
+    retired_per_type: dict[FUType, int] = field(default_factory=dict)
+    #: cumulative busy unit-cycles per type (utilisation numerator).
+    busy_unit_cycles: dict[FUType, int] = field(default_factory=dict)
+    #: cumulative configured unit-cycles per type (denominator).
+    configured_unit_cycles: dict[FUType, int] = field(default_factory=dict)
+    mispredictions: int = 0
+    branch_resolutions: int = 0
+    flushes: int = 0
+    squashed: int = 0
+    memory_stalls: int = 0
+    #: select-free collision replays ([9] pipelined-scheduling mode only).
+    scheduling_replays: int = 0
+    #: cycles the window was completely empty (front-end starvation).
+    frontend_empty_cycles: int = 0
+    #: entry-cycles ready on data but lacking an idle unit of their type —
+    #: the structural stalls configuration steering attacks.
+    resource_blocked_cycles: int = 0
+    #: entry-cycles that requested but lost grant arbitration.
+    contention_cycles: int = 0
+    reconfigurations: int = 0
+    reconfig_bus_cycles: int = 0
+    fetch_packets: int = 0
+    fetched: int = 0
+    trace_cache_hits: int = 0
+    trace_cache_misses: int = 0
+    #: configuration-manager statistics (steering policies only).
+    steering_selections: dict[int, int] = field(default_factory=dict)
+    steering_mean_error: float = 0.0
+    steering_kept_fraction: float = 0.0
+    #: committed architectural state (for functional checking).
+    final_registers: dict | None = None
+
+    @property
+    def ipc(self) -> float:
+        """Retired instructions per cycle — the headline metric."""
+        return self.retired / self.cycles if self.cycles else 0.0
+
+    @property
+    def branch_accuracy(self) -> float:
+        if not self.branch_resolutions:
+            return 1.0
+        return 1.0 - self.mispredictions / self.branch_resolutions
+
+    def utilisation(self, fu_type: FUType) -> float:
+        """Busy fraction of the configured units of one type."""
+        configured = self.configured_unit_cycles.get(fu_type, 0)
+        if not configured:
+            return 0.0
+        return self.busy_unit_cycles.get(fu_type, 0) / configured
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable flat view (enum keys become short names)."""
+        return {
+            "policy": self.policy,
+            "cycles": self.cycles,
+            "retired": self.retired,
+            "ipc": self.ipc,
+            "halted": self.halted,
+            "retired_per_type": {
+                t.short_name: n for t, n in self.retired_per_type.items()
+            },
+            "utilisation": {t.short_name: self.utilisation(t) for t in FU_TYPES},
+            "mispredictions": self.mispredictions,
+            "branch_resolutions": self.branch_resolutions,
+            "branch_accuracy": self.branch_accuracy,
+            "flushes": self.flushes,
+            "squashed": self.squashed,
+            "memory_stalls": self.memory_stalls,
+            "scheduling_replays": self.scheduling_replays,
+            "frontend_empty_cycles": self.frontend_empty_cycles,
+            "resource_blocked_cycles": self.resource_blocked_cycles,
+            "contention_cycles": self.contention_cycles,
+            "reconfigurations": self.reconfigurations,
+            "reconfig_bus_cycles": self.reconfig_bus_cycles,
+            "trace_cache_hits": self.trace_cache_hits,
+            "trace_cache_misses": self.trace_cache_misses,
+            "steering_selections": dict(self.steering_selections),
+            "steering_kept_fraction": self.steering_kept_fraction,
+        }
+
+    def summary(self) -> str:
+        """Multi-line human-readable report."""
+        lines = [
+            f"policy            : {self.policy}",
+            f"cycles            : {self.cycles}",
+            f"retired           : {self.retired}",
+            f"IPC               : {self.ipc:.3f}",
+            f"halted            : {self.halted}",
+            f"branch accuracy   : {self.branch_accuracy:.3f}"
+            f" ({self.mispredictions}/{self.branch_resolutions} mispredicted)",
+            f"memory stalls     : {self.memory_stalls}",
+            f"stalls            : frontend-empty {self.frontend_empty_cycles}, "
+            f"resource-blocked {self.resource_blocked_cycles}, "
+            f"contention {self.contention_cycles}",
+            f"reconfigurations  : {self.reconfigurations}"
+            f" ({self.reconfig_bus_cycles} bus cycles)",
+        ]
+        if self.steering_selections:
+            picks = ", ".join(
+                f"cfg{k}:{v}" for k, v in sorted(self.steering_selections.items())
+            )
+            lines.append(f"steering picks    : {picks}")
+            lines.append(f"kept-current frac : {self.steering_kept_fraction:.3f}")
+        mix = ", ".join(
+            f"{t.short_name}:{self.retired_per_type.get(t, 0)}" for t in FU_TYPES
+        )
+        lines.append(f"dynamic mix       : {mix}")
+        util = ", ".join(
+            f"{t.short_name}:{self.utilisation(t):.2f}" for t in FU_TYPES
+        )
+        lines.append(f"unit utilisation  : {util}")
+        return "\n".join(lines)

@@ -1,0 +1,91 @@
+"""Per-cycle event records and ASCII timelines.
+
+The processor records a :class:`CycleEvents` snapshot every cycle (cheap:
+a handful of ints and short strings); these drive the fabric-occupancy
+timeline used by ``examples/pipeline_trace.py`` and the E-PH analysis.
+
+Slot glyphs: one character per reconfigurable slot —
+
+* ``.``  empty slot
+* ``*``  slot under reconfiguration (configuration bus busy on it)
+* letter = configured unit type (``A`` IALU, ``M`` IMDU, ``L`` LSU,
+  ``F`` FPALU, ``D`` FPMDU); lowercase while the unit is executing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.fabric.fabric import Fabric
+from repro.isa.futypes import FUType
+
+__all__ = ["CycleEvents", "slot_glyphs", "render_fabric_timeline"]
+
+_GLYPH = {
+    FUType.INT_ALU: "A",
+    FUType.INT_MDU: "M",
+    FUType.LSU: "L",
+    FUType.FP_ALU: "F",
+    FUType.FP_MDU: "D",
+}
+
+
+@dataclass(frozen=True)
+class CycleEvents:
+    """What happened in one processor cycle."""
+
+    cycle: int
+    fetched: tuple[int, ...] = ()       # PCs fetched this cycle
+    dispatched: tuple[int, ...] = ()    # seq numbers entering the window
+    issued: tuple[int, ...] = ()        # seq numbers granted execution
+    retired: tuple[int, ...] = ()       # seq numbers committed
+    flushed: int = 0                    # entries squashed by a mispredict
+    slots: str = ""                     # fabric occupancy glyphs
+    #: configuration selected by the steering policy (None = no manager).
+    selection: int | None = None
+
+
+def slot_glyphs(fabric: Fabric) -> str:
+    """One glyph per reconfigurable slot (see module docstring)."""
+    out = []
+    for slot in fabric.rfus.slots:
+        if slot.is_reconfiguring:
+            out.append("*")
+            continue
+        head = fabric.rfus.head_of(slot.index)
+        if head is None:
+            out.append(".")
+            continue
+        unit = fabric.rfus.slots[head].unit
+        glyph = _GLYPH[unit.fu_type]
+        out.append(glyph.lower() if not unit.available else glyph)
+    return "".join(out)
+
+
+def render_fabric_timeline(
+    events: list[CycleEvents],
+    stride: int = 1,
+    max_rows: int = 200,
+) -> str:
+    """Render the slot-occupancy history, one row per ``stride`` cycles.
+
+    Rows also show the pipeline activity of the sampled cycle:
+    fetch/dispatch/issue/retire counts and steering selection.
+    """
+    header = "cycle   slots     F D I R  sel"
+    lines = [header, "-" * len(header)]
+    shown = 0
+    for i in range(0, len(events), stride):
+        if shown >= max_rows:
+            lines.append(f"... ({len(events) - i} more cycles)")
+            break
+        e = events[i]
+        sel = "-" if e.selection is None else str(e.selection)
+        lines.append(
+            f"{e.cycle:6d}  {e.slots:<8s}  "
+            f"{len(e.fetched)} {len(e.dispatched)} {len(e.issued)} "
+            f"{len(e.retired)}  {sel}"
+            + ("  FLUSH" if e.flushed else "")
+        )
+        shown += 1
+    return "\n".join(lines)

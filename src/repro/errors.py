@@ -1,0 +1,70 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch the whole family with a single ``except`` clause while
+still being able to discriminate by subsystem.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "EncodingError",
+    "AssemblerError",
+    "DisassemblerError",
+    "ConfigurationError",
+    "FabricError",
+    "SchedulerError",
+    "SimulationError",
+    "WorkloadError",
+    "CircuitError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class CircuitError(ReproError):
+    """A combinational-circuit model was driven outside its bit-width."""
+
+
+class EncodingError(ReproError):
+    """An instruction could not be encoded to / decoded from binary."""
+
+
+class AssemblerError(ReproError):
+    """Assembly source text is malformed.
+
+    Carries the 1-based source line for diagnostics.
+    """
+
+    def __init__(self, message: str, line: int | None = None) -> None:
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class DisassemblerError(ReproError):
+    """A binary word does not decode to any known instruction."""
+
+
+class ConfigurationError(ReproError):
+    """A processor configuration is invalid (e.g. exceeds the slot budget)."""
+
+
+class FabricError(ReproError):
+    """Illegal operation on the reconfigurable fabric (e.g. reloading a busy slot)."""
+
+
+class SchedulerError(ReproError):
+    """Wake-up array / RUU invariant violation."""
+
+
+class SimulationError(ReproError):
+    """The cycle-level simulation reached an inconsistent state."""
+
+
+class WorkloadError(ReproError):
+    """A workload specification is invalid."""

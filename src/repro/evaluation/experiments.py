@@ -1,0 +1,342 @@
+"""The quantitative experiments (DESIGN.md E-IPC .. E-COST).
+
+The paper's stated objective is "to increase the achieved instruction
+level parallelism of the processor by best matching the processor
+configuration to the instructions that are ready to be executed"; it
+reports no measurements.  These experiments supply that evaluation.  The
+reproduction target is the *shape* of each result (orderings, trends,
+crossovers), not absolute numbers.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.circuits.cost import selection_unit_cost
+from repro.core.baselines import (
+    fixed_superscalar,
+    oracle_processor,
+    random_processor,
+    static_processor,
+    steering_processor,
+)
+from repro.core.params import ProcessorParams
+from repro.core.stats import SimulationResult
+from repro.errors import ConfigurationError
+from repro.evaluation.report import render_table
+from repro.fabric.configuration import (
+    NUM_RFU_SLOTS,
+    PREDEFINED_CONFIGS,
+    Configuration,
+)
+from repro.isa.futypes import FU_TYPES, FUType
+from repro.isa.program import Program
+from repro.workloads.kernels import all_kernels
+from repro.workloads.phases import phased_program
+from repro.workloads.synthetic import FP_MIX, INT_MIX, MEM_MIX, MixSpec
+
+__all__ = [
+    "IpcComparison",
+    "run_ipc_comparison",
+    "run_reconfig_latency_sweep",
+    "run_phase_adaptation",
+    "run_queue_depth_sweep",
+    "run_cem_ablation",
+    "run_orthogonality_study",
+    "run_circuit_cost_report",
+]
+
+_DEFAULT_PARAMS = ProcessorParams(reconfig_latency=8)
+
+
+# ------------------------------------------------------------------ E-IPC
+@dataclass
+class IpcComparison:
+    """IPC of every policy on every workload."""
+
+    workloads: list[str]
+    policies: list[str]
+    #: ipc[workload][policy]
+    ipc: dict[str, dict[str, float]]
+    results: dict[str, dict[str, SimulationResult]] = field(default_factory=dict)
+
+    def winner(self, workload: str) -> str:
+        row = self.ipc[workload]
+        return max(row, key=row.get)
+
+    def mean_ipc(self, policy: str) -> float:
+        vals = [self.ipc[w][policy] for w in self.workloads]
+        return sum(vals) / len(vals)
+
+    def render(self) -> str:
+        rows = []
+        for w in self.workloads:
+            rows.append([w] + [self.ipc[w][p] for p in self.policies])
+        rows.append(
+            ["MEAN"] + [self.mean_ipc(p) for p in self.policies]
+        )
+        return render_table(
+            ["workload"] + self.policies, rows, title="E-IPC: IPC by policy"
+        )
+
+
+def run_ipc_comparison(
+    workloads: list[tuple[str, Program]] | None = None,
+    params: ProcessorParams | None = None,
+    include_oracle: bool = True,
+    max_cycles: int = 400_000,
+) -> IpcComparison:
+    """E-IPC: steering vs every baseline across the workload suite."""
+    params = params if params is not None else _DEFAULT_PARAMS
+    if workloads is None:
+        workloads = [(k.name, k.program) for k in all_kernels()]
+
+    def factories(program):
+        out = {
+            "ffu-only": lambda: fixed_superscalar(program, params),
+            "steering": lambda: steering_processor(program, params),
+        }
+        for cfg in PREDEFINED_CONFIGS:
+            out[f"static-{cfg.name}"] = (
+                lambda _c=cfg: static_processor(program, _c, params)
+            )
+        out["random"] = lambda: random_processor(program, params, period=100)
+        if include_oracle:
+            out["oracle"] = lambda: oracle_processor(program, params)
+        return out
+
+    policies = list(factories(workloads[0][1]))
+    ipc: dict[str, dict[str, float]] = {}
+    results: dict[str, dict[str, SimulationResult]] = {}
+    for name, program in workloads:
+        ipc[name] = {}
+        results[name] = {}
+        for policy, make in factories(program).items():
+            result = make().run(max_cycles=max_cycles)
+            ipc[name][policy] = result.ipc
+            results[name][policy] = result
+    return IpcComparison(
+        workloads=[w for w, _ in workloads],
+        policies=policies,
+        ipc=ipc,
+        results=results,
+    )
+
+
+# ------------------------------------------------------------------- E-RL
+def run_reconfig_latency_sweep(
+    latencies: list[int] | None = None,
+    program: Program | None = None,
+    max_cycles: int = 400_000,
+) -> list[tuple[int, float, float, int]]:
+    """E-RL: IPC vs reconfiguration latency.
+
+    Returns ``(latency, steering_ipc, ffu_only_ipc, reconfigurations)``
+    per point; the FFU-only IPC is latency-independent and serves as the
+    floor steering degrades toward.
+    """
+    if latencies is None:
+        latencies = [1, 4, 16, 64, 256]
+    if program is None:
+        program = phased_program(
+            [(INT_MIX, 30), (FP_MIX, 30), (MEM_MIX, 30)], seed=11
+        )
+    out = []
+    for latency in latencies:
+        params = ProcessorParams(reconfig_latency=latency)
+        steer = steering_processor(program, params).run(max_cycles=max_cycles)
+        ffu = fixed_superscalar(program, params).run(max_cycles=max_cycles)
+        out.append((latency, steer.ipc, ffu.ipc, steer.reconfigurations))
+    return out
+
+
+# ------------------------------------------------------------------- E-PH
+@dataclass
+class PhaseAdaptation:
+    """Steering behaviour across workload phases."""
+
+    result: SimulationResult
+    #: per-cycle selected candidate index (0 = current).
+    selections: list[int]
+    #: cycles in which a partial reconfiguration started.
+    load_cycles: list[int]
+    #: fraction of cycles the current configuration was kept.
+    kept_fraction: float
+
+    def settle_points(self, window: int = 50) -> list[int]:
+        """Cycles after which the selection stayed 'current' for ``window``
+        consecutive cycles (the steering 'settled')."""
+        out = []
+        run = 0
+        for i, s in enumerate(self.selections):
+            run = run + 1 if s == 0 else 0
+            if run == window:
+                out.append(i - window + 1)
+        return out
+
+
+def run_phase_adaptation(
+    phases: list[tuple[MixSpec, int]] | None = None,
+    params: ProcessorParams | None = None,
+    seed: int = 3,
+    max_cycles: int = 400_000,
+) -> PhaseAdaptation:
+    """E-PH: track the steering trajectory over a phase-changing workload."""
+    if phases is None:
+        phases = [(INT_MIX, 60), (MEM_MIX, 60), (FP_MIX, 60)]
+    params = params if params is not None else _DEFAULT_PARAMS
+    program = phased_program(phases, seed=seed)
+    proc = steering_processor(program, params, record_trace=True)
+    result = proc.run(max_cycles=max_cycles)
+    trace = proc.policy.manager.trace
+    return PhaseAdaptation(
+        result=result,
+        selections=[t.selection for t in trace],
+        load_cycles=[t.cycle for t in trace if t.load is not None],
+        kept_fraction=proc.policy.manager.stats.current_kept_fraction,
+    )
+
+
+# -------------------------------------------------------------------- E-Q
+def run_queue_depth_sweep(
+    depths: list[int] | None = None,
+    program: Program | None = None,
+    max_cycles: int = 400_000,
+) -> list[tuple[int, float]]:
+    """E-Q: IPC vs wake-up window / instruction queue depth."""
+    if depths is None:
+        depths = [3, 5, 7, 11, 16]
+    if program is None:
+        program = phased_program([(INT_MIX, 40), (FP_MIX, 40)], seed=7)
+    out = []
+    for depth in depths:
+        params = ProcessorParams(window_size=depth, reconfig_latency=8)
+        result = steering_processor(program, params).run(max_cycles=max_cycles)
+        out.append((depth, result.ipc))
+    return out
+
+
+# ------------------------------------------------------------------ E-CEM
+def run_cem_ablation(
+    workloads: list[tuple[str, Program]] | None = None,
+    params: ProcessorParams | None = None,
+    max_cycles: int = 400_000,
+) -> list[tuple[str, float, float]]:
+    """E-CEM: steering with the shift-approximate metric vs exact division.
+
+    Returns ``(workload, approx_ipc, exact_ipc)`` rows.  The expectation
+    (justifying the cheap circuit) is near-identical IPC.
+    """
+    params = params if params is not None else _DEFAULT_PARAMS
+    if workloads is None:
+        workloads = [(k.name, k.program) for k in all_kernels()]
+    out = []
+    for name, program in workloads:
+        approx = steering_processor(program, params).run(max_cycles=max_cycles)
+        exact = steering_processor(
+            program, params, use_exact_metric=True
+        ).run(max_cycles=max_cycles)
+        out.append((name, approx.ipc, exact.ipc))
+    return out
+
+
+# ----------------------------------------------------------------- E-ORTH
+def _random_basis(rng: random.Random, n_configs: int = 3) -> list[Configuration]:
+    """A random steering basis: ``n_configs`` configurations each filling
+    the slot budget greedily with random unit types."""
+    basis = []
+    for k in range(n_configs):
+        counts: dict[FUType, int] = {}
+        free = NUM_RFU_SLOTS
+        attempts = 0
+        while free > 0 and attempts < 50:
+            t = rng.choice(list(FU_TYPES))
+            attempts += 1
+            if t.slot_cost <= free:
+                counts[t] = counts.get(t, 0) + 1
+                free -= t.slot_cost
+        basis.append(Configuration(f"rand{k}", counts).validate())
+    return basis
+
+
+def _basis_similarity(basis: list[Configuration]) -> float:
+    """Mean pairwise cosine similarity of the count vectors (0 = fully
+    orthogonal, 1 = identical)."""
+    import math
+
+    vecs = [b.as_vector() for b in basis]
+    sims = []
+    for i in range(len(vecs)):
+        for j in range(i + 1, len(vecs)):
+            a, b = vecs[i], vecs[j]
+            na = math.sqrt(sum(x * x for x in a))
+            nb = math.sqrt(sum(x * x for x in b))
+            if na == 0 or nb == 0:
+                sims.append(0.0)
+                continue
+            sims.append(sum(x * y for x, y in zip(a, b)) / (na * nb))
+    return sum(sims) / len(sims) if sims else 0.0
+
+
+def run_orthogonality_study(
+    n_bases: int = 6,
+    seed: int = 0,
+    params: ProcessorParams | None = None,
+    max_cycles: int = 200_000,
+) -> list[tuple[str, float, float]]:
+    """E-ORTH (§5 future work): does a more orthogonal steering basis help?
+
+    Evaluates the paper's basis plus ``n_bases`` random bases on a mixed
+    phase-changing workload.  Returns ``(basis, similarity, ipc)`` rows —
+    the expected shape is a loose negative relation between similarity and
+    IPC, with the paper's hand-designed basis among the best.
+    """
+    from repro.core.policies import PaperSteering
+    from repro.core.processor import Processor
+
+    params = params if params is not None else _DEFAULT_PARAMS
+    rng = random.Random(seed)
+    program = phased_program([(INT_MIX, 40), (MEM_MIX, 40), (FP_MIX, 40)], seed=5)
+
+    bases: list[tuple[str, list[Configuration]]] = [
+        ("paper", list(PREDEFINED_CONFIGS)),
+        # anchor: a maximally non-orthogonal basis (three identical members)
+        # covers exactly one workload regime and should lose on phased code
+        ("degenerate", [PREDEFINED_CONFIGS[0]] * 3),
+    ]
+    for k in range(n_bases):
+        bases.append((f"random-{k}", _random_basis(rng)))
+
+    out = []
+    for name, basis in bases:
+        policy = PaperSteering(configs=tuple(basis), queue_size=params.window_size)
+        result = Processor(program, params=params, policy=policy).run(
+            max_cycles=max_cycles
+        )
+        out.append((name, _basis_similarity(basis), result.ipc))
+    return out
+
+
+# ----------------------------------------------------------------- E-COST
+def run_circuit_cost_report(
+    queue_sizes: list[int] | None = None,
+) -> str:
+    """E-COST: gate count and logic depth of the selection unit."""
+    if queue_sizes is None:
+        queue_sizes = [7]
+    sections = []
+    for n in queue_sizes:
+        costs = selection_unit_cost(n_entries=n)
+        rows = [
+            (stage, c.gates, c.depth)
+            for stage, c in costs.items()
+        ]
+        sections.append(
+            render_table(
+                ["stage", "gate equivalents", "logic depth"],
+                rows,
+                title=f"E-COST: selection unit, {n}-entry queue",
+            )
+        )
+    return "\n\n".join(sections)

@@ -1,0 +1,123 @@
+"""One-shot report generator: every artifact and experiment in one document.
+
+``generate_report()`` regenerates all paper artifacts and runs the
+quantitative experiments (at a configurable scale) into a single markdown
+string — the executable counterpart of EXPERIMENTS.md.  Exposed on the
+command line as ``python -m repro report``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.core.params import ProcessorParams
+from repro.evaluation import artifacts
+from repro.evaluation.experiments import (
+    run_cem_ablation,
+    run_circuit_cost_report,
+    run_ipc_comparison,
+    run_phase_adaptation,
+    run_queue_depth_sweep,
+    run_reconfig_latency_sweep,
+)
+from repro.evaluation.report import render_table
+from repro.workloads.kernels import checksum, memcpy, saxpy
+
+__all__ = ["generate_report"]
+
+
+def _section(title: str, body: str) -> str:
+    return f"## {title}\n\n```\n{body}\n```\n"
+
+
+def generate_report(
+    fast: bool = True,
+    progress: Callable[[str], None] | None = None,
+) -> str:
+    """Regenerate everything.  ``fast`` shrinks the experiment workloads so
+    the whole report completes in tens of seconds."""
+
+    def note(msg: str) -> None:
+        if progress is not None:
+            progress(msg)
+
+    parts = ["# Reproduction report (generated)\n"]
+
+    note("artifacts: tables")
+    parts.append(_section("Table 1 — steering configurations", artifacts.table1()))
+    parts.append(_section("Table 2 — resource encodings", artifacts.table2()))
+    note("artifacts: figures")
+    parts.append(_section("Figure 1 — architecture inventory", artifacts.figure1_inventory()))
+    parts.append(_section("Figure 2 — selection unit", artifacts.figure2_selection_demo()))
+    study = artifacts.figure3_cem_study(samples=500 if fast else 5000)
+    parts.append(
+        _section(
+            "Figure 3 — CEM approximation",
+            f"{study.shift_table}\n\n{study.table}\n\n"
+            f"max term error {study.max_term_error:.3f}, "
+            f"mean {study.mean_term_error:.3f}, "
+            f"selection agreement {study.selection_agreement:.3f}",
+        )
+    )
+    parts.append(_section("Figures 4-6 — wake-up array example", artifacts.figure456_wakeup_example()))
+    parts.append(
+        _section(
+            "Figure 7 — availability circuit",
+            artifacts.figure7_availability_check(samples=100 if fast else 1000),
+        )
+    )
+
+    params = ProcessorParams(reconfig_latency=8)
+    scale = 1 if fast else 4
+    workloads = [
+        ("checksum", checksum(iterations=150 * scale).program),
+        ("memcpy", memcpy(n=60 * scale).program),
+        ("saxpy", saxpy(n=32 * scale).program),
+    ]
+
+    note("experiment: E-IPC")
+    comparison = run_ipc_comparison(workloads=workloads, params=params)
+    parts.append(_section("E-IPC — policy comparison", comparison.render()))
+
+    note("experiment: E-RL")
+    rl = run_reconfig_latency_sweep([1, 16, 128] if fast else [1, 4, 16, 64, 256])
+    parts.append(
+        _section(
+            "E-RL — reconfiguration latency",
+            render_table(
+                ["latency", "steering IPC", "ffu-only IPC", "reconfigs"], rl
+            ),
+        )
+    )
+
+    note("experiment: E-PH")
+    adaptation = run_phase_adaptation(params=params)
+    parts.append(
+        _section(
+            "E-PH — phase adaptation",
+            f"IPC {adaptation.result.ipc:.3f}, "
+            f"{adaptation.result.reconfigurations} reconfigurations, "
+            f"kept-current {adaptation.kept_fraction:.3f}, "
+            f"settle points {adaptation.settle_points()[:6]}",
+        )
+    )
+
+    note("experiment: E-Q")
+    qd = run_queue_depth_sweep([3, 7, 16] if fast else [3, 5, 7, 11, 16])
+    parts.append(
+        _section("E-Q — queue depth", render_table(["depth", "IPC"], qd))
+    )
+
+    note("experiment: E-CEM")
+    cem = run_cem_ablation(workloads=workloads, params=params)
+    parts.append(
+        _section(
+            "E-CEM — metric ablation",
+            render_table(["workload", "approx IPC", "exact IPC"], cem),
+        )
+    )
+
+    note("experiment: E-COST")
+    parts.append(_section("E-COST — circuit cost", run_circuit_cost_report([7])))
+
+    return "\n".join(parts)

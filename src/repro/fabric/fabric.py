@@ -1,0 +1,135 @@
+"""The complete execution fabric: fixed units + reconfigurable slots.
+
+This is the object the scheduler and the configuration manager share.  It
+answers three questions every cycle:
+
+* *what is configured?* — unit counts including the fixed bank (the
+  "number of units of each type currently configured" input of Fig. 2);
+* *what is available?* — the Eq. 1 availability per type, feeding the
+  wake-up array's resource-available lines;
+* *which unit executes this instruction?* — allocation of an idle unit of
+  the required type.
+"""
+
+from __future__ import annotations
+
+from repro.errors import FabricError
+from repro.fabric.allocation import AllocationVector
+from repro.fabric.availability import available as _eq1_available
+from repro.fabric.configuration import FFU_COUNTS
+from repro.fabric.slots import RfuSlotArray
+from repro.fabric.units import FfuBank, FunctionalUnit
+from repro.isa.futypes import FU_TYPES, FUType
+
+__all__ = ["Fabric"]
+
+
+class Fabric:
+    """Fixed functional units plus the reconfigurable slot array."""
+
+    def __init__(
+        self,
+        n_slots: int = 8,
+        reconfig_latency: int = 16,
+        ffu_counts: dict[FUType, int] | None = None,
+        reconfig_mode: str = "module",
+    ) -> None:
+        self.ffus = FfuBank(FFU_COUNTS if ffu_counts is None else ffu_counts)
+        self.rfus = RfuSlotArray(
+            n_slots=n_slots,
+            reconfig_latency=reconfig_latency,
+            reconfig_mode=reconfig_mode,
+        )
+
+    # ------------------------------------------------------------- queries
+    def counts(self, include_ffus: bool = True) -> dict[FUType, int]:
+        """Configured units per type (the Fig. 2 'currently configured' input).
+
+        Units under reconfiguration are *not* counted: they cannot execute
+        anything yet.
+        """
+        out = {t: 0 for t in FU_TYPES}
+        for t, n in self.rfus.counts().items():
+            out[t] += n
+        if include_ffus:
+            for t, n in self.ffus.counts().items():
+                out[t] += n
+        return out
+
+    def units_of_type(self, fu_type: FUType) -> list[FunctionalUnit]:
+        """All configured units of a type, fixed units first."""
+        return self.ffus.units_of_type(fu_type) + self.rfus.units_of_type(fu_type)
+
+    def full_allocation(self) -> tuple[list[int], list[bool]]:
+        """Allocation + availability vectors over RFU slots then FFUs.
+
+        This is the exact input pair of the Fig. 7 availability circuit.
+        """
+        rfu_vec = self.rfus.allocation_vector()
+        allocation = list(rfu_vec.entries)
+        availability: list[bool] = []
+        for i in range(self.rfus.n_slots):
+            head = self.rfus.head_of(i)
+            unit = self.rfus.slots[head].unit if head is not None else None
+            availability.append(bool(unit and unit.available))
+        for u in self.ffus.units:
+            allocation.append(u.fu_type.encoding)
+            availability.append(u.available)
+        return allocation, availability
+
+    def available(self, fu_type: FUType) -> bool:
+        """Eq. 1: is a unit of this type configured *and* idle?
+
+        Computed by scanning the units directly — provably the same value
+        as evaluating the Fig. 7 circuit over :meth:`full_allocation`
+        (the availability property tests pin the equivalence), but without
+        rebuilding the allocation vector on the scheduler's hot path.
+        """
+        for u in self.ffus.units_of_type(fu_type):
+            if u.available:
+                return True
+        for u in self.rfus.units_of_type(fu_type):
+            if u.available:
+                return True
+        return False
+
+    def idle_unit(self, fu_type: FUType) -> FunctionalUnit | None:
+        """An idle unit of the given type, preferring fixed units."""
+        for u in self.units_of_type(fu_type):
+            if u.available:
+                return u
+        return None
+
+    def idle_units(self, fu_type: FUType) -> list[FunctionalUnit]:
+        return [u for u in self.units_of_type(fu_type) if u.available]
+
+    def allocation_vector(self) -> AllocationVector:
+        """RFU-only Table 2 vector (the loader's bookkeeping structure)."""
+        return self.rfus.allocation_vector()
+
+    # ------------------------------------------------------------ mutation
+    def issue(self, fu_type: FUType, cycles: int, occupant: int | None = None) -> FunctionalUnit:
+        """Occupy an idle unit of ``fu_type`` for ``cycles``."""
+        unit = self.idle_unit(fu_type)
+        if unit is None:
+            raise FabricError(f"no idle {fu_type.short_name} unit")
+        unit.occupy(cycles, occupant)
+        return unit
+
+    def tick(self) -> None:
+        self.ffus.tick()
+        self.rfus.tick()
+
+    # ---------------------------------------------------------- statistics
+    @property
+    def reconfigurations(self) -> int:
+        return self.rfus.reconfigurations
+
+    def utilisation(self) -> dict[FUType, tuple[int, int]]:
+        """(busy, total) unit counts per type at this instant."""
+        out: dict[FUType, tuple[int, int]] = {}
+        for t in FU_TYPES:
+            units = self.units_of_type(t)
+            busy = sum(1 for u in units if not u.available)
+            out[t] = (busy, len(units))
+        return out

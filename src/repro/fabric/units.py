@@ -1,0 +1,95 @@
+"""Functional units and the fixed-unit bank.
+
+A :class:`FunctionalUnit` executes one instruction at a time for that
+instruction's full latency (units are not internally pipelined — this is
+what makes the *number* of configured units matter, which is the quantity
+the steering mechanism optimises).  Each unit exposes the ``available``
+signal of Fig. 7: asserted when the unit is configured and idle.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.errors import FabricError
+from repro.isa.futypes import FU_TYPES, FUType
+
+__all__ = ["FunctionalUnit", "FfuBank"]
+
+_unit_ids = itertools.count()
+
+
+@dataclass
+class FunctionalUnit:
+    """One execution unit, fixed or reconfigurable."""
+
+    fu_type: FUType
+    fixed: bool = False
+    uid: int = field(default_factory=lambda: next(_unit_ids))
+    busy_remaining: int = 0
+    #: id of the in-flight instruction occupying the unit (for tracing).
+    occupant: int | None = None
+
+    @property
+    def available(self) -> bool:
+        """The slot's 'available' output: asserted when the unit is idle."""
+        return self.busy_remaining == 0
+
+    def occupy(self, cycles: int, occupant: int | None = None) -> None:
+        """Begin executing an instruction that holds the unit for ``cycles``."""
+        if cycles <= 0:
+            raise FabricError(f"occupancy must be positive, got {cycles}")
+        if not self.available:
+            raise FabricError(
+                f"{self.fu_type.short_name} unit {self.uid} is busy "
+                f"({self.busy_remaining} cycles remaining)"
+            )
+        self.busy_remaining = cycles
+        self.occupant = occupant
+
+    def release(self) -> None:
+        """Force-release the unit (used when a flush squashes its occupant)."""
+        self.busy_remaining = 0
+        self.occupant = None
+
+    def tick(self) -> None:
+        """Advance one cycle."""
+        if self.busy_remaining > 0:
+            self.busy_remaining -= 1
+            if self.busy_remaining == 0:
+                self.occupant = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "idle" if self.available else f"busy({self.busy_remaining})"
+        kind = "FFU" if self.fixed else "RFU"
+        return f"<{kind} {self.fu_type.short_name}#{self.uid} {state}>"
+
+
+class FfuBank:
+    """The five fixed functional units: one per type, always present."""
+
+    def __init__(self, counts: dict[FUType, int] | None = None) -> None:
+        if counts is None:
+            counts = {t: 1 for t in FU_TYPES}
+        self._units: list[FunctionalUnit] = []
+        for t in FU_TYPES:
+            for _ in range(counts.get(t, 0)):
+                self._units.append(FunctionalUnit(t, fixed=True))
+
+    @property
+    def units(self) -> list[FunctionalUnit]:
+        return list(self._units)
+
+    def units_of_type(self, fu_type: FUType) -> list[FunctionalUnit]:
+        return [u for u in self._units if u.fu_type is fu_type]
+
+    def counts(self) -> dict[FUType, int]:
+        out: dict[FUType, int] = {}
+        for u in self._units:
+            out[u.fu_type] = out.get(u.fu_type, 0) + 1
+        return out
+
+    def tick(self) -> None:
+        for u in self._units:
+            u.tick()

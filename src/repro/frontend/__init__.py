@@ -1,0 +1,24 @@
+"""Front-end fixed modules of the architecture (Fig. 1).
+
+Separate instruction and data memories (the paper's Harvard organisation),
+the instruction fetch unit with a 2-bit branch predictor and BTB, the trace
+cache that lets fetch run past a predicted-taken branch in a single cycle,
+and the decoder stage.
+"""
+
+from repro.frontend.branch import BranchPredictor, BTB
+from repro.frontend.decode import DecodeStage
+from repro.frontend.fetch import FetchedInstruction, FetchUnit
+from repro.frontend.memory import DataMemory, InstructionMemory
+from repro.frontend.trace_cache import TraceCache
+
+__all__ = [
+    "BranchPredictor",
+    "BTB",
+    "DecodeStage",
+    "FetchUnit",
+    "FetchedInstruction",
+    "DataMemory",
+    "InstructionMemory",
+    "TraceCache",
+]

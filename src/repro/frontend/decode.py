@@ -1,0 +1,60 @@
+"""The decode stage: a one-cycle buffer between fetch and dispatch.
+
+Instructions arrive pre-decoded (the fetch model decodes the memory word),
+so this stage models the pipeline latency and the decode-width limit, and
+gives the configuration manager's unit decoders their tap point.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.errors import SimulationError
+from repro.frontend.fetch import FetchedInstruction
+
+__all__ = ["DecodeStage"]
+
+
+class DecodeStage:
+    """Bounded FIFO of fetched instructions awaiting dispatch."""
+
+    def __init__(self, width: int = 4, capacity: int = 16) -> None:
+        if width <= 0 or capacity <= 0:
+            raise SimulationError("decode width and capacity must be positive")
+        self.width = width
+        self.capacity = capacity
+        self._buffer: deque[FetchedInstruction] = deque()
+        self.decoded = 0
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    @property
+    def free_space(self) -> int:
+        return self.capacity - len(self._buffer)
+
+    def can_accept(self, n: int) -> bool:
+        return n <= self.free_space
+
+    def push(self, packet: list[FetchedInstruction]) -> None:
+        """Accept a fetch packet (caller must check :meth:`can_accept`)."""
+        if not self.can_accept(len(packet)):
+            raise SimulationError(
+                f"decode buffer overflow: {len(packet)} into {self.free_space} free"
+            )
+        self._buffer.extend(packet)
+
+    def pop(self, limit: int | None = None) -> list[FetchedInstruction]:
+        """Drain up to ``min(width, limit)`` instructions for dispatch."""
+        n = self.width if limit is None else min(self.width, limit)
+        out = []
+        while self._buffer and len(out) < n:
+            out.append(self._buffer.popleft())
+        self.decoded += len(out)
+        return out
+
+    def flush(self) -> int:
+        """Discard everything (mispredict recovery).  Returns count dropped."""
+        n = len(self._buffer)
+        self._buffer.clear()
+        return n

@@ -1,0 +1,44 @@
+"""The RISC instruction-set architecture executed by the processor model.
+
+The paper's motivation is binary ("legacy") compatibility: the processor
+executes ordinary machine code while its functional-unit mix reconfigures
+underneath.  This package therefore defines a complete little ISA — opcodes
+mapped to the five functional-unit types, a 32-bit binary encoding, an
+assembler and disassembler, and bit-accurate execution semantics — so that
+workloads are real programs, not abstract instruction streams.
+"""
+
+from repro.isa.futypes import FUType, FU_TYPES
+from repro.isa.opcodes import Format, Opcode, OperandClass, spec_of
+from repro.isa.instruction import Instruction
+from repro.isa.encoding import decode, encode
+from repro.isa.assembler import assemble
+from repro.isa.disassembler import disassemble
+from repro.isa.program import Program
+from repro.isa.registers import (
+    NUM_FP_REGS,
+    NUM_INT_REGS,
+    fp_reg_name,
+    int_reg_name,
+    parse_register,
+)
+
+__all__ = [
+    "FUType",
+    "FU_TYPES",
+    "Opcode",
+    "Format",
+    "OperandClass",
+    "spec_of",
+    "Instruction",
+    "encode",
+    "decode",
+    "assemble",
+    "disassemble",
+    "Program",
+    "NUM_INT_REGS",
+    "NUM_FP_REGS",
+    "int_reg_name",
+    "fp_reg_name",
+    "parse_register",
+]

@@ -1,0 +1,348 @@
+"""Two-pass assembler for the repro ISA.
+
+Syntax (one instruction or directive per line; ``#`` and ``;`` start
+comments)::
+
+    .data
+    vec:    .word 1, 2, 3, 4
+    scale:  .float 0.5
+    buf:    .space 64
+    .text
+    main:   la   x5, vec
+            lw   x6, 0(x5)
+            addi x6, x6, 1
+            beq  x6, x0, done
+            jal  x0, main
+    done:   halt
+
+Supported pseudo-instructions: ``nop``, ``mv``, ``li``, ``la``, ``j``,
+``call``, ``ret``, ``bgt``, ``ble``, ``bgtu``, ``bleu``, ``not``, ``neg``.
+Branch/jump targets may be labels or literal word offsets.
+"""
+
+from __future__ import annotations
+
+import re
+import struct
+
+from repro.errors import AssemblerError
+from repro.isa.encoding import imm_range
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Format, Opcode, OperandClass, spec_of
+from repro.isa.program import Program
+from repro.isa.registers import parse_register
+
+__all__ = ["assemble"]
+
+_PSEUDOS = {
+    "nop", "mv", "li", "la", "j", "call", "ret",
+    "bgt", "ble", "bgtu", "bleu", "not", "neg",
+}
+
+_LI_MAX = (1 << 30) - 1
+
+
+def _tokenize_operands(text: str) -> list[str]:
+    text = text.strip()
+    if not text:
+        return []
+    return [t.strip() for t in text.split(",")]
+
+
+def _parse_int(token: str, line: int) -> int:
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AssemblerError(f"not an integer: {token!r}", line) from None
+
+
+def _parse_mem_operand(token: str, line: int) -> tuple[int, str]:
+    """Parse ``imm(base)`` -> (imm-or-label-as-str handled upstream, base reg)."""
+    if "(" not in token or not token.endswith(")"):
+        raise AssemblerError(f"expected imm(base) operand, got {token!r}", line)
+    imm_part, base_part = token[:-1].split("(", 1)
+    cls, idx = parse_register(base_part)
+    if cls != "int":
+        raise AssemblerError(f"memory base must be an integer register: {token!r}", line)
+    return idx, imm_part.strip() or "0"
+
+
+class _Assembler:
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.program = Program(source=source)
+        # (mnemonic, operand_tokens, line_no, word_index) collected in pass 1
+        self._pending: list[tuple[str, list[str], int]] = []
+        self._section = "text"
+        self._data = bytearray()
+
+    # ------------------------------------------------------------- pass 1
+    def first_pass(self) -> None:
+        word_index = 0
+        for line_no, raw in enumerate(self.source.splitlines(), start=1):
+            line = raw.split("#", 1)[0].split(";", 1)[0].strip()
+            if not line:
+                continue
+            while ":" in line.split()[0] if line else False:
+                label, _, line = line.partition(":")
+                label = label.strip()
+                if not label.isidentifier():
+                    raise AssemblerError(f"bad label {label!r}", line_no)
+                self._define_label(label, word_index, line_no)
+                line = line.strip()
+                if not line:
+                    break
+            if not line:
+                continue
+            if line.startswith("."):
+                self._directive(line, line_no)
+                continue
+            if self._section != "text":
+                raise AssemblerError("instructions are only allowed in .text", line_no)
+            parts = line.split(None, 1)
+            mnemonic = parts[0].lower()
+            operands = _tokenize_operands(parts[1]) if len(parts) > 1 else []
+            size = self._expansion_size(mnemonic, operands, line_no)
+            self._pending.append((mnemonic, operands, line_no))
+            word_index += size
+
+    def _define_label(self, label: str, word_index: int, line_no: int) -> None:
+        table = self.program.labels if self._section == "text" else self.program.data_labels
+        if label in self.program.labels or label in self.program.data_labels:
+            raise AssemblerError(f"duplicate label {label!r}", line_no)
+        table[label] = word_index if self._section == "text" else len(self._data)
+
+    def _directive(self, line: str, line_no: int) -> None:
+        parts = line.split(None, 1)
+        name = parts[0].lower()
+        arg = parts[1] if len(parts) > 1 else ""
+        if name == ".text":
+            self._section = "text"
+        elif name == ".data":
+            self._section = "data"
+        elif name == ".word":
+            self._need_data(line_no)
+            for tok in _tokenize_operands(arg):
+                value = _parse_int(tok, line_no)
+                self._data += struct.pack("<I", value & 0xFFFFFFFF)
+        elif name == ".float":
+            self._need_data(line_no)
+            for tok in _tokenize_operands(arg):
+                try:
+                    value = float(tok)
+                except ValueError:
+                    raise AssemblerError(f"not a float: {tok!r}", line_no) from None
+                self._data += struct.pack("<f", value)
+        elif name == ".space":
+            self._need_data(line_no)
+            self._data += bytes(_parse_int(arg.strip(), line_no))
+        elif name == ".align":
+            self._need_data(line_no)
+            boundary = _parse_int(arg.strip(), line_no)
+            if boundary <= 0:
+                raise AssemblerError(".align boundary must be positive", line_no)
+            while len(self._data) % boundary:
+                self._data.append(0)
+        else:
+            raise AssemblerError(f"unknown directive {name!r}", line_no)
+
+    def _need_data(self, line_no: int) -> None:
+        if self._section != "data":
+            raise AssemblerError("data directive outside .data section", line_no)
+
+    def _expansion_size(self, mnemonic: str, operands: list[str], line_no: int) -> int:
+        if mnemonic == "li":
+            if len(operands) != 2:
+                raise AssemblerError("li takes rd, imm", line_no)
+            value = _parse_int(operands[1], line_no)
+            lo, hi = imm_range(Format.I)
+            return 1 if lo <= value <= hi else 2
+        if mnemonic == "la":
+            # Address may not be known yet; the data segment fits in the
+            # 15-bit immediate for every workload we ship, so reserve 1 word
+            # and verify in pass 2.
+            return 1
+        if mnemonic in _PSEUDOS:
+            return 1
+        try:
+            spec_of(mnemonic)
+        except KeyError:
+            raise AssemblerError(f"unknown mnemonic {mnemonic!r}", line_no) from None
+        return 1
+
+    # ------------------------------------------------------------- pass 2
+    def second_pass(self) -> None:
+        for mnemonic, operands, line_no in self._pending:
+            for instr in self._expand(mnemonic, operands, line_no):
+                self.program.instructions.append(instr)
+        self.program.data = self._data
+
+    def _resolve_value(self, token: str, line_no: int) -> int:
+        """Integer literal, label (data byte address / text word index), or
+        label arithmetic of the form ``label+imm`` / ``label-imm``."""
+        token = token.strip()
+        if token in self.program.data_labels:
+            return self.program.data_labels[token]
+        if token in self.program.labels:
+            return self.program.labels[token]
+        m = re.fullmatch(r"([A-Za-z_]\w*)\s*([+-])\s*(\w+)", token)
+        if m:
+            base_tok, sign, off_tok = m.groups()
+            base = self._resolve_value(base_tok, line_no)
+            offset = _parse_int(off_tok, line_no)
+            return base + offset if sign == "+" else base - offset
+        return _parse_int(token, line_no)
+
+    def _branch_offset(self, token: str, pc: int, line_no: int) -> int:
+        if token in self.program.labels:
+            return self.program.labels[token] - pc
+        return _parse_int(token, line_no)
+
+    def _reg(self, token: str, want: OperandClass, line_no: int) -> int:
+        try:
+            cls, idx = parse_register(token)
+        except ValueError as exc:
+            raise AssemblerError(str(exc), line_no) from None
+        expected = "int" if want is OperandClass.INT else "fp"
+        if cls != expected:
+            raise AssemblerError(
+                f"expected {expected} register, got {token!r}", line_no
+            )
+        return idx
+
+    def _expand(self, mnemonic: str, ops: list[str], line_no: int) -> list[Instruction]:
+        pc = len(self.program.instructions)
+        if mnemonic in _PSEUDOS:
+            return self._expand_pseudo(mnemonic, ops, pc, line_no)
+        opcode = Opcode[mnemonic.upper()]
+        spec = spec_of(opcode)
+        fmt = spec.format
+        try:
+            if fmt is Format.N:
+                self._arity(ops, 0, mnemonic, line_no)
+                return [Instruction(opcode)]
+            if fmt is Format.R:
+                n = 2 if spec.src2 is OperandClass.NONE else 3
+                self._arity(ops, n, mnemonic, line_no)
+                rd = self._reg(ops[0], spec.dst, line_no)
+                rs1 = self._reg(ops[1], spec.src1, line_no)
+                rs2 = self._reg(ops[2], spec.src2, line_no) if n == 3 else 0
+                return [Instruction(opcode, rd=rd, rs1=rs1, rs2=rs2)]
+            if fmt is Format.I:
+                if spec.is_load:
+                    self._arity(ops, 2, mnemonic, line_no)
+                    rd = self._reg(ops[0], spec.dst, line_no)
+                    rs1, imm_tok = _parse_mem_operand(ops[1], line_no)
+                    return [Instruction(opcode, rd=rd, rs1=rs1,
+                                        imm=self._resolve_value(imm_tok, line_no))]
+                if mnemonic == "lui":
+                    self._arity(ops, 2, mnemonic, line_no)
+                    rd = self._reg(ops[0], spec.dst, line_no)
+                    return [Instruction(opcode, rd=rd, imm=_parse_int(ops[1], line_no))]
+                self._arity(ops, 3, mnemonic, line_no)
+                rd = self._reg(ops[0], spec.dst, line_no)
+                rs1 = self._reg(ops[1], spec.src1, line_no)
+                return [Instruction(opcode, rd=rd, rs1=rs1,
+                                    imm=self._resolve_value(ops[2], line_no))]
+            if fmt is Format.S:
+                self._arity(ops, 2, mnemonic, line_no)
+                rs2 = self._reg(ops[0], spec.src2, line_no)
+                rs1, imm_tok = _parse_mem_operand(ops[1], line_no)
+                return [Instruction(opcode, rs1=rs1, rs2=rs2,
+                                    imm=self._resolve_value(imm_tok, line_no))]
+            if fmt is Format.B:
+                self._arity(ops, 3, mnemonic, line_no)
+                rs1 = self._reg(ops[0], OperandClass.INT, line_no)
+                rs2 = self._reg(ops[1], OperandClass.INT, line_no)
+                return [Instruction(opcode, rs1=rs1, rs2=rs2,
+                                    imm=self._branch_offset(ops[2], pc, line_no))]
+            if fmt is Format.J:
+                self._arity(ops, 2, mnemonic, line_no)
+                rd = self._reg(ops[0], OperandClass.INT, line_no)
+                return [Instruction(opcode, rd=rd,
+                                    imm=self._branch_offset(ops[1], pc, line_no))]
+        except ValueError as exc:
+            raise AssemblerError(str(exc), line_no) from None
+        raise AssemblerError(f"unhandled format for {mnemonic!r}", line_no)
+
+    def _expand_pseudo(
+        self, mnemonic: str, ops: list[str], pc: int, line_no: int
+    ) -> list[Instruction]:
+        I = OperandClass.INT
+        if mnemonic == "nop":
+            self._arity(ops, 0, mnemonic, line_no)
+            return [Instruction(Opcode.ADDI)]
+        if mnemonic == "mv":
+            self._arity(ops, 2, mnemonic, line_no)
+            return [Instruction(Opcode.ADDI, rd=self._reg(ops[0], I, line_no),
+                                rs1=self._reg(ops[1], I, line_no))]
+        if mnemonic == "not":
+            self._arity(ops, 2, mnemonic, line_no)
+            return [Instruction(Opcode.NOR, rd=self._reg(ops[0], I, line_no),
+                                rs1=self._reg(ops[1], I, line_no),
+                                rs2=self._reg(ops[1], I, line_no))]
+        if mnemonic == "neg":
+            self._arity(ops, 2, mnemonic, line_no)
+            return [Instruction(Opcode.SUB, rd=self._reg(ops[0], I, line_no),
+                                rs1=0, rs2=self._reg(ops[1], I, line_no))]
+        if mnemonic in ("li", "la"):
+            self._arity(ops, 2, mnemonic, line_no)
+            rd = self._reg(ops[0], I, line_no)
+            value = self._resolve_value(ops[1], line_no)
+            lo, hi = imm_range(Format.I)
+            if lo <= value <= hi:
+                return [Instruction(Opcode.ADDI, rd=rd, imm=value)]
+            if mnemonic == "la":
+                raise AssemblerError(
+                    f"la address {value} exceeds the 15-bit immediate", line_no
+                )
+            if not 0 <= value <= _LI_MAX:
+                raise AssemblerError(
+                    f"li constant {value} outside supported range "
+                    f"[{lo}, {_LI_MAX}]", line_no
+                )
+            # the low chunk is encoded as a signed 15-bit field; ori's
+            # semantics re-mask it to 15 unsigned bits, so values with bit
+            # 14 set round-trip correctly through the sign-extended form
+            from repro.utils.bitops import sign_extend
+
+            return [
+                Instruction(Opcode.LUI, rd=rd,
+                            imm=sign_extend((value >> 15) & 0x7FFF, 15)),
+                Instruction(Opcode.ORI, rd=rd, rs1=rd,
+                            imm=sign_extend(value & 0x7FFF, 15)),
+            ]
+        if mnemonic == "j":
+            self._arity(ops, 1, mnemonic, line_no)
+            return [Instruction(Opcode.JAL, rd=0,
+                                imm=self._branch_offset(ops[0], pc, line_no))]
+        if mnemonic == "call":
+            self._arity(ops, 1, mnemonic, line_no)
+            return [Instruction(Opcode.JAL, rd=1,
+                                imm=self._branch_offset(ops[0], pc, line_no))]
+        if mnemonic == "ret":
+            self._arity(ops, 0, mnemonic, line_no)
+            return [Instruction(Opcode.JALR, rd=0, rs1=1)]
+        if mnemonic in ("bgt", "ble", "bgtu", "bleu"):
+            self._arity(ops, 3, mnemonic, line_no)
+            swapped = {"bgt": Opcode.BLT, "ble": Opcode.BGE,
+                       "bgtu": Opcode.BLTU, "bleu": Opcode.BGEU}[mnemonic]
+            return [Instruction(swapped, rs1=self._reg(ops[1], I, line_no),
+                                rs2=self._reg(ops[0], I, line_no),
+                                imm=self._branch_offset(ops[2], pc, line_no))]
+        raise AssemblerError(f"unknown pseudo-instruction {mnemonic!r}", line_no)
+
+    @staticmethod
+    def _arity(ops: list[str], n: int, mnemonic: str, line_no: int) -> None:
+        if len(ops) != n:
+            raise AssemblerError(
+                f"{mnemonic} takes {n} operand(s), got {len(ops)}", line_no
+            )
+
+
+def assemble(source: str) -> Program:
+    """Assemble source text into a :class:`~repro.isa.program.Program`."""
+    asm = _Assembler(source)
+    asm.first_pass()
+    asm.second_pass()
+    return asm.program

@@ -1,0 +1,50 @@
+"""Disassembler: binary words / Instruction objects back to assembly text."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.isa.encoding import decode
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Format, OperandClass
+from repro.isa.registers import fp_reg_name, int_reg_name
+
+__all__ = ["format_instruction", "disassemble"]
+
+
+def _reg(cls: OperandClass, index: int) -> str:
+    return int_reg_name(index) if cls is OperandClass.INT else fp_reg_name(index)
+
+
+def format_instruction(instr: Instruction) -> str:
+    """Render one instruction in the assembler's input syntax."""
+    spec = instr.spec
+    m = spec.mnemonic
+    fmt = spec.format
+    if fmt is Format.N:
+        return m
+    if fmt is Format.R:
+        ops = [_reg(spec.dst, instr.rd), _reg(spec.src1, instr.rs1)]
+        if spec.src2 is not OperandClass.NONE:
+            ops.append(_reg(spec.src2, instr.rs2))
+        return f"{m} " + ", ".join(ops)
+    if fmt is Format.I:
+        if spec.is_load:
+            return f"{m} {_reg(spec.dst, instr.rd)}, {instr.imm}({int_reg_name(instr.rs1)})"
+        if m == "lui":
+            return f"{m} {int_reg_name(instr.rd)}, {instr.imm}"
+        return f"{m} {_reg(spec.dst, instr.rd)}, {_reg(spec.src1, instr.rs1)}, {instr.imm}"
+    if fmt is Format.S:
+        return f"{m} {_reg(spec.src2, instr.rs2)}, {instr.imm}({int_reg_name(instr.rs1)})"
+    if fmt is Format.B:
+        return (
+            f"{m} {int_reg_name(instr.rs1)}, {int_reg_name(instr.rs2)}, {instr.imm}"
+        )
+    if fmt is Format.J:
+        return f"{m} {int_reg_name(instr.rd)}, {instr.imm}"
+    raise AssertionError(f"unhandled format {fmt}")  # pragma: no cover
+
+
+def disassemble(words: Iterable[int]) -> list[str]:
+    """Disassemble a sequence of 32-bit words into assembly lines."""
+    return [format_instruction(decode(w)) for w in words]

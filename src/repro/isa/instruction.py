@@ -1,0 +1,108 @@
+"""The :class:`Instruction` value type used throughout the simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.futypes import FUType
+from repro.isa.opcodes import Format, Opcode, OpcodeSpec, OperandClass, spec_of
+
+__all__ = ["Instruction"]
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded instruction.
+
+    ``rd``, ``rs1`` and ``rs2`` are register indices whose register class
+    (integer or floating-point) is determined by the opcode; unused operand
+    slots are 0.  ``imm`` is the sign-extended immediate (branch/jump
+    immediates are in instruction words).
+    """
+
+    opcode: Opcode
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    imm: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("rd", "rs1", "rs2"):
+            v = getattr(self, name)
+            if not 0 <= v < 32:
+                raise ValueError(f"{name} out of range: {v}")
+
+    @property
+    def spec(self) -> OpcodeSpec:
+        return spec_of(self.opcode)
+
+    @property
+    def fu_type(self) -> FUType:
+        """The (single) functional-unit type that executes this instruction."""
+        return self.spec.fu_type
+
+    @property
+    def latency(self) -> int:
+        return self.spec.latency
+
+    @property
+    def mnemonic(self) -> str:
+        return self.spec.mnemonic
+
+    @property
+    def is_branch(self) -> bool:
+        return self.spec.is_branch
+
+    @property
+    def is_jump(self) -> bool:
+        return self.spec.is_jump
+
+    @property
+    def is_control(self) -> bool:
+        return self.is_branch or self.is_jump or self.spec.is_halt
+
+    @property
+    def is_load(self) -> bool:
+        return self.spec.is_load
+
+    @property
+    def is_store(self) -> bool:
+        return self.spec.is_store
+
+    @property
+    def is_halt(self) -> bool:
+        return self.spec.is_halt
+
+    def destination(self) -> tuple[str, int] | None:
+        """``(reg_class, index)`` written by this instruction, or ``None``.
+
+        Writes to the hard-wired integer zero register are reported as
+        ``None`` (they have no architectural effect and create no
+        dependence).
+        """
+        spec = self.spec
+        if spec.dst is OperandClass.NONE:
+            return None
+        if spec.dst is OperandClass.INT and self.rd == 0:
+            return None
+        return ("int" if spec.dst is OperandClass.INT else "fp"), self.rd
+
+    def sources(self) -> tuple[tuple[str, int], ...]:
+        """Registers read by this instruction as ``(reg_class, index)`` pairs.
+
+        Reads of integer ``x0`` are omitted: they never create a dependence.
+        """
+        spec = self.spec
+        out: list[tuple[str, int]] = []
+        for cls, idx in ((spec.src1, self.rs1), (spec.src2, self.rs2)):
+            if cls is OperandClass.NONE:
+                continue
+            if cls is OperandClass.INT and idx == 0:
+                continue
+            out.append(("int" if cls is OperandClass.INT else "fp", idx))
+        return tuple(out)
+
+    def __str__(self) -> str:
+        from repro.isa.disassembler import format_instruction
+
+        return format_instruction(self)

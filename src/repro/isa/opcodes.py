@@ -1,0 +1,175 @@
+"""Opcode table: every instruction, its format, unit type and latency.
+
+The ISA is a small RISC (register-register, load/store) chosen so that
+each opcode is served by exactly one of the five functional-unit types, as
+the paper assumes.  Branches and jumps execute on the integer ALU.
+
+Latencies (cycles in the execute stage) follow DESIGN.md §4 and are the
+values the wake-up array's count-down timers are loaded with.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.isa.futypes import FUType
+
+__all__ = ["Format", "OperandClass", "Opcode", "OpcodeSpec", "spec_of", "ALL_SPECS"]
+
+
+class Format(enum.Enum):
+    """Binary encoding format (see :mod:`repro.isa.encoding`)."""
+
+    R = "R"  # rd, rs1, rs2
+    I = "I"  # rd, rs1, imm15      (also loads: rd, imm(rs1))
+    S = "S"  # rs1, rs2, imm15     (stores: rs2, imm(rs1))
+    B = "B"  # rs1, rs2, imm15     (branches, imm in words)
+    J = "J"  # rd, imm20           (jal, imm in words)
+    N = "N"  # no operands         (halt)
+
+
+class OperandClass(enum.Enum):
+    """Register class of an operand slot."""
+
+    NONE = "none"
+    INT = "int"
+    FP = "fp"
+
+
+@dataclass(frozen=True)
+class OpcodeSpec:
+    """Static properties of one opcode."""
+
+    number: int
+    mnemonic: str
+    fu_type: FUType
+    format: Format
+    latency: int
+    dst: OperandClass
+    src1: OperandClass
+    src2: OperandClass
+
+    @property
+    def is_branch(self) -> bool:
+        return self.format is Format.B
+
+    @property
+    def is_jump(self) -> bool:
+        return self.mnemonic in ("jal", "jalr")
+
+    @property
+    def is_store(self) -> bool:
+        return self.format is Format.S
+
+    @property
+    def is_load(self) -> bool:
+        return self.fu_type is FUType.LSU and not self.is_store
+
+    @property
+    def is_halt(self) -> bool:
+        return self.mnemonic == "halt"
+
+
+_N = OperandClass.NONE
+_I = OperandClass.INT
+_F = OperandClass.FP
+
+# number, mnemonic, fu_type, format, latency, dst, src1, src2
+_TABLE: list[tuple] = [
+    # -- integer ALU ------------------------------------------------- lat 1
+    (0x01, "add", FUType.INT_ALU, Format.R, 1, _I, _I, _I),
+    (0x02, "sub", FUType.INT_ALU, Format.R, 1, _I, _I, _I),
+    (0x03, "and", FUType.INT_ALU, Format.R, 1, _I, _I, _I),
+    (0x04, "or", FUType.INT_ALU, Format.R, 1, _I, _I, _I),
+    (0x05, "xor", FUType.INT_ALU, Format.R, 1, _I, _I, _I),
+    (0x06, "nor", FUType.INT_ALU, Format.R, 1, _I, _I, _I),
+    (0x07, "sll", FUType.INT_ALU, Format.R, 1, _I, _I, _I),
+    (0x08, "srl", FUType.INT_ALU, Format.R, 1, _I, _I, _I),
+    (0x09, "sra", FUType.INT_ALU, Format.R, 1, _I, _I, _I),
+    (0x0A, "slt", FUType.INT_ALU, Format.R, 1, _I, _I, _I),
+    (0x0B, "sltu", FUType.INT_ALU, Format.R, 1, _I, _I, _I),
+    (0x0C, "addi", FUType.INT_ALU, Format.I, 1, _I, _I, _N),
+    (0x0D, "andi", FUType.INT_ALU, Format.I, 1, _I, _I, _N),
+    (0x0E, "ori", FUType.INT_ALU, Format.I, 1, _I, _I, _N),
+    (0x0F, "xori", FUType.INT_ALU, Format.I, 1, _I, _I, _N),
+    (0x10, "slti", FUType.INT_ALU, Format.I, 1, _I, _I, _N),
+    (0x11, "slli", FUType.INT_ALU, Format.I, 1, _I, _I, _N),
+    (0x12, "srli", FUType.INT_ALU, Format.I, 1, _I, _I, _N),
+    (0x13, "srai", FUType.INT_ALU, Format.I, 1, _I, _I, _N),
+    (0x14, "lui", FUType.INT_ALU, Format.I, 1, _I, _N, _N),
+    # -- control flow (executes on the integer ALU) ------------------ lat 1
+    (0x18, "beq", FUType.INT_ALU, Format.B, 1, _N, _I, _I),
+    (0x19, "bne", FUType.INT_ALU, Format.B, 1, _N, _I, _I),
+    (0x1A, "blt", FUType.INT_ALU, Format.B, 1, _N, _I, _I),
+    (0x1B, "bge", FUType.INT_ALU, Format.B, 1, _N, _I, _I),
+    (0x1C, "bltu", FUType.INT_ALU, Format.B, 1, _N, _I, _I),
+    (0x1D, "bgeu", FUType.INT_ALU, Format.B, 1, _N, _I, _I),
+    (0x1E, "jal", FUType.INT_ALU, Format.J, 1, _I, _N, _N),
+    (0x1F, "jalr", FUType.INT_ALU, Format.I, 1, _I, _I, _N),
+    (0x20, "halt", FUType.INT_ALU, Format.N, 1, _N, _N, _N),
+    # -- integer multiply/divide -------------------------------------
+    (0x28, "mul", FUType.INT_MDU, Format.R, 4, _I, _I, _I),
+    (0x29, "mulh", FUType.INT_MDU, Format.R, 4, _I, _I, _I),
+    (0x2A, "mulhu", FUType.INT_MDU, Format.R, 4, _I, _I, _I),
+    (0x2B, "div", FUType.INT_MDU, Format.R, 12, _I, _I, _I),
+    (0x2C, "divu", FUType.INT_MDU, Format.R, 12, _I, _I, _I),
+    (0x2D, "rem", FUType.INT_MDU, Format.R, 12, _I, _I, _I),
+    (0x2E, "remu", FUType.INT_MDU, Format.R, 12, _I, _I, _I),
+    # -- load/store --------------------------------------------------- lat 2
+    (0x30, "lw", FUType.LSU, Format.I, 2, _I, _I, _N),
+    (0x31, "lb", FUType.LSU, Format.I, 2, _I, _I, _N),
+    (0x32, "lbu", FUType.LSU, Format.I, 2, _I, _I, _N),
+    (0x33, "lh", FUType.LSU, Format.I, 2, _I, _I, _N),
+    (0x34, "lhu", FUType.LSU, Format.I, 2, _I, _I, _N),
+    (0x35, "sw", FUType.LSU, Format.S, 2, _N, _I, _I),
+    (0x36, "sb", FUType.LSU, Format.S, 2, _N, _I, _I),
+    (0x37, "sh", FUType.LSU, Format.S, 2, _N, _I, _I),
+    (0x38, "flw", FUType.LSU, Format.I, 2, _F, _I, _N),
+    (0x39, "fsw", FUType.LSU, Format.S, 2, _N, _I, _F),
+    # -- floating-point ALU ------------------------------------------- lat 3
+    (0x40, "fadd", FUType.FP_ALU, Format.R, 3, _F, _F, _F),
+    (0x41, "fsub", FUType.FP_ALU, Format.R, 3, _F, _F, _F),
+    (0x42, "fmin", FUType.FP_ALU, Format.R, 3, _F, _F, _F),
+    (0x43, "fmax", FUType.FP_ALU, Format.R, 3, _F, _F, _F),
+    (0x44, "fabs", FUType.FP_ALU, Format.R, 3, _F, _F, _N),
+    (0x45, "fneg", FUType.FP_ALU, Format.R, 3, _F, _F, _N),
+    (0x46, "fmov", FUType.FP_ALU, Format.R, 3, _F, _F, _N),
+    (0x47, "feq", FUType.FP_ALU, Format.R, 3, _I, _F, _F),
+    (0x48, "flt", FUType.FP_ALU, Format.R, 3, _I, _F, _F),
+    (0x49, "fle", FUType.FP_ALU, Format.R, 3, _I, _F, _F),
+    (0x4A, "fcvtws", FUType.FP_ALU, Format.R, 3, _I, _F, _N),
+    (0x4B, "fcvtsw", FUType.FP_ALU, Format.R, 3, _F, _I, _N),
+    # -- floating-point multiply/divide --------------------------------
+    (0x50, "fmul", FUType.FP_MDU, Format.R, 5, _F, _F, _F),
+    (0x51, "fdiv", FUType.FP_MDU, Format.R, 16, _F, _F, _F),
+    (0x52, "fsqrt", FUType.FP_MDU, Format.R, 20, _F, _F, _N),
+]
+
+Opcode = enum.Enum(  # type: ignore[misc]
+    "Opcode", {row[1].upper(): row[0] for row in _TABLE}, type=enum.IntEnum
+)
+Opcode.__doc__ = "Every opcode of the ISA; the value is the 7-bit opcode number."
+
+_SPECS: dict[Opcode, OpcodeSpec] = {
+    Opcode(row[0]): OpcodeSpec(*row) for row in _TABLE
+}
+
+_BY_MNEMONIC: dict[str, Opcode] = {row[1]: Opcode(row[0]) for row in _TABLE}
+
+#: All opcode specs, in opcode-number order.
+ALL_SPECS: tuple[OpcodeSpec, ...] = tuple(
+    _SPECS[op] for op in sorted(_SPECS, key=int)
+)
+
+
+def spec_of(opcode: "Opcode | str | int") -> OpcodeSpec:
+    """Look up the :class:`OpcodeSpec` by opcode, mnemonic or number."""
+    if isinstance(opcode, str):
+        try:
+            opcode = _BY_MNEMONIC[opcode.lower()]
+        except KeyError:
+            raise KeyError(f"unknown mnemonic {opcode!r}") from None
+    elif isinstance(opcode, int) and not isinstance(opcode, Opcode):
+        opcode = Opcode(opcode)
+    return _SPECS[opcode]

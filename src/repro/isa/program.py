@@ -1,0 +1,57 @@
+"""The :class:`Program` container: code, labels and an initial data image."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.encoding import encode
+from repro.isa.instruction import Instruction
+
+__all__ = ["Program"]
+
+
+@dataclass
+class Program:
+    """An assembled program.
+
+    Attributes
+    ----------
+    instructions:
+        The text segment, one :class:`Instruction` per word; instruction
+        addresses are word indices (the PC counts words).
+    labels:
+        Text labels -> instruction word index.
+    data:
+        Initial image of the data segment (byte 0 = data address 0).
+    data_labels:
+        Data labels -> byte address within the data segment.
+    source:
+        Original assembly source, if the program came from the assembler.
+    """
+
+    instructions: list[Instruction] = field(default_factory=list)
+    labels: dict[str, int] = field(default_factory=dict)
+    data: bytearray = field(default_factory=bytearray)
+    data_labels: dict[str, int] = field(default_factory=dict)
+    source: str | None = None
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __getitem__(self, index: int) -> Instruction:
+        return self.instructions[index]
+
+    def to_binary(self) -> list[int]:
+        """Encode the text segment to 32-bit words (the 'legacy binary')."""
+        return [encode(i) for i in self.instructions]
+
+    def entry(self, label: str = "main") -> int:
+        """Start PC: the given label if defined, else word 0."""
+        return self.labels.get(label, 0)
+
+    def fu_type_histogram(self) -> dict:
+        """Instruction count per functional-unit type (static mix)."""
+        hist: dict = {}
+        for instr in self.instructions:
+            hist[instr.fu_type] = hist.get(instr.fu_type, 0) + 1
+        return hist

@@ -1,0 +1,58 @@
+"""Generated ISA reference documentation.
+
+:func:`isa_reference` renders the complete opcode table — mnemonic,
+opcode number, encoding format, functional-unit type, latency and operand
+classes — straight from the opcode specs, so the documentation can never
+drift from the implementation.  ``docs/isa.md`` embeds its output and the
+docs test regenerates and compares.
+"""
+
+from __future__ import annotations
+
+from repro.isa.encoding import imm_range
+from repro.isa.futypes import FU_TYPES
+from repro.isa.opcodes import ALL_SPECS, Format, OperandClass
+
+__all__ = ["isa_reference", "format_reference"]
+
+_CLASS = {OperandClass.NONE: "-", OperandClass.INT: "int", OperandClass.FP: "fp"}
+
+
+def isa_reference() -> str:
+    """The full opcode table as fixed-width text, grouped by unit type."""
+    lines = []
+    header = (
+        f"{'mnemonic':10s} {'op#':>5s} {'fmt':4s} {'lat':>3s} "
+        f"{'dst':4s} {'src1':5s} {'src2':5s}"
+    )
+    for t in FU_TYPES:
+        specs = [s for s in ALL_SPECS if s.fu_type is t]
+        lines.append(f"--- {t.name} ({t.short_name}): {len(specs)} opcodes, "
+                     f"{t.slot_cost} slot(s) per unit ---")
+        lines.append(header)
+        for s in specs:
+            lines.append(
+                f"{s.mnemonic:10s} {s.number:#05x} {s.format.value:4s} "
+                f"{s.latency:3d} {_CLASS[s.dst]:4s} {_CLASS[s.src1]:5s} "
+                f"{_CLASS[s.src2]:5s}"
+            )
+        lines.append("")
+    return "\n".join(lines)
+
+
+def format_reference() -> str:
+    """The binary-encoding format table (field layout + immediate ranges)."""
+    layouts = {
+        Format.R: "opcode[31:25] rd[24:20] rs1[19:15] rs2[14:10] 0[9:0]",
+        Format.I: "opcode[31:25] rd[24:20] rs1[19:15] imm15[14:0]",
+        Format.S: "opcode[31:25] imm[14:10]@[24:20] rs1[19:15] rs2[14:10] imm[9:0]",
+        Format.B: "opcode[31:25] imm[14:10]@[24:20] rs1[19:15] rs2[14:10] imm[9:0]",
+        Format.J: "opcode[31:25] rd[24:20] imm20[19:0]",
+        Format.N: "opcode[31:25] 0[24:0]",
+    }
+    lines = [f"{'format':7s} {'imm range':22s} layout"]
+    for fmt, layout in layouts.items():
+        lo, hi = imm_range(fmt)
+        rng = f"[{lo}, {hi}]" if hi > lo else "-"
+        lines.append(f"{fmt.value:7s} {rng:22s} {layout}")
+    return "\n".join(lines)

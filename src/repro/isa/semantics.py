@@ -1,0 +1,243 @@
+"""Bit-accurate execution semantics for every opcode.
+
+Integer registers hold 32-bit two's-complement values (stored unsigned);
+floating-point registers hold IEEE-754 binary32 values (every FP result is
+re-rounded through float32).  Division follows the RISC-V convention:
+divide-by-zero yields all-ones / the dividend rather than trapping.
+
+The functions here are pure: the execute stage combines them with the data
+memory and store buffer.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.utils.bitops import mask, to_signed, to_unsigned
+
+__all__ = [
+    "alu_result",
+    "control_outcome",
+    "effective_address",
+    "store_bytes",
+    "load_value",
+    "access_size",
+    "f32",
+]
+
+_U32 = mask(32)
+
+
+def f32(value: float) -> float:
+    """Round a Python float through IEEE-754 binary32.
+
+    Values beyond the binary32 range overflow to infinity, as the hardware
+    would (struct raises instead of rounding, so handle it here).
+    """
+    try:
+        return struct.unpack("<f", struct.pack("<f", value))[0]
+    except OverflowError:
+        return math.copysign(math.inf, value)
+
+
+def _sdiv(a: int, b: int) -> int:
+    """RISC-V signed division (truncating, div-by-zero -> -1)."""
+    if b == 0:
+        return -1
+    if a == -(1 << 31) and b == -1:  # overflow case wraps
+        return a
+    return int(a / b) if b else -1
+
+
+def _srem(a: int, b: int) -> int:
+    if b == 0:
+        return a
+    if a == -(1 << 31) and b == -1:
+        return 0
+    return a - _sdiv(a, b) * b
+
+
+def alu_result(instr: Instruction, s1: int | float, s2: int | float) -> int | float:
+    """Result of a non-memory, non-control instruction.
+
+    Integer operands/results are unsigned 32-bit ints; FP are floats.
+    """
+    op = instr.opcode
+    imm = instr.imm
+
+    # ---- integer ALU ----
+    if op in (Opcode.ADD, Opcode.ADDI):
+        b = s2 if op is Opcode.ADD else imm
+        return to_unsigned(s1 + b, 32)
+    if op is Opcode.SUB:
+        return to_unsigned(s1 - s2, 32)
+    if op in (Opcode.AND, Opcode.ANDI):
+        b = s2 if op is Opcode.AND else imm & 0x7FFF
+        return (s1 & b) & _U32
+    if op in (Opcode.OR, Opcode.ORI):
+        b = s2 if op is Opcode.OR else imm & 0x7FFF
+        return (s1 | b) & _U32
+    if op in (Opcode.XOR, Opcode.XORI):
+        b = s2 if op is Opcode.XOR else imm & 0x7FFF
+        return (s1 ^ b) & _U32
+    if op is Opcode.NOR:
+        return ~(s1 | s2) & _U32
+    if op in (Opcode.SLL, Opcode.SLLI):
+        amt = (s2 if op is Opcode.SLL else imm) & 31
+        return to_unsigned(s1 << amt, 32)
+    if op in (Opcode.SRL, Opcode.SRLI):
+        amt = (s2 if op is Opcode.SRL else imm) & 31
+        return (s1 & _U32) >> amt
+    if op in (Opcode.SRA, Opcode.SRAI):
+        amt = (s2 if op is Opcode.SRA else imm) & 31
+        return to_unsigned(to_signed(s1, 32) >> amt, 32)
+    if op in (Opcode.SLT, Opcode.SLTI):
+        b = s2 if op is Opcode.SLT else imm
+        bs = to_signed(b, 32) if op is Opcode.SLT else b
+        return int(to_signed(s1, 32) < bs)
+    if op is Opcode.SLTU:
+        return int((s1 & _U32) < (s2 & _U32))
+    if op is Opcode.LUI:
+        # the immediate field is stored sign-extended; lui places its 15
+        # raw bits at [29:15]
+        return ((imm & 0x7FFF) << 15) & _U32
+
+    # ---- floating-point ----
+    if op is Opcode.FADD:
+        return f32(s1 + s2)
+    if op is Opcode.FSUB:
+        return f32(s1 - s2)
+    if op is Opcode.FMUL:
+        return f32(s1 * s2)
+    if op is Opcode.FDIV:
+        if s2 == 0.0:
+            if s1 == 0.0 or math.isnan(s1):
+                return math.nan
+            sign = math.copysign(1.0, s1) * math.copysign(1.0, s2)
+            return math.copysign(math.inf, sign)
+        return f32(s1 / s2)
+    if op is Opcode.FSQRT:
+        return f32(math.sqrt(s1)) if s1 >= 0.0 else math.nan
+    if op is Opcode.FMIN:
+        return f32(min(s1, s2))
+    if op is Opcode.FMAX:
+        return f32(max(s1, s2))
+    if op is Opcode.FABS:
+        return f32(abs(s1))
+    if op is Opcode.FNEG:
+        return f32(-s1)
+    if op is Opcode.FMOV:
+        return f32(s1)
+    if op is Opcode.FEQ:
+        return int(s1 == s2)
+    if op is Opcode.FLT:
+        return int(s1 < s2)
+    if op is Opcode.FLE:
+        return int(s1 <= s2)
+    if op is Opcode.FCVTWS:
+        clamped = max(-(1 << 31), min((1 << 31) - 1, int(s1) if math.isfinite(s1) else 0))
+        return to_unsigned(clamped, 32)
+    if op is Opcode.FCVTSW:
+        return f32(float(to_signed(s1, 32)))
+
+    # ---- integer multiply/divide ----
+    a_s, b_s = to_signed(s1, 32), to_signed(s2 if s2 is not None else 0, 32)
+    a_u, b_u = s1 & _U32, (s2 if s2 is not None else 0) & _U32
+    if op is Opcode.MUL:
+        return to_unsigned(a_s * b_s, 32)
+    if op is Opcode.MULH:
+        return to_unsigned((a_s * b_s) >> 32, 32)
+    if op is Opcode.MULHU:
+        return ((a_u * b_u) >> 32) & _U32
+    if op is Opcode.DIV:
+        return to_unsigned(_sdiv(a_s, b_s), 32)
+    if op is Opcode.DIVU:
+        return _U32 if b_u == 0 else (a_u // b_u) & _U32
+    if op is Opcode.REM:
+        return to_unsigned(_srem(a_s, b_s), 32)
+    if op is Opcode.REMU:
+        return a_u if b_u == 0 else (a_u % b_u) & _U32
+
+    raise ValueError(f"alu_result does not handle {instr.mnemonic}")
+
+
+def control_outcome(
+    instr: Instruction, pc: int, s1: int = 0, s2: int = 0
+) -> tuple[bool, int, int | None]:
+    """Resolve a control instruction.
+
+    Returns ``(taken, target_pc, link_value)``; ``link_value`` is the value
+    written to ``rd`` for jumps (the return address ``pc + 1``), else None.
+    For a not-taken branch ``target_pc`` is the fall-through ``pc + 1``.
+    """
+    op = instr.opcode
+    if op is Opcode.JAL:
+        return True, pc + instr.imm, to_unsigned(pc + 1, 32)
+    if op is Opcode.JALR:
+        return True, to_unsigned(s1 + instr.imm, 32), to_unsigned(pc + 1, 32)
+    if op is Opcode.HALT:
+        return False, pc + 1, None
+
+    a_s, b_s = to_signed(s1, 32), to_signed(s2, 32)
+    a_u, b_u = s1 & _U32, s2 & _U32
+    taken = {
+        Opcode.BEQ: a_u == b_u,
+        Opcode.BNE: a_u != b_u,
+        Opcode.BLT: a_s < b_s,
+        Opcode.BGE: a_s >= b_s,
+        Opcode.BLTU: a_u < b_u,
+        Opcode.BGEU: a_u >= b_u,
+    }.get(op)
+    if taken is None:
+        raise ValueError(f"control_outcome does not handle {instr.mnemonic}")
+    return taken, (pc + instr.imm) if taken else (pc + 1), None
+
+
+def effective_address(instr: Instruction, base: int) -> int:
+    """Byte address accessed by a load or store."""
+    return to_unsigned(base + instr.imm, 32)
+
+
+def access_size(instr: Instruction) -> int:
+    """Access width in bytes of a load/store."""
+    m = instr.mnemonic
+    if m in ("lw", "sw", "flw", "fsw"):
+        return 4
+    if m in ("lh", "lhu", "sh"):
+        return 2
+    return 1
+
+
+def store_bytes(instr: Instruction, value: int | float) -> bytes:
+    """Bytes a store writes to memory (little-endian)."""
+    m = instr.mnemonic
+    if m == "sw":
+        return struct.pack("<I", value & _U32)
+    if m == "sh":
+        return struct.pack("<H", value & 0xFFFF)
+    if m == "sb":
+        return struct.pack("<B", value & 0xFF)
+    if m == "fsw":
+        return struct.pack("<f", f32(value))
+    raise ValueError(f"not a store: {instr.mnemonic}")
+
+
+def load_value(instr: Instruction, raw: bytes) -> int | float:
+    """Register value produced by a load from its raw memory bytes."""
+    m = instr.mnemonic
+    if m == "lw":
+        return struct.unpack("<I", raw)[0]
+    if m == "lh":
+        return to_unsigned(struct.unpack("<h", raw)[0], 32)
+    if m == "lhu":
+        return struct.unpack("<H", raw)[0]
+    if m == "lb":
+        return to_unsigned(struct.unpack("<b", raw)[0], 32)
+    if m == "lbu":
+        return struct.unpack("<B", raw)[0]
+    if m == "flw":
+        return struct.unpack("<f", raw)[0]
+    raise ValueError(f"not a load: {instr.mnemonic}")

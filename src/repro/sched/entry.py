@@ -1,0 +1,95 @@
+"""The in-flight instruction record: one row of the dependency buffer.
+
+Carries everything the register update unit tracks between dispatch and
+retirement: source bindings (producer sequence numbers or architectural
+reads), the count-down timer the wake-up logic uses to assert the result-
+available line, the computed result, and — for memory instructions — the
+effective address and buffered store data.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.frontend.fetch import FetchedInstruction
+from repro.isa.futypes import FUType
+from repro.isa.instruction import Instruction
+
+__all__ = ["EntryState", "SourceBinding", "RuuEntry"]
+
+
+class EntryState(enum.Enum):
+    WAITING = "waiting"      # in the wake-up array, not yet granted
+    ISSUED = "issued"        # executing on a functional unit
+    COMPLETED = "completed"  # result available, awaiting in-order retire
+
+
+@dataclass(frozen=True)
+class SourceBinding:
+    """Where one source operand comes from."""
+
+    reg_class: str
+    index: int
+    #: sequence number of the in-flight producer, or None to read the
+    #: architectural register file.
+    producer_seq: int | None
+
+
+@dataclass
+class RuuEntry:
+    """One dispatched instruction."""
+
+    seq: int
+    fetched: FetchedInstruction
+    #: positional bindings for (src1, src2); None = unused or hard-wired x0.
+    sources: tuple[SourceBinding | None, SourceBinding | None]
+    state: EntryState = EntryState.WAITING
+    #: cycles until the result-available line asserts (ISSUED state).
+    countdown: int = 0
+    #: computed result value (int regs as u32, fp as float), if any.
+    result: int | float | None = None
+    #: resolved next PC for control instructions.
+    actual_next: int | None = None
+    #: did this control instruction mispredict?
+    mispredicted: bool = False
+    # memory instructions -------------------------------------------------
+    mem_addr: int | None = None
+    mem_size: int | None = None
+    store_data: bytes | None = None
+    #: unit uid executing/having executed this entry (for unit release on flush).
+    unit_uid: int | None = None
+    #: cycle the entry was granted execution (trace/debug).
+    issue_cycle: int | None = None
+
+    @property
+    def instruction(self) -> Instruction:
+        return self.fetched.instruction
+
+    @property
+    def pc(self) -> int:
+        return self.fetched.pc
+
+    @property
+    def fu_type(self) -> FUType:
+        return self.instruction.fu_type
+
+    @property
+    def completed(self) -> bool:
+        return self.state is EntryState.COMPLETED
+
+    @property
+    def is_store(self) -> bool:
+        return self.instruction.is_store
+
+    @property
+    def is_load(self) -> bool:
+        return self.instruction.is_load
+
+    def tick(self) -> None:
+        """Advance the count-down timer; completion asserts result-available."""
+        if self.state is EntryState.ISSUED:
+            if self.countdown > 0:
+                self.countdown -= 1
+            if self.countdown == 0:
+                self.state = EntryState.COMPLETED

@@ -1,0 +1,416 @@
+"""The register update unit (RUU).
+
+Per the paper, the RUU "collects decoded instructions from the instruction
+queue and dispatches them to the various functional units", resolves all
+register dependences through its dependency buffer, performs out-of-order
+execution with in-order completion, and forwards operands.  This
+implementation adds the substrate details a working processor needs:
+
+* **renaming by sequence number** — each dispatched instruction records,
+  per source, the youngest older in-flight writer of that register (or the
+  architectural file when none), which is both the wake-up dependence and
+  the operand forwarding path;
+* **store buffering** — stores compute address and data at execute and
+  write memory at retirement; loads issue only when every older store's
+  address is known, forwarding from an exact-match store and stalling on a
+  partial overlap;
+* **branch repair** — control instructions resolve at execute; the caller
+  flushes younger entries on a mispredict via :meth:`flush_younger`;
+* **in-order retirement** — up to ``retire_width`` completed entries leave
+  per cycle in dispatch order, committing register and memory state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SchedulerError
+from repro.fabric.fabric import Fabric
+from repro.frontend.fetch import FetchedInstruction
+from repro.frontend.memory import DataMemory
+from repro.isa import semantics
+from repro.isa.futypes import FU_TYPES, FUType
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import OperandClass
+from repro.sched.entry import EntryState, RuuEntry, SourceBinding
+from repro.sched.regfile import RegisterFile
+from repro.sched.select import select_grants
+from repro.sched.wakeup import WakeupArray
+
+__all__ = ["BranchResolution", "IssueReport", "RegisterUpdateUnit"]
+
+
+@dataclass(frozen=True)
+class BranchResolution:
+    """A control instruction resolved this cycle."""
+
+    entry: RuuEntry
+    taken: bool
+    target: int
+    mispredicted: bool
+
+
+@dataclass
+class IssueReport:
+    """What happened during one issue/execute step."""
+
+    granted: list[int] = field(default_factory=list)
+    resolutions: list[BranchResolution] = field(default_factory=list)
+    #: loads denied a grant by memory-ordering this cycle (statistics).
+    memory_stalls: int = 0
+    #: rows whose wake-up logic requested execution this cycle.
+    requests: int = 0
+    #: occupied, unissued rows whose producers were all ready but whose
+    #: unit type had no idle unit (structural / configuration stalls).
+    resource_blocked: int = 0
+
+
+class RegisterUpdateUnit:
+    """Dependency buffer + wake-up array + retirement logic."""
+
+    def __init__(
+        self,
+        fabric: Fabric,
+        dmem: DataMemory,
+        window_size: int = 7,
+        retire_width: int = 4,
+        pipelined_scheduling: bool = False,
+    ) -> None:
+        self.fabric = fabric
+        self.dmem = dmem
+        self.wakeup = WakeupArray(window_size)
+        self.regfile = RegisterFile()
+        self.retire_width = retire_width
+        #: [9]'s pipelined select-free mode: the wake-up logic sees the
+        #: *previous* cycle's resource-availability bus (as a pipelined
+        #: scheduler would), so grants are speculative — a grant whose unit
+        #: was taken in the meantime is squashed via the reschedule input.
+        self.pipelined_scheduling = pipelined_scheduling
+        self._stale_resource_bits: int | None = None
+        #: rows that lost a select-free collision, awaiting reschedule.
+        self._pending_reschedule: list[int] = []
+        #: speculative grants rescheduled because their unit disappeared.
+        self.scheduling_replays = 0
+        #: row index -> in-flight entry (parallel to the wake-up array).
+        self._entries: dict[int, RuuEntry] = {}
+        #: youngest in-flight writer of each register: (class, idx) -> seq.
+        self._rename: dict[tuple[str, int], int] = {}
+        self._next_seq = 0
+        self.halted = False
+        # statistics ------------------------------------------------------
+        self.dispatched = 0
+        self.retired = 0
+        self.flushed = 0
+        self.memory_stalls = 0
+        self.issued_per_type: dict[FUType, int] = {t: 0 for t in FU_TYPES}
+
+    # ------------------------------------------------------------ queries
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return self.wakeup.full
+
+    @property
+    def empty(self) -> bool:
+        return not self._entries
+
+    def in_order(self) -> list[RuuEntry]:
+        """In-flight entries oldest first."""
+        return sorted(self._entries.values(), key=lambda e: e.seq)
+
+    def ready_unscheduled(self) -> list[Instruction]:
+        """The instructions the configuration manager inspects: queue
+        entries that have not yet been granted execution."""
+        return [
+            e.instruction
+            for e in self.in_order()
+            if e.state is EntryState.WAITING
+        ]
+
+    def _row_of_seq(self, seq: int) -> int | None:
+        for row, e in self._entries.items():
+            if e.seq == seq:
+                return row
+        return None
+
+    # ----------------------------------------------------------- dispatch
+    def dispatch(self, fetched: FetchedInstruction) -> RuuEntry:
+        """Insert one decoded instruction into the window."""
+        if self.full:
+            raise SchedulerError("RUU window is full")
+        instr = fetched.instruction
+        spec = instr.spec
+
+        bindings: list[SourceBinding | None] = []
+        dep_rows: set[int] = set()
+        for cls, idx in (
+            (spec.src1, instr.rs1),
+            (spec.src2, instr.rs2),
+        ):
+            if cls is OperandClass.NONE or (cls is OperandClass.INT and idx == 0):
+                bindings.append(None)
+                continue
+            reg_class = "int" if cls is OperandClass.INT else "fp"
+            producer_seq = self._rename.get((reg_class, idx))
+            bindings.append(SourceBinding(reg_class, idx, producer_seq))
+            if producer_seq is not None:
+                row = self._row_of_seq(producer_seq)
+                if row is not None:
+                    dep_rows.add(row)
+
+        row = self.wakeup.insert(instr.fu_type, dep_rows)
+        entry = RuuEntry(
+            seq=self._next_seq,
+            fetched=fetched,
+            sources=(bindings[0], bindings[1]),
+        )
+        self._next_seq += 1
+        self._entries[row] = entry
+
+        dest = instr.destination()
+        if dest is not None:
+            self._rename[dest] = entry.seq
+        self.dispatched += 1
+        return entry
+
+    # ------------------------------------------------------------ operands
+    def _operand(self, binding: SourceBinding | None) -> int | float:
+        if binding is None:
+            return 0
+        if binding.producer_seq is not None:
+            row = self._row_of_seq(binding.producer_seq)
+            if row is not None:
+                producer = self._entries[row]
+                if not producer.completed:
+                    raise SchedulerError(
+                        f"operand read before producer seq={producer.seq} completed"
+                    )
+                return producer.result
+        return self.regfile.read(binding.reg_class, binding.index)
+
+    # -------------------------------------------------------- memory rules
+    def _older_stores(self, entry: RuuEntry) -> list[RuuEntry]:
+        return [
+            e for e in self.in_order() if e.is_store and e.seq < entry.seq
+        ]
+
+    def _load_memory_check(self, entry: RuuEntry) -> tuple[bool, RuuEntry | None]:
+        """May this load issue, and from which store (if any) to forward?
+
+        Conservative disambiguation: every older in-flight store must have
+        computed its address; an exact address+size match forwards from the
+        youngest such store; any partial overlap blocks the load until the
+        store retires.
+        """
+        addr = semantics.effective_address(
+            entry.instruction, int(self._operand(entry.sources[0]))
+        )
+        size = semantics.access_size(entry.instruction)
+        forward: RuuEntry | None = None
+        for store in self._older_stores(entry):
+            if store.mem_addr is None:
+                return False, None  # unknown older address: wait
+            lo, hi = store.mem_addr, store.mem_addr + store.mem_size
+            if hi <= addr or lo >= addr + size:
+                continue  # disjoint
+            if store.mem_addr == addr and store.mem_size == size:
+                forward = store  # youngest exact match wins (kept updating)
+            else:
+                return False, None  # partial overlap: wait for retirement
+        return True, forward
+
+    # --------------------------------------------------------------- issue
+    def _resource_available_bits(self) -> int:
+        bits = 0
+        for t in FU_TYPES:
+            if self.fabric.available(t):
+                bits |= 1 << t.bit_index
+        return bits
+
+    def _result_available_bits(self) -> int:
+        bits = 0
+        for row, e in self._entries.items():
+            if e.completed:
+                bits |= 1 << row
+        return bits
+
+    def issue_and_execute(self, cycle: int = 0) -> IssueReport:
+        """One issue step: wake-up requests, grants, functional execution."""
+        report = IssueReport()
+        # de-assert the scheduled bit of last cycle's collision losers (the
+        # Fig. 6 reschedule input): they re-request from this cycle on
+        for row in self._pending_reschedule:
+            if row in self._entries and self._entries[row].state is EntryState.WAITING:
+                self.wakeup.reschedule(row)
+        self._pending_reschedule.clear()
+
+        result_bits = self._result_available_bits()
+        live_bits = self._resource_available_bits()
+        if self.pipelined_scheduling:
+            wakeup_bits = (
+                self._stale_resource_bits
+                if self._stale_resource_bits is not None
+                else live_bits
+            )
+            self._stale_resource_bits = live_bits
+        else:
+            wakeup_bits = live_bits
+        requests = self.wakeup.requests(wakeup_bits, result_bits)
+        report.requests = len(requests)
+        # rows ready on data but blocked on a unit: what steering fixes
+        all_resources = (1 << len(FU_TYPES)) - 1
+        report.resource_blocked = len(
+            self.wakeup.requests(all_resources, result_bits)
+        ) - len(requests)
+        triples = [
+            (row, self._entries[row].seq, self._entries[row].fu_type)
+            for row in requests
+        ]
+        idle = {t: len(self.fabric.idle_units(t)) for t in FU_TYPES}
+        granted_rows = select_grants(triples, idle)
+        if self.pipelined_scheduling:
+            # select-free [9]: every requester considered itself scheduled;
+            # collision losers are squashed and replay via reschedule
+            for row in requests:
+                if row not in granted_rows:
+                    self.wakeup.mark_scheduled(row)
+                    self._pending_reschedule.append(row)
+                    self.scheduling_replays += 1
+        for row in granted_rows:
+            entry = self._entries[row]
+            if entry.is_load:
+                ok, forward = self._load_memory_check(entry)
+                if not ok:
+                    report.memory_stalls += 1
+                    self.memory_stalls += 1
+                    continue  # request persists next cycle
+                self._execute_load(entry, forward)
+            elif entry.is_store:
+                self._execute_store(entry)
+            elif entry.instruction.is_control:
+                resolution = self._execute_control(entry)
+                report.resolutions.append(resolution)
+            else:
+                self._execute_alu(entry)
+            unit = self.fabric.issue(entry.fu_type, entry.instruction.latency, entry.seq)
+            entry.unit_uid = unit.uid
+            entry.state = EntryState.ISSUED
+            entry.countdown = entry.instruction.latency
+            entry.issue_cycle = cycle
+            self.wakeup.mark_scheduled(row)
+            self.issued_per_type[entry.fu_type] += 1
+            report.granted.append(row)
+        return report
+
+    # ------------------------------------------------------ execution kinds
+    def _execute_alu(self, entry: RuuEntry) -> None:
+        s1 = self._operand(entry.sources[0])
+        s2 = self._operand(entry.sources[1])
+        entry.result = semantics.alu_result(entry.instruction, s1, s2)
+
+    def _execute_control(self, entry: RuuEntry) -> BranchResolution:
+        s1 = int(self._operand(entry.sources[0]))
+        s2 = int(self._operand(entry.sources[1]))
+        taken, target, link = semantics.control_outcome(
+            entry.instruction, entry.pc, s1, s2
+        )
+        entry.result = link
+        entry.actual_next = target
+        entry.mispredicted = target != entry.fetched.predicted_next
+        return BranchResolution(
+            entry=entry, taken=taken, target=target, mispredicted=entry.mispredicted
+        )
+
+    def _execute_load(self, entry: RuuEntry, forward: RuuEntry | None) -> None:
+        base = int(self._operand(entry.sources[0]))
+        addr = semantics.effective_address(entry.instruction, base)
+        size = semantics.access_size(entry.instruction)
+        entry.mem_addr, entry.mem_size = addr, size
+        raw = forward.store_data if forward is not None else self.dmem.load(addr, size)
+        entry.result = semantics.load_value(entry.instruction, raw)
+
+    def _execute_store(self, entry: RuuEntry) -> None:
+        base = int(self._operand(entry.sources[0]))
+        value = self._operand(entry.sources[1])
+        entry.mem_addr = semantics.effective_address(entry.instruction, base)
+        entry.mem_size = semantics.access_size(entry.instruction)
+        entry.store_data = semantics.store_bytes(entry.instruction, value)
+
+    # ---------------------------------------------------------------- tick
+    def tick(self) -> None:
+        """Advance all count-down timers one cycle."""
+        for e in self._entries.values():
+            e.tick()
+
+    # -------------------------------------------------------------- retire
+    def retire(self) -> list[RuuEntry]:
+        """In-order retirement of up to ``retire_width`` completed entries."""
+        retired: list[RuuEntry] = []
+        while len(retired) < self.retire_width:
+            ordered = self.in_order()
+            if not ordered:
+                break
+            head = ordered[0]
+            if not head.completed:
+                break
+            row = self._row_of_seq(head.seq)
+            self._commit(head)
+            self.wakeup.remove(row)
+            del self._entries[row]
+            dest = head.instruction.destination()
+            if dest is not None and self._rename.get(dest) == head.seq:
+                del self._rename[dest]
+            retired.append(head)
+            self.retired += 1
+            if head.instruction.is_halt:
+                self.halted = True
+                break
+        return retired
+
+    def _commit(self, entry: RuuEntry) -> None:
+        if entry.is_store:
+            self.dmem.store(entry.mem_addr, entry.store_data)
+            return
+        dest = entry.instruction.destination()
+        if dest is not None and entry.result is not None:
+            self.regfile.write(dest[0], dest[1], entry.result)
+
+    # --------------------------------------------------------------- flush
+    def flush_younger(self, seq: int) -> int:
+        """Squash every entry younger than ``seq`` (mispredict recovery).
+
+        Releases any functional units the squashed entries hold and rebuilds
+        the rename map from the survivors.  Returns the number squashed.
+        """
+        victims = [
+            (row, e) for row, e in self._entries.items() if e.seq > seq
+        ]
+        for row, e in victims:
+            if e.state is EntryState.ISSUED:
+                self._release_unit(e)
+            self.wakeup.remove(row)
+            del self._entries[row]
+        self._rename = {}
+        for e in self.in_order():
+            dest = e.instruction.destination()
+            if dest is not None:
+                self._rename[dest] = e.seq
+        self.flushed += len(victims)
+        return len(victims)
+
+    def _release_unit(self, entry: RuuEntry) -> None:
+        for unit in self.fabric.units_of_type(entry.fu_type):
+            if unit.uid == entry.unit_uid:
+                unit.release()
+                return
+
+    # ------------------------------------------------------------- helpers
+    def render_wakeup(self) -> str:
+        """The Fig. 5 matrix with mnemonic row labels."""
+        labels = {
+            row: f"({e.instruction.mnemonic}) E{row + 1}"
+            for row, e in self._entries.items()
+        }
+        return self.wakeup.render(labels)

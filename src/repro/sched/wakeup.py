@@ -1,0 +1,159 @@
+"""The wake-up array (Figs. 5 and 6 of the paper).
+
+Each row holds the *resource vector* of one instruction-queue entry:
+
+* five **execution-unit columns** (bit set = the instruction needs that
+  unit type), driven by the per-type availability lines of Eq. 1;
+* one **result column per row** (bit set = the instruction needs the
+  result of that row's instruction), driven by the result-available lines
+  of the count-down timers;
+* a **scheduled bit** that suppresses further requests once the
+  instruction has been granted (de-asserted again by ``reschedule``).
+
+A row requests execution when, for every column, the OR of "not needed"
+and "available" is true, and its scheduled bit is clear — exactly the
+Fig. 6 gate network, computed here with bit masks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SchedulerError
+from repro.isa.futypes import FU_TYPES, NUM_FU_TYPES, FUType
+
+__all__ = ["WakeupRow", "WakeupArray"]
+
+
+@dataclass
+class WakeupRow:
+    """One occupied row of the array."""
+
+    #: one-hot unit-type requirement (5 bits, Fig. 2 bit order).
+    resource_bits: int
+    #: dependency bitmap over the array's rows (bit i = needs row i's result).
+    dep_bits: int
+    scheduled: bool = False
+
+
+class WakeupArray:
+    """Fixed-size array of resource vectors with select-free request logic."""
+
+    def __init__(self, n_entries: int = 7) -> None:
+        if n_entries <= 0:
+            raise SchedulerError(f"wake-up array size must be positive: {n_entries}")
+        self.n_entries = n_entries
+        self.rows: list[WakeupRow | None] = [None] * n_entries
+
+    # ------------------------------------------------------------ occupancy
+    def __len__(self) -> int:
+        return sum(1 for r in self.rows if r is not None)
+
+    @property
+    def full(self) -> bool:
+        return all(r is not None for r in self.rows)
+
+    def free_rows(self) -> list[int]:
+        return [i for i, r in enumerate(self.rows) if r is None]
+
+    def insert(self, fu_type: FUType, dep_rows: set[int]) -> int:
+        """Allocate a row for an instruction needing ``fu_type`` and the
+        results of ``dep_rows``.  Returns the row index."""
+        for d in dep_rows:
+            if not 0 <= d < self.n_entries or self.rows[d] is None:
+                raise SchedulerError(f"dependency on invalid row {d}")
+        for i, row in enumerate(self.rows):
+            if row is None:
+                dep_bits = 0
+                for d in dep_rows:
+                    dep_bits |= 1 << d
+                self.rows[i] = WakeupRow(
+                    resource_bits=1 << fu_type.bit_index, dep_bits=dep_bits
+                )
+                return i
+        raise SchedulerError("wake-up array is full")
+
+    def remove(self, index: int) -> None:
+        """Free a row and clear its result column everywhere (retire rule:
+        dependents of a retired instruction must not wait for it, and new
+        occupants of the row must not inherit stale dependences)."""
+        if self.rows[index] is None:
+            raise SchedulerError(f"row {index} is not occupied")
+        self.rows[index] = None
+        self.clear_column(index)
+
+    def clear_column(self, index: int) -> None:
+        """Clear result column ``index`` in every row."""
+        mask = ~(1 << index)
+        for row in self.rows:
+            if row is not None:
+                row.dep_bits &= mask
+
+    # -------------------------------------------------------------- request
+    def requests(self, resource_available: int, result_available: int) -> list[int]:
+        """Rows requesting execution this cycle (Fig. 6 logic).
+
+        ``resource_available`` is the 5-bit Eq. 1 availability bus;
+        ``result_available`` the n-bit result-available bus.  A row requests
+        when every needed column is available and it is not yet scheduled.
+        """
+        if resource_available < 0 or resource_available >= (1 << NUM_FU_TYPES):
+            raise SchedulerError(
+                f"resource availability bus out of range: {resource_available:#x}"
+            )
+        out = []
+        for i, row in enumerate(self.rows):
+            if row is None or row.scheduled:
+                continue
+            if row.resource_bits & ~resource_available:
+                continue  # required unit type not available
+            if row.dep_bits & ~result_available:
+                continue  # some producer's result not yet available
+            out.append(i)
+        return out
+
+    def mark_scheduled(self, index: int) -> None:
+        row = self.rows[index]
+        if row is None:
+            raise SchedulerError(f"row {index} is not occupied")
+        if row.scheduled:
+            raise SchedulerError(f"row {index} is already scheduled")
+        row.scheduled = True
+
+    def reschedule(self, index: int) -> None:
+        """De-assert the scheduled bit (the Fig. 6 reschedule input)."""
+        row = self.rows[index]
+        if row is None:
+            raise SchedulerError(f"row {index} is not occupied")
+        row.scheduled = False
+
+    # ------------------------------------------------------------ rendering
+    def render(self, labels: dict[int, str] | None = None) -> str:
+        """Render the array as the Fig. 5 matrix (for the F4-F6 artefact).
+
+        Columns: the five execution-unit types, then one result column per
+        row.  ``labels`` optionally names each occupied row.
+        """
+        labels = labels or {}
+        type_heads = [t.short_name for t in FU_TYPES]
+        entry_heads = [f"E{i + 1}" for i in range(self.n_entries)]
+        name_w = max([len("entry")] + [len(v) for v in labels.values()]) + 2
+        header = "".ljust(name_w) + " ".join(
+            h.rjust(6) for h in type_heads
+        ) + " | " + " ".join(h.rjust(3) for h in entry_heads)
+        lines = [header]
+        for i, row in enumerate(self.rows):
+            name = labels.get(i, f"entry {i + 1}")
+            if row is None:
+                lines.append(name.ljust(name_w) + "(empty)")
+                continue
+            tbits = " ".join(
+                ("1" if (row.resource_bits >> t.bit_index) & 1 else ".").rjust(6)
+                for t in FU_TYPES
+            )
+            ebits = " ".join(
+                ("1" if (row.dep_bits >> j) & 1 else ".").rjust(3)
+                for j in range(self.n_entries)
+            )
+            lines.append(name.ljust(name_w) + tbits + " | " + ebits)
+        return "\n".join(lines)

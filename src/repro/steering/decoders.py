@@ -1,0 +1,50 @@
+"""Unit decoders: the first stage of the selection unit (Fig. 2).
+
+One decoder per instruction-queue entry retrieves the opcode of the entry
+and emits a **one-hot** five-bit vector naming the functional-unit type the
+instruction requires (bit 0 = INT_ALU ... bit 4 = FP_MDU, the Fig. 2
+ordering).  These are the "pre-decoders" of the original architecture [7]:
+they operate on the *binary* opcode field so that unmodified legacy
+machine code drives the steering hardware.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.encoders import one_hot
+from repro.isa.encoding import decode
+from repro.isa.futypes import NUM_FU_TYPES, FUType
+from repro.isa.instruction import Instruction
+
+__all__ = ["UnitDecoder"]
+
+
+class UnitDecoder:
+    """Opcode -> one-hot functional-unit-type vector."""
+
+    #: width of the output vector (five unit types).
+    WIDTH = NUM_FU_TYPES
+
+    def decode_instruction(self, instr: Instruction) -> int:
+        """One-hot vector for a decoded instruction."""
+        return one_hot(instr.fu_type.bit_index, self.WIDTH)
+
+    def decode_word(self, word: int) -> int:
+        """One-hot vector straight from a 32-bit binary instruction word.
+
+        This is the legacy-compatibility path: the decoder inspects only
+        the opcode field, exactly as the hardware pre-decoder would.
+        """
+        return self.decode_instruction(decode(word))
+
+    def __call__(self, item: "Instruction | int") -> int:
+        if isinstance(item, Instruction):
+            return self.decode_instruction(item)
+        return self.decode_word(item)
+
+    @staticmethod
+    def fu_type_of(onehot: int) -> FUType:
+        """Invert a one-hot vector back to its unit type (for tracing)."""
+        for t in FUType:
+            if onehot == 1 << t.bit_index:
+                return t
+        raise ValueError(f"not a one-hot unit vector: {onehot:#07b}")

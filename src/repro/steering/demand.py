@@ -1,0 +1,150 @@
+"""Demand-driven configuration synthesis (§5 extension).
+
+The paper's closing section names two open problems: formulating an
+optimal steering basis, and "the separate problem of being able to
+dynamically reconfigure *without* using predefined configurations".  This
+module implements the latter: instead of scoring a fixed candidate set,
+the synthesizer builds a bespoke target configuration directly from the
+observed demand.
+
+Mechanism:
+
+* the per-type required counts from the Fig. 2 requirement encoders are
+  smoothed with an exponential moving average (raw 7-entry windows are far
+  too noisy to retarget on);
+* a greedy knapsack fills the slot budget with the units of highest
+  *marginal* value — demand per already-provisioned unit of that type,
+  discounted by slot cost — which is the natural relaxation of the CEM
+  objective;
+* hysteresis: the loader is only retargeted when the synthesized
+  configuration improves the exact error against the smoothed demand by a
+  margin, preventing the thrash that plagues overlapping candidate sets
+  (see examples/custom_steering_basis.py).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.errors import ConfigurationError
+from repro.fabric.configuration import FFU_COUNTS, Configuration
+from repro.isa.futypes import FU_TYPES, FUType
+
+__all__ = ["DemandSynthesizer", "greedy_fill"]
+
+
+def greedy_fill(
+    demand: Sequence[float],
+    n_slots: int = 8,
+    ffu_counts: dict[FUType, int] | None = None,
+    name: str = "synth",
+    min_marginal: float = 0.05,
+) -> Configuration:
+    """Fill the slot budget greedily by marginal demand value.
+
+    Each step adds the unit type with the highest demand per
+    already-provisioned unit (discounted by slot cost), skipping types
+    whose demand is already saturated.  Shared by the demand-steering
+    policy and the §5 basis-design search.
+    """
+    ffus = FFU_COUNTS if ffu_counts is None else ffu_counts
+    counts: dict[FUType, int] = {}
+    free = n_slots
+    while free > 0:
+        best_type: FUType | None = None
+        best_value = 0.0
+        for i, t in enumerate(FU_TYPES):
+            if t.slot_cost > free:
+                continue
+            provisioned = ffus.get(t, 0) + counts.get(t, 0)
+            if provisioned >= demand[i]:
+                continue  # demand already saturated: more units are waste
+            marginal = demand[i] / (provisioned * t.slot_cost)
+            if marginal > best_value:
+                best_value = marginal
+                best_type = t
+        if best_type is None or best_value < min_marginal:
+            break
+        counts[best_type] = counts.get(best_type, 0) + 1
+        free -= best_type.slot_cost
+    return Configuration(name, counts).validate(n_slots)
+
+
+class DemandSynthesizer:
+    """Synthesizes target configurations straight from observed demand."""
+
+    def __init__(
+        self,
+        n_slots: int = 8,
+        ffu_counts: dict[FUType, int] | None = None,
+        smoothing: float = 0.1,
+        improvement_margin: float = 0.15,
+    ) -> None:
+        if not 0.0 < smoothing <= 1.0:
+            raise ConfigurationError("smoothing must be in (0, 1]")
+        if improvement_margin < 0.0:
+            raise ConfigurationError("improvement margin must be non-negative")
+        self.n_slots = n_slots
+        self.ffu_counts = FFU_COUNTS if ffu_counts is None else dict(ffu_counts)
+        self.smoothing = smoothing
+        self.improvement_margin = improvement_margin
+        self._demand = [0.0] * len(FU_TYPES)
+        self._synth_counter = 0
+
+    @property
+    def demand(self) -> tuple[float, ...]:
+        """The smoothed per-type demand estimate."""
+        return tuple(self._demand)
+
+    def observe(self, required: Sequence[int]) -> None:
+        """Fold one cycle's required counts into the demand estimate."""
+        if len(required) != len(FU_TYPES):
+            raise ConfigurationError(
+                f"required counts need {len(FU_TYPES)} entries, got {len(required)}"
+            )
+        a = self.smoothing
+        for i, r in enumerate(required):
+            self._demand[i] = (1.0 - a) * self._demand[i] + a * r
+
+    def synthesize(self) -> Configuration:
+        """Greedy knapsack: fill the slot budget by marginal demand value."""
+        self._synth_counter += 1
+        return greedy_fill(
+            self._demand,
+            n_slots=self.n_slots,
+            ffu_counts=self.ffu_counts,
+            name=f"demand-{self._synth_counter}",
+        )
+
+    def should_retarget(
+        self,
+        target: Configuration,
+        current_counts: Sequence[int],
+    ) -> bool:
+        """Hysteresis: retarget only on a clear expected improvement.
+
+        ``current_counts`` are the live configured units per type
+        (including the fixed bank).
+        """
+        target_counts = [
+            target.count(t) + self.ffu_counts.get(t, 0) for t in FU_TYPES
+        ]
+        current_err = self._saturated_error(current_counts)
+        target_err = self._saturated_error(target_counts)
+        if current_err <= 0.0:
+            return False
+        return target_err < current_err * (1.0 - self.improvement_margin)
+
+    def _saturated_error(self, available: Sequence[int]) -> float:
+        """Queue-drain estimate: a type's term cannot drop below one cycle,
+        so units beyond the demand level contribute nothing (this is what
+        stops the synthesizer chasing ever-larger configurations)."""
+        total = 0.0
+        for demand, avail in zip(self._demand, available):
+            if demand <= 1e-3:
+                continue
+            if avail <= 0:
+                total += demand * 8.0
+            else:
+                total += max(1.0, demand / avail)
+        return total

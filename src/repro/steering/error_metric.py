@@ -1,0 +1,145 @@
+"""Configuration-error-metric (CEM) generators: Fig. 3.
+
+Each generator scores how well one candidate configuration matches the
+queue's requirements::
+
+    error(c) = sum over types t of  required[t] >> shift(available_c[t])
+
+i.e. the required count of each type divided — approximately, by a barrel
+shifter — by the candidate's available count of that type (fixed + its
+reconfigurable units) rounded down to a power of two.  Intuitively the
+term is "queue-drain cycles demanded of type t under candidate c"; the
+best candidate minimises the sum.
+
+For the three predefined configurations the shift amounts are **hard-wired**
+(divide by 4, 2 or 1); for the current configuration the shifts come from
+the upper two bits of the live configured-unit counts (Fig. 3(c),
+:func:`repro.circuits.shifters.cem_shift_control`).  Terms are summed by a
+3-bit five-operand adder into a 6-bit metric.
+
+:func:`exact_error` is the reference metric with true division, used by the
+E-CEM ablation to quantify what the shifter approximation costs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.circuits.adders import multi_operand_add
+from repro.circuits.shifters import barrel_shift_right, cem_shift_control
+from repro.errors import ConfigurationError
+from repro.fabric.configuration import FFU_COUNTS, Configuration
+from repro.isa.futypes import FU_TYPES, NUM_FU_TYPES
+
+__all__ = ["hardwired_shifts", "cem_error", "exact_error", "ErrorMetricGenerator"]
+
+#: bit width of a per-type required count.
+COUNT_WIDTH = 3
+#: bit width of the summed error metric (five 3-bit terms <= 35).
+SUM_WIDTH = 6
+
+
+def hardwired_shifts(config: Configuration, ffu_counts: dict | None = None) -> tuple[int, ...]:
+    """Shift amounts wired into a predefined configuration's CEM generator.
+
+    The available count of each type is the configuration's unit count plus
+    the fixed units; the shifter divides by that count rounded down to a
+    power of two (max 4).
+    """
+    ffus = FFU_COUNTS if ffu_counts is None else ffu_counts
+    shifts = []
+    for t in FU_TYPES:
+        avail = config.count(t) + ffus.get(t, 0)
+        shifts.append(cem_shift_control(min(avail, 7)))
+    return tuple(shifts)
+
+
+def cem_error(required: Sequence[int], shifts: Sequence[int]) -> int:
+    """Evaluate one CEM generator (Fig. 3(b)).
+
+    ``required`` are the five 3-bit required counts; ``shifts`` the five
+    shift amounts (hard-wired or from Fig. 3(c)).  Returns the 6-bit error.
+    """
+    if len(required) != NUM_FU_TYPES or len(shifts) != NUM_FU_TYPES:
+        raise ConfigurationError(
+            f"CEM needs {NUM_FU_TYPES} required counts and shifts, "
+            f"got {len(required)} and {len(shifts)}"
+        )
+    terms = [
+        barrel_shift_right(req, shift, COUNT_WIDTH)
+        for req, shift in zip(required, shifts)
+    ]
+    return multi_operand_add(terms, COUNT_WIDTH, SUM_WIDTH)
+
+
+def exact_error(required: Sequence[int], available: Sequence[int]) -> float:
+    """Reference metric with true division: sum_t required[t] / available[t].
+
+    ``available`` counts include the fixed units, so every entry is >= 1
+    for the shipped architecture; a zero available count contributes
+    ``required`` cycles per instruction (the FFU-less pathological case)
+    via a large penalty.
+    """
+    total = 0.0
+    for req, avail in zip(required, available):
+        if avail <= 0:
+            total += float(req) * 8.0  # no unit at all: heavy penalty
+        else:
+            total += req / avail
+    return total
+
+
+class ErrorMetricGenerator:
+    """One Fig. 3 CEM generator bound to a candidate configuration.
+
+    For a *predefined* candidate pass ``config``; the shifts are hard-wired
+    at construction.  For the *current* configuration construct with
+    ``config=None`` and pass the live counts to :meth:`error`.
+    """
+
+    def __init__(
+        self,
+        config: Configuration | None = None,
+        ffu_counts: dict | None = None,
+    ) -> None:
+        self.config = config
+        self.ffu_counts = FFU_COUNTS if ffu_counts is None else ffu_counts
+        self._shifts = (
+            hardwired_shifts(config, self.ffu_counts) if config is not None else None
+        )
+
+    @property
+    def is_current(self) -> bool:
+        return self.config is None
+
+    def shifts_for(self, current_counts: Sequence[int] | None = None) -> tuple[int, ...]:
+        """The shift amounts this generator applies."""
+        if self._shifts is not None:
+            return self._shifts
+        if current_counts is None:
+            raise ConfigurationError(
+                "the current-configuration generator needs live unit counts"
+            )
+        return tuple(cem_shift_control(min(c, 7)) for c in current_counts)
+
+    def error(
+        self,
+        required: Sequence[int],
+        current_counts: Sequence[int] | None = None,
+    ) -> int:
+        """The 6-bit configuration error for the given requirements."""
+        return cem_error(required, self.shifts_for(current_counts))
+
+    def available_counts(
+        self, current_counts: Sequence[int] | None = None
+    ) -> tuple[int, ...]:
+        """Unit counts (fixed + reconfigurable) this candidate provides."""
+        if self.config is not None:
+            return tuple(
+                self.config.count(t) + self.ffu_counts.get(t, 0) for t in FU_TYPES
+            )
+        if current_counts is None:
+            raise ConfigurationError(
+                "the current-configuration generator needs live unit counts"
+            )
+        return tuple(current_counts)

@@ -1,0 +1,111 @@
+"""The configuration manager: selection unit + loader, clocked per cycle.
+
+Each cycle the manager
+
+1. feeds the ready instructions and the live configured-unit counts to the
+   selection unit,
+2. points the loader at the chosen steering configuration (or clears the
+   target when the current configuration wins), and
+3. lets the loader start at most one partial reconfiguration.
+
+It also keeps the statistics the evaluation harness reports: selection
+histogram, reconfiguration count, and (optionally) the full per-cycle
+error/selection trace used by the phase-adaptation experiment.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.fabric.configuration import PREDEFINED_CONFIGS, Configuration
+from repro.fabric.fabric import Fabric
+from repro.isa.instruction import Instruction
+from repro.steering.loader import ConfigurationLoader, LoadPlan
+from repro.steering.selection import ConfigurationSelectionUnit, SelectionResult
+
+__all__ = ["ManagerStats", "ConfigurationManager"]
+
+
+@dataclass
+class ManagerStats:
+    """Aggregate behaviour of the configuration manager."""
+
+    cycles: int = 0
+    #: how often each candidate index (0 = current) was selected.
+    selections: dict[int, int] = field(default_factory=dict)
+    #: partial reconfigurations started.
+    loads: int = 0
+    #: cumulative 6-bit error of the selected candidate (for mean error).
+    total_selected_error: int = 0
+
+    @property
+    def mean_selected_error(self) -> float:
+        return self.total_selected_error / self.cycles if self.cycles else 0.0
+
+    @property
+    def current_kept_fraction(self) -> float:
+        """Fraction of cycles the current configuration was best (stability)."""
+        if not self.cycles:
+            return 0.0
+        return self.selections.get(0, 0) / self.cycles
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One cycle of the (optional) steering trace."""
+
+    cycle: int
+    selection: int
+    errors: tuple[int, ...]
+    required: tuple[int, ...]
+    load: LoadPlan | None
+
+
+class ConfigurationManager:
+    """Drives configuration steering for one processor instance."""
+
+    def __init__(
+        self,
+        fabric: Fabric,
+        configs: Sequence[Configuration] = PREDEFINED_CONFIGS,
+        use_exact_metric: bool = False,
+        queue_size: int = 7,
+        record_trace: bool = False,
+    ) -> None:
+        self.fabric = fabric
+        self.selection_unit = ConfigurationSelectionUnit(
+            configs=configs,
+            queue_size=queue_size,
+            use_exact_metric=use_exact_metric,
+        )
+        self.loader = ConfigurationLoader(fabric)
+        self.stats = ManagerStats()
+        self.trace: list[TraceEntry] | None = [] if record_trace else None
+
+    def cycle(self, ready_queue: Sequence[Instruction]) -> SelectionResult:
+        """One clock of the manager.  ``ready_queue`` holds the unscheduled
+        instructions the selection unit inspects (at most the queue size)."""
+        counts = self.loader.current_counts()
+        result = self.selection_unit.select(ready_queue, counts)
+        self.loader.set_target(result.config)
+        plan = self.loader.step()
+
+        self.stats.cycles += 1
+        self.stats.selections[result.index] = (
+            self.stats.selections.get(result.index, 0) + 1
+        )
+        self.stats.total_selected_error += result.errors[result.index]
+        if plan is not None:
+            self.stats.loads += 1
+        if self.trace is not None:
+            self.trace.append(
+                TraceEntry(
+                    cycle=self.stats.cycles,
+                    selection=result.index,
+                    errors=result.errors,
+                    required=result.required,
+                    load=plan,
+                )
+            )
+        return result

@@ -1,0 +1,45 @@
+"""Resource-requirement encoders: stage 2 of the selection unit (Fig. 2).
+
+For each functional-unit type, a population counter counts how many of the
+queue's one-hot unit-decoder outputs assert that type's bit, producing a
+3-bit "required number of units" value.  With the paper's seven-entry
+instruction queue the count can never exceed seven, so 3 bits suffice; the
+encoder still saturates defensively for wider queues.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.circuits.encoders import popcount_tree
+from repro.isa.futypes import FU_TYPES, NUM_FU_TYPES
+from repro.utils.bitops import mask
+
+__all__ = ["RequirementsEncoder"]
+
+
+class RequirementsEncoder:
+    """One-hot vectors -> per-type 3-bit required-unit counts."""
+
+    def __init__(self, count_width: int = 3) -> None:
+        self.count_width = count_width
+
+    def encode(self, onehots: Sequence[int]) -> tuple[int, ...]:
+        """Count required units per type across the queue.
+
+        ``onehots`` holds one one-hot vector per occupied queue entry (an
+        empty queue is an empty sequence).  Returns a tuple of
+        ``NUM_FU_TYPES`` counts in canonical type order, each saturated to
+        ``count_width`` bits.
+        """
+        limit = mask(self.count_width)
+        counts = []
+        for t in FU_TYPES:
+            column = [(v >> t.bit_index) & 1 for v in onehots]
+            # popcount then saturate: with <= 7 entries this is exact
+            raw = popcount_tree(column, out_width=self.count_width + 1)
+            counts.append(min(raw, limit))
+        return tuple(counts)
+
+    def __call__(self, onehots: Sequence[int]) -> tuple[int, ...]:
+        return self.encode(onehots)

@@ -1,0 +1,25 @@
+"""Shared low-level helpers: bit manipulation and argument validation."""
+
+from repro.utils.bitops import (
+    bit,
+    bits,
+    mask,
+    popcount,
+    sign_extend,
+    to_signed,
+    to_unsigned,
+)
+from repro.utils.validation import check_in_range, check_non_negative, check_width
+
+__all__ = [
+    "bit",
+    "bits",
+    "mask",
+    "popcount",
+    "sign_extend",
+    "to_signed",
+    "to_unsigned",
+    "check_in_range",
+    "check_non_negative",
+    "check_width",
+]

@@ -1,0 +1,33 @@
+"""Small argument-validation helpers with uniform error messages."""
+
+from __future__ import annotations
+
+from repro.utils.bitops import mask
+
+__all__ = ["check_in_range", "check_non_negative", "check_width", "check_positive"]
+
+
+def check_in_range(name: str, value: int, low: int, high: int) -> int:
+    """Raise ``ValueError`` unless ``low <= value <= high``; return ``value``."""
+    if not low <= value <= high:
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value}")
+    return value
+
+
+def check_non_negative(name: str, value: int) -> int:
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value}")
+    return value
+
+
+def check_positive(name: str, value: int) -> int:
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return value
+
+
+def check_width(name: str, value: int, width: int) -> int:
+    """Raise ``ValueError`` unless ``value`` fits in ``width`` unsigned bits."""
+    if value < 0 or value > mask(width):
+        raise ValueError(f"{name} must fit in {width} bits, got {value:#x}")
+    return value

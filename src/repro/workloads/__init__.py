@@ -1,0 +1,77 @@
+"""Workloads: the programs the evaluation runs.
+
+The paper reports no benchmark suite, so the evaluation inputs are built
+here (DESIGN.md substitution rule):
+
+* :mod:`repro.workloads.kernels` — real kernels written in the repro ISA
+  (reductions, dot products, SAXPY, matrix multiply, memcpy, hashing,
+  Newton iteration ...), each with golden expected results so every
+  simulator run is also a functional correctness check;
+* :mod:`repro.workloads.synthetic` — seeded random programs with a target
+  functional-unit mix and dependency density;
+* :mod:`repro.workloads.phases` — phase-changing workloads (integer ->
+  memory -> floating-point ...) that exercise steering adaptation.
+"""
+
+from repro.workloads.kernels import (
+    Kernel,
+    all_kernels,
+    checksum,
+    dot_product,
+    fir_filter,
+    kernel_by_name,
+    matmul,
+    memcpy,
+    newton_sqrt,
+    saxpy,
+    sum_reduction,
+)
+from repro.workloads.kernels_extra import (
+    bubble_sort,
+    extended_kernels,
+    fibonacci,
+    histogram,
+    mandelbrot_point,
+    string_length,
+    vector_max,
+)
+from repro.workloads.kernels_numeric import (
+    binary_search,
+    gcd,
+    horner,
+    numeric_kernels,
+    popcount_soft,
+    transpose,
+)
+from repro.workloads.phases import phased_program
+from repro.workloads.synthetic import MixSpec, synthetic_program
+
+__all__ = [
+    "Kernel",
+    "all_kernels",
+    "kernel_by_name",
+    "sum_reduction",
+    "dot_product",
+    "saxpy",
+    "fir_filter",
+    "matmul",
+    "memcpy",
+    "checksum",
+    "newton_sqrt",
+    "bubble_sort",
+    "histogram",
+    "string_length",
+    "fibonacci",
+    "mandelbrot_point",
+    "vector_max",
+    "extended_kernels",
+    "gcd",
+    "popcount_soft",
+    "binary_search",
+    "transpose",
+    "horner",
+    "numeric_kernels",
+    "MixSpec",
+    "synthetic_program",
+    "phased_program",
+]

@@ -1,0 +1,248 @@
+"""Extended kernel library: control- and byte-level workloads.
+
+These complement :mod:`repro.workloads.kernels` with codes that stress the
+parts of the processor the core suite touches lightly: data-dependent
+branches (sorting), byte loads/stores (string ops), deep recursion-free
+call chains, heavy integer multiply chains (fixed-point Mandelbrot) and
+FP comparisons.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.isa.assembler import assemble
+from repro.isa.futypes import FUType
+from repro.isa.semantics import f32
+from repro.workloads.kernels import Kernel, _float_array, _int_array
+
+__all__ = [
+    "bubble_sort",
+    "histogram",
+    "string_length",
+    "fibonacci",
+    "mandelbrot_point",
+    "vector_max",
+    "extended_kernels",
+]
+
+
+def bubble_sort(n: int = 24) -> Kernel:
+    """In-place bubble sort: data-dependent branches galore."""
+    data = [(i * 17 + 7) % 101 for i in range(n)]
+    expected = sorted(data)
+    src = f"""
+    .data
+    arr: .word {_int_array(data)}
+    .text
+    main:   li   x1, {n - 1}        # outer remaining passes
+    outer:  li   x2, 0              # byte index
+            li   x3, {(n - 1) * 4}  # last pair offset
+    inner:  lw   x4, arr(x2)
+            lw   x5, arr+4(x2)
+            ble  x4, x5, noswap
+            sw   x5, arr(x2)
+            sw   x4, arr+4(x2)
+    noswap: addi x2, x2, 4
+            blt  x2, x3, inner
+            addi x1, x1, -1
+            bne  x1, x0, outer
+            halt
+    """
+    kernel = Kernel(
+        name="bubble_sort",
+        description=f"bubble sort of {n} words (branchy, LSU + INT_ALU)",
+        program=assemble(src),
+        dominant=(FUType.LSU, FUType.INT_ALU),
+    )
+    kernel.expected_words["arr"] = expected[0]
+    kernel._expected_sorted = expected  # type: ignore[attr-defined]
+    return kernel
+
+
+def histogram(n: int = 64, buckets: int = 8) -> Kernel:
+    """Bucketed histogram: indexed stores with read-modify-write."""
+    data = [(i * 31 + 11) % 256 for i in range(n)]
+    counts = [0] * buckets
+    for v in data:
+        counts[v % buckets] += 1
+    src = f"""
+    .data
+    data: .word {_int_array(data)}
+    hist: .space {buckets * 4}
+    .text
+    main:   li   x1, 0
+            li   x2, {n * 4}
+    loop:   lw   x3, data(x1)
+            andi x3, x3, {buckets - 1}
+            slli x3, x3, 2
+            lw   x4, hist(x3)
+            addi x4, x4, 1
+            sw   x4, hist(x3)
+            addi x1, x1, 4
+            blt  x1, x2, loop
+            halt
+    """
+    kernel = Kernel(
+        name="histogram",
+        description=f"{buckets}-bucket histogram over {n} words (dependent LSU)",
+        program=assemble(src),
+        dominant=(FUType.LSU, FUType.INT_ALU),
+    )
+    kernel.expected_words["hist"] = counts[0]
+    kernel._expected_counts = counts  # type: ignore[attr-defined]
+    return kernel
+
+
+def string_length(text: str = "the quick brown fox jumps over the lazy dog") -> Kernel:
+    """strlen over a NUL-terminated byte string (byte loads)."""
+    raw = text.encode("ascii")
+    src = f"""
+    .data
+    str:    .space {len(raw) + 1}
+    .align 4
+    result: .word 0
+    .text
+    main:   li   x1, 0
+    loop:   lbu  x2, str(x1)
+            beq  x2, x0, done
+            addi x1, x1, 1
+            j    loop
+    done:   sw   x1, result(x0)
+            halt
+    """
+    program = assemble(src)
+    program.data[0 : len(raw)] = raw  # initialise the string bytes
+    kernel = Kernel(
+        name="string_length",
+        description=f"strlen of a {len(raw)}-byte string (byte LSU + branches)",
+        program=program,
+        dominant=(FUType.LSU, FUType.INT_ALU),
+    )
+    kernel.expected_words["result"] = len(raw)
+    return kernel
+
+
+def fibonacci(n: int = 30) -> Kernel:
+    """Iterative Fibonacci mod 2^32: a pure dependent-ALU chain."""
+    a, b = 0, 1
+    for _ in range(n):
+        a, b = b, (a + b) & 0xFFFFFFFF
+    src = f"""
+    .data
+    result: .word 0
+    .text
+    main:   li   x1, 0       # a
+            li   x2, 1       # b
+            li   x3, {n}
+    loop:   add  x4, x1, x2
+            mv   x1, x2
+            mv   x2, x4
+            addi x3, x3, -1
+            bne  x3, x0, loop
+            sw   x1, result(x0)
+            halt
+    """
+    return Kernel(
+        name="fibonacci",
+        description=f"fib({n}) iteratively (serial INT_ALU chain)",
+        program=assemble(src),
+        expected_words={"result": a},
+        dominant=(FUType.INT_ALU,),
+    )
+
+
+def mandelbrot_point(cr_fx: int = -48, ci_fx: int = 40, max_iter: int = 40) -> Kernel:
+    """Fixed-point (Q6.6) Mandelbrot escape iteration for one point.
+
+    Heavy integer multiply chain with a data-dependent exit branch; stores
+    the iteration count at escape (|z|^2 > 4).
+    """
+    SHIFT = 6
+    FOUR = 4 << (2 * SHIFT)  # compare against |z|^2 in Q12.12
+    zr, zi, it = 0, 0, 0
+    while it < max_iter:
+        zr2, zi2 = zr * zr, zi * zi
+        if zr2 + zi2 > FOUR:
+            break
+        new_zr = ((zr2 - zi2) >> SHIFT) + cr_fx
+        zi = ((2 * zr * zi) >> SHIFT) + ci_fx
+        zr = new_zr
+        it += 1
+    src = f"""
+    .data
+    result: .word 0
+    .text
+    main:   li   x1, {cr_fx}     # cr
+            li   x2, {ci_fx}     # ci
+            li   x3, 0           # zr
+            li   x4, 0           # zi
+            li   x5, 0           # iterations
+            li   x6, {max_iter}
+            li   x7, {FOUR}
+    loop:   bge  x5, x6, done
+            mul  x8, x3, x3      # zr^2   (Q12.12)
+            mul  x9, x4, x4      # zi^2
+            add  x10, x8, x9
+            bgt  x10, x7, done   # escaped
+            sub  x10, x8, x9
+            srai x10, x10, {SHIFT}
+            add  x10, x10, x1    # new zr
+            mul  x11, x3, x4
+            slli x11, x11, 1
+            srai x11, x11, {SHIFT}
+            add  x4, x11, x2     # new zi
+            mv   x3, x10
+            addi x5, x5, 1
+            j    loop
+    done:   sw   x5, result(x0)
+            halt
+    """
+    return Kernel(
+        name="mandelbrot_point",
+        description=f"Q6.6 Mandelbrot escape iteration (INT_MDU chain, {max_iter} max)",
+        program=assemble(src),
+        expected_words={"result": it},
+        dominant=(FUType.INT_MDU, FUType.INT_ALU),
+    )
+
+
+def vector_max(n: int = 48) -> Kernel:
+    """Maximum of a float vector via FP compares + fmax."""
+    import math
+
+    xs = [f32(math.sin(1.7 * i) * (i % 11)) for i in range(n)]
+    src = f"""
+    .data
+    xs:     .float {_float_array(xs)}
+    result: .float 0.0
+    .text
+    main:   flw  f1, xs(x0)
+            li   x1, 4
+            li   x2, {n * 4}
+    loop:   flw  f2, xs(x1)
+            fmax f1, f1, f2
+            addi x1, x1, 4
+            blt  x1, x2, loop
+            fsw  f1, result(x0)
+            halt
+    """
+    return Kernel(
+        name="vector_max",
+        description=f"float max-reduction over {n} elements (FP_ALU chain)",
+        program=assemble(src),
+        expected_floats={"result": max(xs)},
+        dominant=(FUType.FP_ALU, FUType.LSU),
+    )
+
+
+def extended_kernels() -> list[Kernel]:
+    """One instance of every extended kernel at its default size."""
+    return [
+        bubble_sort(),
+        histogram(),
+        string_length(),
+        fibonacci(),
+        mandelbrot_point(),
+        vector_max(),
+    ]

@@ -1,0 +1,43 @@
+"""Phase-changing workloads for the steering-adaptation experiment (E-PH).
+
+A phased program runs several counted loops back to back, each following a
+different instruction mix — e.g. an integer phase, then a memory phase,
+then a floating-point phase.  A well-steered processor tracks the phases;
+a static configuration matches at most one of them.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from repro.errors import WorkloadError
+from repro.isa.assembler import assemble
+from repro.isa.program import Program
+from repro.workloads.synthetic import MixSpec, _data_section, _prologue, emit_body
+
+__all__ = ["phased_program"]
+
+
+def phased_program(
+    phases: Sequence[tuple[MixSpec, int]],
+    body_len: int = 24,
+    seed: int = 0,
+) -> Program:
+    """Concatenate one counted loop per ``(mix, iterations)`` phase."""
+    if not phases:
+        raise WorkloadError("phased_program needs at least one phase")
+    rng = random.Random(seed)
+    lines = _data_section()
+    lines.append("main:")
+    lines += _prologue()
+    for k, (mix, iterations) in enumerate(phases):
+        if iterations <= 0:
+            raise WorkloadError(f"phase {k}: iterations must be positive")
+        lines.append(f"li x20, {iterations}")
+        lines.append(f"phase{k}:")
+        lines += emit_body(rng, mix, body_len)
+        lines.append("addi x20, x20, -1")
+        lines.append(f"bne x20, x0, phase{k}")
+    lines.append("halt")
+    return assemble("\n".join(lines))

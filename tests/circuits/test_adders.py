@@ -1,0 +1,84 @@
+"""Tests for adder circuit models against plain arithmetic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.circuits.adders import (
+    full_adder,
+    multi_operand_add,
+    ripple_carry_add,
+    saturating_add,
+)
+from repro.errors import CircuitError
+
+
+class TestFullAdder:
+    @pytest.mark.parametrize("a", [0, 1])
+    @pytest.mark.parametrize("b", [0, 1])
+    @pytest.mark.parametrize("cin", [0, 1])
+    def test_truth_table(self, a, b, cin):
+        s, cout = full_adder(a, b, cin)
+        assert s + 2 * cout == a + b + cin
+
+    def test_rejects_non_bit(self):
+        with pytest.raises(CircuitError):
+            full_adder(2, 0)
+
+
+class TestRippleCarry:
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_matches_arithmetic_8bit(self, a, b):
+        s, cout = ripple_carry_add(a, b, 8)
+        assert s == (a + b) & 0xFF
+        assert cout == ((a + b) >> 8) & 1
+
+    @given(st.integers(0, 7), st.integers(0, 7), st.integers(0, 1))
+    def test_3bit_with_carry_in(self, a, b, cin):
+        s, cout = ripple_carry_add(a, b, 3, cin)
+        assert s + 8 * cout == a + b + cin
+
+    def test_rejects_oversized_input(self):
+        with pytest.raises(CircuitError):
+            ripple_carry_add(8, 0, 3)
+        with pytest.raises(CircuitError):
+            ripple_carry_add(0, 8, 3)
+
+    def test_rejects_bad_carry(self):
+        with pytest.raises(CircuitError):
+            ripple_carry_add(0, 0, 3, cin=2)
+
+
+class TestSaturatingAdd:
+    @given(st.integers(0, 7), st.integers(0, 7))
+    def test_saturates_at_7(self, a, b):
+        assert saturating_add(a, b, 3) == min(7, a + b)
+
+    def test_exact_saturation_boundary(self):
+        assert saturating_add(3, 4, 3) == 7
+        assert saturating_add(4, 4, 3) == 7
+        assert saturating_add(7, 7, 3) == 7
+
+
+class TestMultiOperand:
+    def test_paper_parameters(self):
+        # five 3-bit operands into a 6-bit sum: the Fig. 3(b) adder.
+        assert multi_operand_add([7, 7, 7, 7, 7], 3, 6) == 35
+        assert multi_operand_add([0, 0, 0, 0, 0], 3, 6) == 0
+        assert multi_operand_add([1, 2, 3, 4, 5], 3, 6) == 15
+
+    @given(st.lists(st.integers(0, 7), min_size=1, max_size=5))
+    def test_matches_sum(self, values):
+        assert multi_operand_add(values, 3, 6) == sum(values) & 0x3F
+
+    def test_truncates_like_hardware(self):
+        # 4-bit result register wraps
+        assert multi_operand_add([7, 7, 7], 3, 4) == 21 % 16
+
+    def test_rejects_empty(self):
+        with pytest.raises(CircuitError):
+            multi_operand_add([], 3, 6)
+
+    def test_rejects_wide_operand(self):
+        with pytest.raises(CircuitError):
+            multi_operand_add([8], 3, 6)

@@ -1,0 +1,54 @@
+"""Tests for comparators and the minimal-error selection network."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.circuits.comparators import equals, less_than, minimum_index
+from repro.errors import CircuitError
+
+
+class TestEquals:
+    @given(st.integers(0, 63), st.integers(0, 63))
+    def test_matches_python(self, a, b):
+        assert equals(a, b, 6) == int(a == b)
+
+    def test_rejects_oversized(self):
+        with pytest.raises(CircuitError):
+            equals(64, 0, 6)
+
+
+class TestLessThan:
+    @given(st.integers(0, 63), st.integers(0, 63))
+    def test_matches_python(self, a, b):
+        assert less_than(a, b, 6) == int(a < b)
+
+    def test_not_less_when_equal(self):
+        assert less_than(5, 5, 6) == 0
+
+    def test_rejects_oversized(self):
+        with pytest.raises(CircuitError):
+            less_than(0, 64, 6)
+
+
+class TestMinimumIndex:
+    def test_simple_minimum(self):
+        assert minimum_index([5, 3, 7, 1], 6) == 3
+
+    def test_tie_prefers_earliest_index(self):
+        """Candidate 0 is the current configuration: it must win ties."""
+        assert minimum_index([2, 2, 2, 2], 6) == 0
+        assert minimum_index([5, 2, 2, 9], 6) == 1
+
+    def test_single_candidate(self):
+        assert minimum_index([9], 6) == 0
+
+    def test_rejects_empty(self):
+        with pytest.raises(CircuitError):
+            minimum_index([], 6)
+
+    @given(st.lists(st.integers(0, 63), min_size=1, max_size=8))
+    def test_matches_python_min_with_first_tie(self, values):
+        assert values[minimum_index(values, 6)] == min(values)
+        # earliest minimal index wins
+        assert minimum_index(values, 6) == values.index(min(values))

@@ -1,0 +1,87 @@
+"""Tests for the analytic circuit-cost estimators."""
+
+from repro.circuits.cost import (
+    CircuitCost,
+    barrel_shifter_cost,
+    cem_generator_cost,
+    comparator_cost,
+    minimum_selector_cost,
+    multi_operand_adder_cost,
+    popcount_cost,
+    requirement_encoder_cost,
+    ripple_adder_cost,
+    selection_unit_cost,
+    unit_decoder_cost,
+)
+
+
+class TestCombinators:
+    def test_in_series_adds_depth(self):
+        a = CircuitCost(10, 3)
+        b = CircuitCost(5, 2)
+        assert a.in_series(b) == CircuitCost(15, 5)
+
+    def test_in_parallel_max_depth(self):
+        a = CircuitCost(10, 3)
+        b = CircuitCost(5, 7)
+        assert a.in_parallel(b) == CircuitCost(15, 7)
+
+    def test_replicated(self):
+        assert CircuitCost(4, 2).replicated(5) == CircuitCost(20, 2)
+        assert CircuitCost(4, 2).replicated(0) == CircuitCost(0, 0)
+
+
+class TestBlockCosts:
+    def test_adder_scales_linearly(self):
+        assert ripple_adder_cost(6).gates == 2 * ripple_adder_cost(3).gates
+
+    def test_shifter_positive(self):
+        c = barrel_shifter_cost(3, 2)
+        assert c.gates > 0 and c.depth > 0
+
+    def test_comparator_positive(self):
+        c = comparator_cost(6)
+        assert c.gates > 0 and c.depth > 0
+
+    def test_popcount_grows_with_inputs(self):
+        assert popcount_cost(7, 3).gates > popcount_cost(3, 3).gates
+
+    def test_multi_operand_tree(self):
+        c = multi_operand_adder_cost(5, 3, 6)
+        assert c.gates == 4 * ripple_adder_cost(6).gates
+
+
+class TestSelectionUnitCost:
+    def test_breakdown_has_all_stages(self):
+        costs = selection_unit_cost()
+        assert set(costs) == {
+            "unit_decoders",
+            "requirement_encoders",
+            "cem_generators",
+            "minimal_error_selector",
+            "total",
+        }
+
+    def test_total_is_series_composition(self):
+        costs = selection_unit_cost()
+        stage_gates = sum(v.gates for k, v in costs.items() if k != "total")
+        stage_depth = sum(v.depth for k, v in costs.items() if k != "total")
+        assert costs["total"].gates == stage_gates
+        assert costs["total"].depth == stage_depth
+
+    def test_total_is_modest(self):
+        """The paper's efficiency claim: a few thousand gate equivalents."""
+        total = selection_unit_cost()["total"]
+        assert total.gates < 10_000
+        assert total.depth < 120
+
+    def test_scales_with_queue_size(self):
+        small = selection_unit_cost(n_entries=4)["total"].gates
+        big = selection_unit_cost(n_entries=16)["total"].gates
+        assert big > small
+
+    def test_stage_helpers_positive(self):
+        assert unit_decoder_cost(7, 5).gates > 0
+        assert requirement_encoder_cost(7, 5, 3).gates > 0
+        assert cem_generator_cost(5, 3, 6).gates > 0
+        assert minimum_selector_cost(4, 6).gates > 0

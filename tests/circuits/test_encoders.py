@@ -1,0 +1,62 @@
+"""Tests for one-hot encoders, priority encoders and population counters."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.circuits.encoders import one_hot, popcount_tree, priority_encoder
+from repro.errors import CircuitError
+
+
+class TestOneHot:
+    @pytest.mark.parametrize("i", range(5))
+    def test_each_position(self, i):
+        v = one_hot(i, 5)
+        assert v == 1 << i
+        assert bin(v).count("1") == 1
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(CircuitError):
+            one_hot(5, 5)
+        with pytest.raises(CircuitError):
+            one_hot(-1, 5)
+
+
+class TestPriorityEncoder:
+    def test_lowest_bit_wins(self):
+        assert priority_encoder(0b0110, 4) == (1, 1)
+        assert priority_encoder(0b1000, 4) == (3, 1)
+
+    def test_zero_input_invalid(self):
+        index, valid = priority_encoder(0, 4)
+        assert valid == 0
+
+    def test_rejects_oversized(self):
+        with pytest.raises(CircuitError):
+            priority_encoder(16, 4)
+
+    @given(st.integers(1, 255))
+    def test_index_is_lowest_set_bit(self, bitmap):
+        index, valid = priority_encoder(bitmap, 8)
+        assert valid == 1
+        assert bitmap & ((1 << index) - 1) == 0
+        assert bitmap & (1 << index)
+
+
+class TestPopcountTree:
+    def test_counts_seven_inputs(self):
+        assert popcount_tree([1] * 7) == 7
+        assert popcount_tree([0] * 7) == 0
+        assert popcount_tree([1, 0, 1, 0, 1, 0, 1]) == 4
+
+    @given(st.lists(st.integers(0, 1), min_size=0, max_size=7))
+    def test_matches_sum(self, inputs):
+        assert popcount_tree(inputs) == sum(inputs)
+
+    def test_truncates_to_out_width(self):
+        # a 2-bit counter overflows with 4 ones, as hardware would
+        assert popcount_tree([1, 1, 1, 1], out_width=2) == 0
+
+    def test_rejects_non_bit(self):
+        with pytest.raises(CircuitError):
+            popcount_tree([2])

@@ -1,0 +1,160 @@
+"""Gate-level netlists verified against the functional circuit models."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.circuits.netlist import (
+    Netlist,
+    build_barrel_shifter,
+    build_cem_generator,
+    build_less_than,
+    build_minimum_selector,
+    build_popcount,
+    build_ripple_adder,
+)
+from repro.errors import CircuitError
+from repro.steering.error_metric import cem_error
+
+
+class TestNetlistBasics:
+    def test_constants(self):
+        nl = Netlist()
+        nl.output_bus("z", [nl.zero, nl.one])
+        assert nl.evaluate() == {"z": 0b10}
+
+    def test_primitive_gates(self):
+        nl = Netlist()
+        a = nl.input_bus("a", 1)
+        b = nl.input_bus("b", 1)
+        nl.output_bus("and", [nl.and_(a[0], b[0])])
+        nl.output_bus("or", [nl.or_(a[0], b[0])])
+        nl.output_bus("xor", [nl.xor(a[0], b[0])])
+        nl.output_bus("not", [nl.not_(a[0])])
+        for av in (0, 1):
+            for bv in (0, 1):
+                out = nl.evaluate(a=av, b=bv)
+                assert out["and"] == (av & bv)
+                assert out["or"] == (av | bv)
+                assert out["xor"] == (av ^ bv)
+                assert out["not"] == (av ^ 1)
+
+    def test_mux(self):
+        nl = Netlist()
+        s = nl.input_bus("s", 1)
+        nl.output_bus("y", [nl.mux(s[0], nl.zero, nl.one)])
+        assert nl.evaluate(s=0)["y"] == 0
+        assert nl.evaluate(s=1)["y"] == 1
+
+    def test_gate_count_and_depth_tracked(self):
+        nl = Netlist()
+        a = nl.input_bus("a", 1)
+        y = nl.and_(nl.and_(a[0], nl.one), nl.one)
+        nl.output_bus("y", [y])
+        assert nl.gate_count == 2
+        assert nl.depth == 2
+
+    def test_input_validation(self):
+        nl = Netlist()
+        nl.input_bus("a", 2)
+        with pytest.raises(CircuitError, match="already declared"):
+            nl.input_bus("a", 2)
+        with pytest.raises(CircuitError, match="missing value"):
+            nl.evaluate()
+        with pytest.raises(CircuitError, match="does not fit"):
+            nl.evaluate(a=4)
+        with pytest.raises(CircuitError, match="unknown input"):
+            nl.evaluate(a=0, b=0)
+
+    def test_bad_gate_rejected(self):
+        nl = Netlist()
+        with pytest.raises(CircuitError):
+            nl.gate("NAND3", 0, 0)
+        with pytest.raises(CircuitError):
+            nl.gate("AND", 0)
+
+
+class TestAdderNetlist:
+    @given(st.integers(0, 63), st.integers(0, 63))
+    def test_matches_arithmetic(self, a, b):
+        nl = Netlist()
+        abus = nl.input_bus("a", 6)
+        bbus = nl.input_bus("b", 6)
+        s, cout = build_ripple_adder(nl, abus, bbus)
+        nl.output_bus("sum", s)
+        nl.output_bus("cout", [cout])
+        out = nl.evaluate(a=a, b=b)
+        assert out["sum"] == (a + b) & 63
+        assert out["cout"] == (a + b) >> 6
+
+    def test_width_mismatch(self):
+        nl = Netlist()
+        with pytest.raises(CircuitError):
+            build_ripple_adder(nl, nl.input_bus("a", 2), nl.input_bus("b", 3))
+
+
+class TestPopcountNetlist:
+    @given(st.integers(0, 127))
+    def test_matches_bit_count(self, v):
+        nl = Netlist()
+        bits = nl.input_bus("v", 7)
+        nl.output_bus("count", build_popcount(nl, bits, 3))
+        assert nl.evaluate(v=v)["count"] == bin(v).count("1")
+
+
+class TestShifterNetlist:
+    @given(st.integers(0, 7), st.integers(0, 3))
+    def test_matches_right_shift(self, v, s):
+        nl = Netlist()
+        vbus = nl.input_bus("v", 3)
+        sbus = nl.input_bus("s", 2)
+        nl.output_bus("y", build_barrel_shifter(nl, vbus, sbus))
+        assert nl.evaluate(v=v, s=s)["y"] == v >> s
+
+
+class TestComparatorNetlist:
+    @given(st.integers(0, 63), st.integers(0, 63))
+    def test_matches_less_than(self, a, b):
+        nl = Netlist()
+        abus = nl.input_bus("a", 6)
+        bbus = nl.input_bus("b", 6)
+        nl.output_bus("lt", [build_less_than(nl, abus, bbus)])
+        assert nl.evaluate(a=a, b=b)["lt"] == int(a < b)
+
+
+class TestMinimumSelectorNetlist:
+    @given(st.lists(st.integers(0, 63), min_size=2, max_size=4))
+    def test_matches_functional_selector(self, values):
+        from repro.circuits.comparators import minimum_index
+
+        nl = Netlist()
+        buses = [nl.input_bus(f"c{i}", 6) for i in range(len(values))]
+        nl.output_bus("index", build_minimum_selector(nl, buses))
+        got = nl.evaluate(**{f"c{i}": v for i, v in enumerate(values)})["index"]
+        assert got == minimum_index(values, 6)
+
+    def test_tie_keeps_candidate_zero(self):
+        nl = Netlist()
+        buses = [nl.input_bus(f"c{i}", 6) for i in range(4)]
+        nl.output_bus("index", build_minimum_selector(nl, buses))
+        assert nl.evaluate(c0=5, c1=5, c2=5, c3=5)["index"] == 0
+
+
+class TestCemNetlist:
+    @given(st.tuples(*[st.integers(0, 7)] * 5))
+    def test_matches_functional_cem(self, required):
+        shifts = (2, 1, 0, 0, 1)
+        nl = Netlist()
+        buses = [nl.input_bus(f"r{i}", 3) for i in range(5)]
+        nl.output_bus("error", build_cem_generator(nl, buses, list(shifts)))
+        got = nl.evaluate(**{f"r{i}": v for i, v in enumerate(required)})["error"]
+        assert got == cem_error(required, shifts)
+
+    def test_gate_count_is_concrete(self):
+        """The real netlist calibrates the analytic estimate: same order
+        of magnitude, a few hundred gates per generator."""
+        nl = Netlist()
+        buses = [nl.input_bus(f"r{i}", 3) for i in range(5)]
+        nl.output_bus("error", build_cem_generator(nl, buses, [2, 1, 0, 0, 1]))
+        assert 50 < nl.gate_count < 500
+        assert nl.depth < 70

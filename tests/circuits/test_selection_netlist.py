@@ -1,0 +1,88 @@
+"""The gate-level selection core vs the functional selection unit."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.netlist import Netlist
+from repro.circuits.selection_netlist import (
+    SelectionCore,
+    build_requirement_encoders,
+    build_selection_core,
+)
+from repro.errors import CircuitError
+from repro.fabric.configuration import PREDEFINED_CONFIGS
+from repro.steering.error_metric import ErrorMetricGenerator
+from repro.steering.selection import ConfigurationSelectionUnit
+
+_COUNTS = st.tuples(*[st.integers(0, 7)] * 5)
+
+
+@pytest.fixture(scope="module")
+def core():
+    return SelectionCore()
+
+
+@pytest.fixture(scope="module")
+def functional():
+    return ConfigurationSelectionUnit()
+
+
+class TestGateLevelEquivalence:
+    @settings(max_examples=150, deadline=None)
+    @given(required=_COUNTS, current=_COUNTS)
+    def test_errors_match_functional_generators(self, required, current):
+        core = SelectionCore()
+        out = core.select(required, current)
+        current_gen = ErrorMetricGenerator(None)
+        assert out["error0"] == current_gen.error(required, current)
+        for k, cfg in enumerate(PREDEFINED_CONFIGS, start=1):
+            assert out[f"error{k}"] == ErrorMetricGenerator(cfg).error(required)
+
+    @settings(max_examples=150, deadline=None)
+    @given(required=_COUNTS, current=_COUNTS)
+    def test_select_matches_functional_unit(self, required, current):
+        """The two-bit output of the gates equals the functional stage-3+4
+        pipeline for every input in the 3-bit hardware domain."""
+        core = SelectionCore()
+        functional = ConfigurationSelectionUnit()
+        errors = functional.candidate_errors(required, current)
+        distances = functional._distances(current)
+        keys = [(e << 6) | d for e, d in zip(errors, distances)]
+        from repro.circuits.comparators import minimum_index
+
+        expected = minimum_index(keys, 12)
+        assert core.select(required, current)["select"] == expected
+
+
+class TestStructure:
+    def test_gate_count_reported(self, core):
+        # the measured cost of the real gates: order-of-magnitude agreement
+        # with the analytic estimate (cost.py says ~1000 GE for stages 3+4)
+        assert 500 < core.netlist.gate_count < 5000
+        assert core.netlist.depth < 150
+
+    def test_requires_three_configs(self):
+        with pytest.raises(CircuitError):
+            SelectionCore(configs=PREDEFINED_CONFIGS[:2])
+
+    def test_outputs_declared(self, core):
+        assert set(core.netlist.outputs) == {
+            "error0", "error1", "error2", "error3", "select",
+        }
+
+
+class TestRequirementEncoderNetlist:
+    def test_counts_onehot_columns(self):
+        nl = Netlist()
+        required = build_requirement_encoders(nl, n_entries=7)
+        for i, bus in enumerate(required):
+            nl.output_bus(f"count{i}", bus)
+        # queue: 3 IALU (bit0), 2 LSU (bit2), 2 FPMDU (bit4)
+        onehots = [0b00001, 0b00001, 0b00001, 0b00100, 0b00100, 0b10000, 0b10000]
+        out = nl.evaluate(**{f"entry{i}": v for i, v in enumerate(onehots)})
+        assert out["count0"] == 3
+        assert out["count1"] == 0
+        assert out["count2"] == 2
+        assert out["count3"] == 0
+        assert out["count4"] == 2

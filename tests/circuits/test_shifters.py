@@ -1,0 +1,55 @@
+"""Tests for barrel shifters and the Fig. 3(c) shift-control rule."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.circuits.shifters import barrel_shift_right, cem_shift_control
+from repro.errors import CircuitError
+
+
+class TestBarrelShift:
+    @given(st.integers(0, 7), st.integers(0, 2))
+    def test_matches_python_shift(self, value, shift):
+        assert barrel_shift_right(value, shift, 3) == value >> shift
+
+    def test_divide_by_4_2_1(self):
+        assert barrel_shift_right(7, 2, 3) == 1  # 7 // 4
+        assert barrel_shift_right(7, 1, 3) == 3  # 7 // 2
+        assert barrel_shift_right(7, 0, 3) == 7  # 7 // 1
+
+    def test_rejects_oversized_value(self):
+        with pytest.raises(CircuitError):
+            barrel_shift_right(8, 0, 3)
+
+    def test_rejects_out_of_range_shift(self):
+        with pytest.raises(CircuitError):
+            barrel_shift_right(0, 3, 3)
+        with pytest.raises(CircuitError):
+            barrel_shift_right(0, -1, 3)
+
+
+class TestCemShiftControl:
+    """Fig. 3(c): upper two bits of the available count select the divisor."""
+
+    @pytest.mark.parametrize(
+        "available,shift",
+        [(0, 0), (1, 0), (2, 1), (3, 1), (4, 2), (5, 2), (6, 2), (7, 2)],
+    )
+    def test_full_table(self, available, shift):
+        assert cem_shift_control(available) == shift
+
+    @given(st.integers(0, 7))
+    def test_is_floor_log2_capped_at_2(self, available):
+        """The rule is 'available rounded down to a power of two', capped."""
+        if available >= 4:
+            expected = 2
+        elif available >= 2:
+            expected = 1
+        else:
+            expected = 0
+        assert cem_shift_control(available) == expected
+
+    def test_rejects_oversized(self):
+        with pytest.raises(CircuitError):
+            cem_shift_control(8)

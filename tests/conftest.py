@@ -1,0 +1,15 @@
+"""Repo-wide test configuration: a deterministic hypothesis profile.
+
+Simulation-backed properties can be slow relative to hypothesis' default
+deadline; the ``repro`` profile removes per-example deadlines (wall-clock
+flakiness) while keeping example counts meaningful.
+"""
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

@@ -1,0 +1,95 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestKernels:
+    def test_lists_kernels(self, capsys):
+        assert main(["kernels"]) == 0
+        out = capsys.readouterr().out
+        assert "checksum" in out and "saxpy" in out
+
+
+class TestRun:
+    def test_run_kernel_by_name(self, capsys):
+        rc = main(["run", "checksum", "--reconfig-latency", "4"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "IPC" in out
+
+    def test_run_assembly_file(self, tmp_path, capsys):
+        src = tmp_path / "prog.s"
+        src.write_text("li x1, 3\nloop: addi x1, x1, -1\nbne x1, x0, loop\nhalt\n")
+        assert main(["run", str(src)]) == 0
+        assert "halted            : True" in capsys.readouterr().out
+
+    def test_unknown_policy(self, capsys):
+        rc = main(["run", "checksum", "--policy", "bogus"])
+        assert rc == 2
+        assert "unknown policy" in capsys.readouterr().err
+
+    def test_compare_mode(self, capsys):
+        rc = main(["run", "checksum", "--compare", "--reconfig-latency", "4"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        for policy in ("steering", "ffu-only", "oracle", "demand"):
+            assert policy in out
+
+    def test_non_halting_program_exit_code(self, tmp_path, capsys):
+        src = tmp_path / "loop.s"
+        src.write_text("loop: j loop\nhalt\n")
+        assert main(["run", str(src), "--max-cycles", "200"]) == 1
+
+    def test_synthetic_mix_target(self, capsys):
+        rc = main(["run", "mix:int:10", "--reconfig-latency", "4"])
+        assert rc == 0
+        assert "halted            : True" in capsys.readouterr().out
+
+    def test_phased_target(self, capsys):
+        rc = main(["run", "phased:1", "--reconfig-latency", "4"])
+        assert rc == 0
+
+    def test_unknown_mix_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "mix:quantum"])
+
+    def test_json_output(self, capsys):
+        import json
+
+        rc = main(["run", "checksum", "--json", "--reconfig-latency", "4"])
+        assert rc == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["halted"] is True
+        assert record["ipc"] > 0
+        assert "IALU" in record["retired_per_type"]
+
+
+class TestDisasm:
+    def test_disassembles_kernel(self, capsys):
+        assert main(["disasm", "memcpy"]) == 0
+        out = capsys.readouterr().out
+        assert "lw" in out and "0x" in out
+
+
+class TestArtifacts:
+    def test_single_artifact(self, capsys):
+        assert main(["artifacts", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert "SPAN" in out
+
+    def test_unknown_artifact(self, capsys):
+        assert main(["artifacts", "bogus"]) == 2
+
+    def test_fig456(self, capsys):
+        assert main(["artifacts", "fig456"]) == 0
+        assert "FPMul" in capsys.readouterr().out
+
+
+class TestTrace:
+    def test_trace_output(self, capsys):
+        rc = main(["trace", "checksum", "--reconfig-latency", "4", "--stride", "10"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "cycle" in out and "slots" in out

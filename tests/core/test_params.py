@@ -1,0 +1,42 @@
+"""Tests for processor parameters and their validation."""
+
+import pytest
+
+from repro.core.params import ProcessorParams
+from repro.errors import SimulationError
+
+
+class TestDefaults:
+    def test_paper_defaults(self):
+        p = ProcessorParams()
+        assert p.window_size == 7   # the paper's 7-entry queue
+        assert p.n_slots == 8       # eight RFU slots
+        assert p.reconfig_latency == 16
+        assert p.fetch_width == 4
+
+    def test_frozen(self):
+        p = ProcessorParams()
+        with pytest.raises(AttributeError):
+            p.window_size = 9  # type: ignore[misc]
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "field",
+        [
+            "window_size",
+            "fetch_width",
+            "retire_width",
+            "n_slots",
+            "reconfig_latency",
+            "dmem_size",
+            "decode_capacity",
+        ],
+    )
+    def test_positive_required(self, field):
+        with pytest.raises(SimulationError):
+            ProcessorParams(**{field: 0})
+
+    def test_custom_values_accepted(self):
+        p = ProcessorParams(window_size=16, reconfig_latency=1)
+        assert p.window_size == 16

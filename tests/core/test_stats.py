@@ -1,0 +1,65 @@
+"""Unit tests for the SimulationResult record."""
+
+import pytest
+
+from repro.core.stats import SimulationResult
+from repro.isa.futypes import FUType
+
+
+def _result(**overrides):
+    base = dict(policy="test", cycles=100, retired=150, halted=True)
+    base.update(overrides)
+    return SimulationResult(**base)
+
+
+class TestIpc:
+    def test_ipc(self):
+        assert _result().ipc == 1.5
+
+    def test_zero_cycles(self):
+        assert _result(cycles=0, retired=0).ipc == 0.0
+
+
+class TestBranchAccuracy:
+    def test_no_branches_is_perfect(self):
+        assert _result().branch_accuracy == 1.0
+
+    def test_accuracy(self):
+        r = _result(branch_resolutions=10, mispredictions=3)
+        assert r.branch_accuracy == pytest.approx(0.7)
+
+
+class TestUtilisation:
+    def test_fraction(self):
+        r = _result(
+            busy_unit_cycles={FUType.INT_ALU: 30},
+            configured_unit_cycles={FUType.INT_ALU: 100},
+        )
+        assert r.utilisation(FUType.INT_ALU) == pytest.approx(0.3)
+
+    def test_unconfigured_type_is_zero(self):
+        assert _result().utilisation(FUType.FP_MDU) == 0.0
+
+
+class TestSummary:
+    def test_contains_core_fields(self):
+        text = _result().summary()
+        for token in ("policy", "IPC", "dynamic mix", "unit utilisation", "stalls"):
+            assert token in text
+
+    def test_steering_fields_only_when_present(self):
+        assert "steering picks" not in _result().summary()
+        r = _result(steering_selections={0: 5, 1: 3}, steering_kept_fraction=0.6)
+        text = r.summary()
+        assert "steering picks" in text and "cfg0:5" in text
+
+    def test_stall_fields_rendered(self):
+        r = _result(
+            frontend_empty_cycles=3,
+            resource_blocked_cycles=7,
+            contention_cycles=11,
+        )
+        text = r.summary()
+        assert "frontend-empty 3" in text
+        assert "resource-blocked 7" in text
+        assert "contention 11" in text

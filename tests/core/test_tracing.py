@@ -1,0 +1,103 @@
+"""Tests for per-cycle event recording and the fabric timeline."""
+
+import pytest
+
+from repro.core.baselines import steering_processor
+from repro.core.params import ProcessorParams
+from repro.core.policies import PaperSteering
+from repro.core.processor import Processor
+from repro.core.tracing import CycleEvents, render_fabric_timeline, slot_glyphs
+from repro.fabric.fabric import Fabric
+from repro.isa.assembler import assemble
+from repro.isa.futypes import FUType
+from repro.workloads.kernels import checksum
+
+_PARAMS = ProcessorParams(reconfig_latency=4)
+
+
+class TestSlotGlyphs:
+    def test_empty_fabric(self):
+        assert slot_glyphs(Fabric()) == "." * 8
+
+    def test_reconfiguring_slot(self):
+        f = Fabric(reconfig_latency=10)
+        f.rfus.begin_reconfigure(0, FUType.INT_ALU)
+        assert slot_glyphs(f)[0] == "*"
+
+    def test_loaded_and_busy_units(self):
+        f = Fabric(reconfig_latency=1)
+        f.rfus.begin_reconfigure(0, FUType.FP_ALU)
+        while not f.rfus.bus_free:
+            f.tick()
+        assert slot_glyphs(f)[:3] == "FFF"  # idle: uppercase, spans shown
+        f.rfus.units_of_type(FUType.FP_ALU)[0].occupy(5)
+        assert slot_glyphs(f)[:3] == "fff"
+
+
+class TestEventRecording:
+    def test_last_events_always_kept(self):
+        kernel = checksum(iterations=10)
+        proc = steering_processor(kernel.program, _PARAMS)
+        proc.run()
+        assert proc.last_events is not None
+        assert proc.events is None  # history off by default
+
+    def test_history_recorded_when_enabled(self):
+        kernel = checksum(iterations=10)
+        proc = Processor(kernel.program, params=_PARAMS, record_events=True)
+        result = proc.run()
+        assert len(proc.events) == result.cycles
+        assert proc.events[0].cycle == 0
+        # something was fetched in cycle 0 and something retired eventually
+        assert proc.events[0].fetched
+        assert any(e.retired for e in proc.events)
+
+    def test_retired_seqs_cover_all_instructions(self):
+        kernel = checksum(iterations=5)
+        proc = Processor(kernel.program, params=_PARAMS, record_events=True)
+        result = proc.run()
+        retired = [s for e in proc.events for s in e.retired]
+        assert len(retired) == result.retired
+        assert retired == sorted(retired)  # in-order retirement visible
+
+    def test_flush_events_visible(self):
+        # alternating branch: guaranteed mispredicts
+        program = assemble(
+            "li x1, 16\nloop: andi x2, x1, 1\nbeq x2, x0, skip\n"
+            "addi x3, x3, 1\nskip: addi x1, x1, -1\nbne x1, x0, loop\nhalt\n"
+        )
+        proc = Processor(program, params=_PARAMS, record_events=True)
+        proc.run()
+        assert any(e.flushed for e in proc.events)
+
+    def test_selection_recorded_with_traced_manager(self):
+        kernel = checksum(iterations=20)
+        proc = Processor(
+            kernel.program,
+            params=_PARAMS,
+            policy=PaperSteering(record_trace=True),
+            record_events=True,
+        )
+        proc.run()
+        assert any(e.selection is not None for e in proc.events)
+
+
+class TestTimelineRendering:
+    def test_renders_rows(self):
+        events = [
+            CycleEvents(cycle=i, slots="A" * 8, issued=(i,), selection=0)
+            for i in range(10)
+        ]
+        text = render_fabric_timeline(events)
+        assert text.count("\n") == 11  # header + rule + 10 rows
+
+    def test_stride_and_cap(self):
+        events = [CycleEvents(cycle=i, slots="." * 8) for i in range(100)]
+        text = render_fabric_timeline(events, stride=10)
+        assert len(text.splitlines()) == 12
+        capped = render_fabric_timeline(events, stride=1, max_rows=5)
+        assert "more cycles" in capped
+
+    def test_flush_marker(self):
+        text = render_fabric_timeline([CycleEvents(cycle=0, slots=".", flushed=2)])
+        assert "FLUSH" in text

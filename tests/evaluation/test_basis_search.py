@@ -1,0 +1,94 @@
+"""Tests for the §5 steering-basis design search."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.evaluation.basis_search import demand_profile, design_basis, profile_cost
+from repro.fabric.configuration import NUM_RFU_SLOTS, PREDEFINED_CONFIGS
+from repro.isa.futypes import FU_TYPES, FUType
+from repro.workloads.kernels import checksum, memcpy, newton_sqrt
+
+_PROGRAMS = [
+    checksum(iterations=40).program,
+    memcpy(n=32).program,
+    newton_sqrt(iterations=10).program,
+]
+
+
+@pytest.fixture(scope="module")
+def profile():
+    return demand_profile(_PROGRAMS, window=7, stride=4)
+
+
+class TestDemandProfile:
+    def test_vectors_have_five_entries_summing_to_window(self, profile):
+        for v in profile:
+            assert len(v) == len(FU_TYPES)
+            assert 0 < sum(v) <= 7
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            demand_profile(_PROGRAMS, window=0)
+        with pytest.raises(ConfigurationError):
+            demand_profile([], window=7)
+
+
+class TestProfileCost:
+    def test_bigger_basis_never_costs_more(self, profile):
+        small = [PREDEFINED_CONFIGS[0]]
+        full = list(PREDEFINED_CONFIGS)
+        assert profile_cost(profile, full) <= profile_cost(profile, small)
+
+    def test_cost_positive(self, profile):
+        assert profile_cost(profile, PREDEFINED_CONFIGS) > 0
+
+
+class TestDesignBasis:
+    def test_never_worse_than_paper_basis(self, profile):
+        """The paper basis seeds one start, so the search result dominates."""
+        basis, cost = design_basis(profile, seed=0)
+        assert cost <= profile_cost(profile, PREDEFINED_CONFIGS) + 1e-9
+
+    def test_respects_slot_budget(self, profile):
+        basis, _ = design_basis(profile, seed=1)
+        for cfg in basis:
+            assert cfg.slot_usage <= NUM_RFU_SLOTS
+
+    def test_requested_basis_size(self, profile):
+        basis, _ = design_basis(profile, n_configs=2, seed=2)
+        assert len(basis) == 2
+
+    def test_deterministic_by_seed(self, profile):
+        a, ca = design_basis(profile, seed=3)
+        b, cb = design_basis(profile, seed=3)
+        assert ca == cb
+        assert [x.counts for x in a] == [y.counts for y in b]
+
+    def test_fp_heavy_profile_gets_fp_units(self):
+        profile = demand_profile([newton_sqrt(iterations=20).program])
+        basis, _ = design_basis(profile, n_configs=2, seed=0)
+        assert any(
+            cfg.count(FUType.FP_MDU) > 0 or cfg.count(FUType.FP_ALU) > 0
+            for cfg in basis
+        )
+
+    def test_validation(self, profile):
+        with pytest.raises(ConfigurationError):
+            design_basis(profile, n_configs=0)
+
+
+class TestDesignedBasisEndToEnd:
+    def test_designed_basis_runs_in_the_processor(self, profile):
+        from repro.core.params import ProcessorParams
+        from repro.core.policies import PaperSteering
+        from repro.core.processor import Processor
+
+        basis, _ = design_basis(profile, seed=0)
+        kernel = memcpy(n=32)
+        policy = PaperSteering(configs=tuple(basis))
+        proc = Processor(
+            kernel.program, params=ProcessorParams(reconfig_latency=4), policy=policy
+        )
+        result = proc.run()
+        assert result.halted
+        kernel.verify(proc.dmem)

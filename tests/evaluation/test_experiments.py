@@ -1,0 +1,136 @@
+"""Tests for the quantitative experiments (shape checks at small scale)."""
+
+import pytest
+
+from repro.core.params import ProcessorParams
+from repro.evaluation.experiments import (
+    run_cem_ablation,
+    run_circuit_cost_report,
+    run_ipc_comparison,
+    run_orthogonality_study,
+    run_phase_adaptation,
+    run_queue_depth_sweep,
+    run_reconfig_latency_sweep,
+)
+from repro.workloads.kernels import checksum, memcpy, newton_sqrt
+from repro.workloads.phases import phased_program
+from repro.workloads.synthetic import FP_MIX, INT_MIX
+
+_SMALL = [
+    ("checksum", checksum(iterations=150).program),
+    ("memcpy", memcpy(n=60).program),
+]
+
+
+class TestIpcComparison:
+    @pytest.fixture(scope="class")
+    def comparison(self):
+        return run_ipc_comparison(workloads=_SMALL, include_oracle=True)
+
+    def test_all_cells_populated(self, comparison):
+        for w in comparison.workloads:
+            for p in comparison.policies:
+                assert comparison.ipc[w][p] > 0
+
+    def test_steering_beats_ffu_only(self, comparison):
+        """The headline shape: steering wins on every matched workload."""
+        for w in comparison.workloads:
+            assert comparison.ipc[w]["steering"] > comparison.ipc[w]["ffu-only"]
+
+    def test_mismatched_static_config_near_ffu_floor(self, comparison):
+        # static-integer provides nothing memcpy needs beyond FFUs
+        row = comparison.ipc["memcpy"]
+        assert row["static-integer"] == pytest.approx(row["ffu-only"], rel=0.05)
+
+    def test_oracle_at_least_matches_steering_on_average(self, comparison):
+        assert comparison.mean_ipc("oracle") >= comparison.mean_ipc("steering") - 0.05
+
+    def test_render(self, comparison):
+        text = comparison.render()
+        assert "E-IPC" in text and "MEAN" in text
+
+    def test_winner_helper(self, comparison):
+        assert comparison.winner("memcpy") in comparison.policies
+
+
+class TestReconfigLatency:
+    def test_ipc_degrades_with_latency(self):
+        program = phased_program([(INT_MIX, 20), (FP_MIX, 20)], seed=1)
+        rows = run_reconfig_latency_sweep([1, 64, 512], program=program)
+        ipcs = [r[1] for r in rows]
+        assert ipcs[0] >= ipcs[-1]  # monotone-ish degradation
+
+    def test_ffu_floor_constant(self):
+        program = phased_program([(INT_MIX, 15)], seed=1)
+        rows = run_reconfig_latency_sweep([1, 128], program=program)
+        assert rows[0][2] == pytest.approx(rows[1][2], rel=0.01)
+
+
+class TestPhaseAdaptation:
+    @pytest.fixture(scope="class")
+    def adaptation(self):
+        return run_phase_adaptation(
+            phases=[(INT_MIX, 30), (FP_MIX, 30)],
+            params=ProcessorParams(reconfig_latency=4),
+        )
+
+    def test_loads_happen(self, adaptation):
+        assert adaptation.load_cycles
+
+    def test_steering_settles(self, adaptation):
+        assert adaptation.settle_points(window=30)
+
+    def test_selection_trace_covers_run(self, adaptation):
+        assert len(adaptation.selections) == adaptation.result.cycles
+
+    def test_kept_fraction_bounded(self, adaptation):
+        assert 0.0 <= adaptation.kept_fraction <= 1.0
+
+
+class TestQueueDepth:
+    def test_deeper_queue_never_catastrophic(self):
+        program = phased_program([(INT_MIX, 15), (FP_MIX, 15)], seed=2)
+        rows = run_queue_depth_sweep([3, 7, 12], program=program)
+        ipcs = {d: i for d, i in rows}
+        assert ipcs[7] > 0.3
+        # a deeper window should not *hurt* much relative to the paper's 7
+        assert ipcs[12] >= ipcs[3] * 0.8
+
+
+class TestCemAblation:
+    def test_approx_within_tolerance_of_exact(self):
+        rows = run_cem_ablation(workloads=_SMALL)
+        for name, approx_ipc, exact_ipc in rows:
+            assert approx_ipc == pytest.approx(exact_ipc, rel=0.25), name
+
+
+class TestOrthogonality:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_orthogonality_study(n_bases=2, max_cycles=60_000)
+
+    def test_study_returns_anchors_plus_random(self, rows):
+        names = [r[0] for r in rows]
+        assert names[0] == "paper"
+        assert names[1] == "degenerate"
+        assert len(rows) == 4
+
+    def test_similarity_in_unit_interval(self, rows):
+        for _, sim, ipc in rows:
+            assert 0.0 <= sim <= 1.0
+            assert ipc > 0
+
+    def test_degenerate_basis_is_fully_similar(self, rows):
+        by_name = {name: sim for name, sim, _ in rows}
+        assert by_name["degenerate"] > 0.999
+
+
+class TestCircuitCost:
+    def test_report_renders(self):
+        text = run_circuit_cost_report([7])
+        assert "E-COST" in text
+        assert "unit_decoders" in text
+
+    def test_multiple_queue_sizes(self):
+        text = run_circuit_cost_report([4, 7, 16])
+        assert text.count("E-COST") == 3

@@ -1,0 +1,41 @@
+"""Tests for the one-shot report generator."""
+
+import pytest
+
+from repro.evaluation.harness import generate_report
+
+
+@pytest.fixture(scope="module")
+def report():
+    notes = []
+    text = generate_report(fast=True, progress=notes.append)
+    return text, notes
+
+
+class TestGenerateReport:
+    def test_contains_every_artifact_section(self, report):
+        text, _ = report
+        for section in (
+            "Table 1",
+            "Table 2",
+            "Figure 1",
+            "Figure 2",
+            "Figure 3",
+            "Figures 4-6",
+            "Figure 7",
+        ):
+            assert section in text
+
+    def test_contains_every_experiment_section(self, report):
+        text, _ = report
+        for section in ("E-IPC", "E-RL", "E-PH", "E-Q", "E-CEM", "E-COST"):
+            assert section in text
+
+    def test_progress_callbacks_fire(self, report):
+        _, notes = report
+        assert any("E-IPC" in n for n in notes)
+
+    def test_report_is_markdown(self, report):
+        text, _ = report
+        assert text.startswith("# ")
+        assert "```" in text

@@ -1,0 +1,37 @@
+"""Tests for the fixed-width table renderer."""
+
+from repro.evaluation.report import format_value, render_table
+
+
+class TestFormatValue:
+    def test_floats_three_decimals(self):
+        assert format_value(1.23456) == "1.235"
+
+    def test_bools_readable(self):
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+
+    def test_ints_and_strings_verbatim(self):
+        assert format_value(42) == "42"
+        assert format_value("abc") == "abc"
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(["a", "bbbb"], [[1, 2], [333, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, 2 rows
+        # all rows the same width structure
+        assert lines[1].startswith("---")
+
+    def test_title(self):
+        assert render_table(["x"], [[1]], title="T").splitlines()[0] == "T"
+
+    def test_empty_rows(self):
+        text = render_table(["col"], [])
+        assert "col" in text
+
+    def test_wide_cell_stretches_column(self):
+        text = render_table(["h"], [["wider-than-header"]])
+        header = text.splitlines()[0]
+        assert len(header) >= len("wider-than-header")

@@ -1,0 +1,76 @@
+"""Tests for the Eq. 1 availability function / Fig. 7 circuit."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import FabricError
+from repro.fabric.allocation import EMPTY_ENCODING, SPAN_ENCODING
+from repro.fabric.availability import availability_report, available
+from repro.isa.futypes import FU_TYPES, FUType
+
+
+class TestAvailable:
+    def test_idle_matching_unit(self):
+        allocation = [FUType.LSU.encoding]
+        assert available(FUType.LSU, allocation, [True]) is True
+        assert available(FUType.LSU, allocation, [False]) is False
+
+    def test_wrong_type_never_matches(self):
+        allocation = [FUType.LSU.encoding]
+        assert available(FUType.INT_ALU, allocation, [True]) is False
+
+    def test_empty_and_span_never_match(self):
+        allocation = [EMPTY_ENCODING, SPAN_ENCODING]
+        for t in FU_TYPES:
+            assert available(t, allocation, [True, True]) is False
+
+    def test_multi_slot_unit_counted_once_via_head(self):
+        """The SPAN encoding ensures a 3-slot FP unit contributes once."""
+        allocation = [FUType.FP_ALU.encoding, SPAN_ENCODING, SPAN_ENCODING]
+        assert available(FUType.FP_ALU, allocation, [True, False, False]) is True
+        assert available(FUType.FP_ALU, allocation, [False, True, True]) is False
+
+    def test_or_across_copies(self):
+        allocation = [FUType.INT_ALU.encoding] * 3
+        assert available(FUType.INT_ALU, allocation, [False, False, True]) is True
+        assert available(FUType.INT_ALU, allocation, [False, False, False]) is False
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(FabricError):
+            available(FUType.LSU, [1, 2], [True])
+
+
+class TestReport:
+    def test_report_covers_all_types(self):
+        report = availability_report([], [])
+        assert set(report) == set(FU_TYPES)
+        assert not any(report.values())
+
+    def test_mixed_fabric(self):
+        allocation = [
+            FUType.INT_ALU.encoding,
+            FUType.FP_MDU.encoding, SPAN_ENCODING, SPAN_ENCODING,
+            FUType.LSU.encoding,
+        ]
+        availability = [False, True, True, True, True]
+        report = availability_report(allocation, availability)
+        assert report[FUType.INT_ALU] is False
+        assert report[FUType.FP_MDU] is True
+        assert report[FUType.LSU] is True
+        assert report[FUType.INT_MDU] is False
+
+
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(list(FU_TYPES)), st.booleans()),
+        max_size=10,
+    )
+)
+def test_matches_specification(entries):
+    """Property: Eq. 1 equals 'exists an idle configured unit of type t'."""
+    allocation = [t.encoding for t, _ in entries]
+    availability = [a for _, a in entries]
+    for t in FU_TYPES:
+        spec = any(ty is t and av for ty, av in entries)
+        assert available(t, allocation, availability) == spec

@@ -1,0 +1,82 @@
+"""Tests for the module-based vs difference-based reconfiguration flows [8]."""
+
+import pytest
+
+from repro.errors import FabricError
+from repro.fabric.slots import RfuSlotArray
+from repro.isa.futypes import FUType
+
+
+def _drain(arr):
+    while not arr.bus_free:
+        arr.tick()
+
+
+class TestModeValidation:
+    def test_default_is_module(self):
+        assert RfuSlotArray().reconfig_mode == "module"
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(FabricError, match="mode"):
+            RfuSlotArray(reconfig_mode="quantum")
+
+
+class TestModuleFlow:
+    def test_cost_is_always_full(self):
+        arr = RfuSlotArray(reconfig_latency=10, reconfig_mode="module")
+        assert arr.begin_reconfigure(0, FUType.INT_ALU) == 10
+        _drain(arr)
+        # replacing with the same type still pays full price
+        assert arr.begin_reconfigure(0, FUType.INT_ALU) == 10
+
+
+class TestDifferenceFlow:
+    def _arr(self):
+        return RfuSlotArray(reconfig_latency=10, reconfig_mode="difference")
+
+    def test_empty_region_pays_full_price(self):
+        arr = self._arr()
+        assert arr.begin_reconfigure(0, FUType.FP_ALU) == 30
+
+    def test_same_type_reload_is_nearly_free(self):
+        arr = self._arr()
+        arr.begin_reconfigure(0, FUType.LSU)
+        _drain(arr)
+        assert arr.begin_reconfigure(0, FUType.LSU) == 1
+
+    def test_same_family_half_price(self):
+        arr = self._arr()
+        arr.begin_reconfigure(0, FUType.INT_ALU)
+        _drain(arr)
+        assert arr.begin_reconfigure(0, FUType.LSU) == 5  # int family
+
+    def test_cross_family_full_price(self):
+        arr = self._arr()
+        arr.begin_reconfigure(0, FUType.FP_ALU)
+        _drain(arr)
+        # FP -> integer MDU: unrelated logic, full region rewrite
+        assert arr.begin_reconfigure(0, FUType.INT_MDU) == 20
+
+    def test_multi_slot_same_family(self):
+        arr = self._arr()
+        arr.begin_reconfigure(0, FUType.FP_ALU)
+        _drain(arr)
+        assert arr.begin_reconfigure(0, FUType.FP_MDU) == 15  # fp family, /2
+
+    def test_difference_flow_end_to_end_cheaper(self):
+        """Steering a processor with the difference flow spends fewer bus
+        cycles on the same phased workload."""
+        from repro.core.baselines import steering_processor
+        from repro.core.params import ProcessorParams
+        from repro.workloads.phases import phased_program
+        from repro.workloads.synthetic import FP_MIX, INT_MIX
+
+        program = phased_program([(INT_MIX, 30), (FP_MIX, 30)], seed=4)
+        module = steering_processor(
+            program, ProcessorParams(reconfig_latency=16)
+        ).run()
+        difference = steering_processor(
+            program, ProcessorParams(reconfig_latency=16, reconfig_mode="difference")
+        ).run()
+        assert difference.reconfig_bus_cycles <= module.reconfig_bus_cycles
+        assert difference.ipc >= module.ipc * 0.98

@@ -1,0 +1,57 @@
+"""Tests for the decode stage buffer."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.frontend.decode import DecodeStage
+from repro.frontend.fetch import FetchedInstruction
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+
+
+def _fi(pc):
+    return FetchedInstruction(pc=pc, instruction=Instruction(Opcode.ADD), predicted_next=pc + 1)
+
+
+class TestDecodeStage:
+    def test_push_pop_fifo_order(self):
+        d = DecodeStage(width=2)
+        d.push([_fi(0), _fi(1), _fi(2)])
+        assert [f.pc for f in d.pop()] == [0, 1]
+        assert [f.pc for f in d.pop()] == [2]
+        assert d.pop() == []
+
+    def test_pop_respects_limit(self):
+        d = DecodeStage(width=4)
+        d.push([_fi(i) for i in range(4)])
+        assert len(d.pop(limit=1)) == 1
+
+    def test_capacity_enforced(self):
+        d = DecodeStage(width=4, capacity=2)
+        assert d.can_accept(2) and not d.can_accept(3)
+        with pytest.raises(SimulationError, match="overflow"):
+            d.push([_fi(i) for i in range(3)])
+
+    def test_free_space(self):
+        d = DecodeStage(width=4, capacity=8)
+        d.push([_fi(0)])
+        assert d.free_space == 7
+        assert len(d) == 1
+
+    def test_flush(self):
+        d = DecodeStage()
+        d.push([_fi(0), _fi(1)])
+        assert d.flush() == 2
+        assert len(d) == 0
+
+    def test_decoded_counter(self):
+        d = DecodeStage(width=4)
+        d.push([_fi(0), _fi(1)])
+        d.pop()
+        assert d.decoded == 2
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            DecodeStage(width=0)
+        with pytest.raises(SimulationError):
+            DecodeStage(capacity=0)

@@ -1,0 +1,99 @@
+"""Random co-simulation: the strongest correctness property in the repo.
+
+Hypothesis generates synthetic programs (arbitrary mixes, dependency
+densities and seeds) and pipeline configurations; the cycle-level
+out-of-order reconfigurable processor must commit *exactly* the
+architectural state of the in-order functional reference — registers and
+memory — under every steering policy.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.baselines import (
+    fixed_superscalar,
+    random_processor,
+    static_processor,
+    steering_processor,
+)
+from repro.core.params import ProcessorParams
+from repro.core.reference import run_reference
+from repro.fabric.configuration import PREDEFINED_CONFIGS
+from repro.workloads.synthetic import (
+    BALANCED_MIX,
+    FP_MIX,
+    INT_MIX,
+    MEM_MIX,
+    synthetic_program,
+)
+
+_MIXES = [INT_MIX, MEM_MIX, FP_MIX, BALANCED_MIX]
+
+
+def _assert_architectural_match(proc, program):
+    ref = run_reference(program, max_instructions=2_000_000)
+    got = proc.ruu.regfile.snapshot()
+    want = ref.registers.snapshot()
+    assert got["int"] == want["int"]
+    for g, w in zip(got["fp"], want["fp"]):
+        assert g == w or (g != g and w != w)  # NaN-safe equality
+    # compare the synthetic buffer region of data memory
+    base = program.data_labels["buf"]
+    assert proc.dmem.peek(base, 256) == ref.memory.peek(base, 256)
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    mix=st.sampled_from(_MIXES),
+    seed=st.integers(0, 10_000),
+    body_len=st.integers(8, 32),
+)
+def test_steering_pipeline_equals_reference(mix, seed, body_len):
+    program = synthetic_program(mix, body_len=body_len, iterations=4, seed=seed)
+    proc = steering_processor(program, ProcessorParams(reconfig_latency=4))
+    result = proc.run(max_cycles=300_000)
+    assert result.halted
+    _assert_architectural_match(proc, program)
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    seed=st.integers(0, 10_000),
+    window=st.integers(3, 12),
+    fetch_width=st.integers(1, 6),
+    latency=st.sampled_from([1, 8, 64]),
+)
+def test_pipeline_parameters_never_change_semantics(seed, window, fetch_width, latency):
+    program = synthetic_program(BALANCED_MIX, body_len=16, iterations=3, seed=seed)
+    params = ProcessorParams(
+        window_size=window,
+        fetch_width=fetch_width,
+        retire_width=fetch_width,
+        reconfig_latency=latency,
+    )
+    proc = steering_processor(program, params)
+    result = proc.run(max_cycles=300_000)
+    assert result.halted
+    _assert_architectural_match(proc, program)
+
+
+@settings(max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(0, 10_000))
+def test_all_policies_agree_architecturally(seed):
+    program = synthetic_program(BALANCED_MIX, body_len=20, iterations=3, seed=seed)
+    params = ProcessorParams(reconfig_latency=4)
+    processors = [
+        fixed_superscalar(program, params),
+        steering_processor(program, params),
+        static_processor(program, PREDEFINED_CONFIGS[seed % 3], params),
+        random_processor(program, params, period=30, seed=seed),
+    ]
+    for proc in processors:
+        result = proc.run(max_cycles=300_000)
+        assert result.halted
+        _assert_architectural_match(proc, program)

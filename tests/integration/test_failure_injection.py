@@ -1,0 +1,101 @@
+"""Failure injection: the §3.2 forward-progress argument.
+
+"Because the FFUs implement units for all instructions, every instruction
+is guaranteed to execute."  These tests demonstrate both directions: with
+the fixed bank every workload completes under every policy, and without it
+(the pathological fabric the paper warns about) instructions whose unit
+type is never configured starve forever.
+"""
+
+import pytest
+
+from repro.core.params import ProcessorParams
+from repro.core.policies import NoSteering, PaperSteering, StaticConfiguration
+from repro.core.processor import Processor
+from repro.fabric.configuration import CONFIG_FLOATING, CONFIG_INTEGER, Configuration
+from repro.isa.futypes import FUType
+from repro.workloads.kernels import newton_sqrt, saxpy
+
+_FP_KERNEL = newton_sqrt(iterations=6)
+
+
+class TestWithFixedUnits:
+    def test_every_type_always_executable(self):
+        """With FFUs, even a policy that never loads anything completes an
+        FP workload (slowly, on the fixed units)."""
+        proc = Processor(
+            _FP_KERNEL.program,
+            params=ProcessorParams(reconfig_latency=4),
+            policy=NoSteering(),
+        )
+        result = proc.run(max_cycles=100_000)
+        assert result.halted
+        _FP_KERNEL.verify(proc.dmem)
+
+    def test_mismatched_static_config_still_progresses(self):
+        proc = Processor(
+            _FP_KERNEL.program,
+            params=ProcessorParams(reconfig_latency=4),
+            policy=StaticConfiguration(CONFIG_INTEGER),
+        )
+        assert proc.run(max_cycles=100_000).halted
+
+
+class TestWithoutFixedUnits:
+    _NO_FFUS = ProcessorParams(reconfig_latency=4, ffu_counts={})
+
+    def test_fp_workload_starves_without_fp_units(self):
+        """FFU-less fabric + a policy that never provides FP units: the
+        first FP instruction waits forever (resource-available line never
+        asserts) — the §3.2 pathological case."""
+        proc = Processor(
+            _FP_KERNEL.program, params=self._NO_FFUS, policy=NoSteering()
+        )
+        result = proc.run(max_cycles=3_000)
+        assert not result.halted
+        # the machine is wedged: nothing retires once the FP op is at head
+        assert result.retired < len(_FP_KERNEL.program)
+
+    def test_basis_missing_a_type_starves_that_type(self):
+        """Even steering deadlocks if no basis member provides a needed
+        type (here: a basis with no FP-MDU facing an fdiv)."""
+        basis = (
+            CONFIG_INTEGER,
+            Configuration("lsu-only", {FUType.LSU: 8}).validate(),
+            Configuration(
+                "fp-alu-only", {FUType.FP_ALU: 2, FUType.LSU: 2}
+            ).validate(),
+        )
+        proc = Processor(
+            _FP_KERNEL.program,
+            params=self._NO_FFUS,
+            policy=PaperSteering(configs=basis),
+        )
+        result = proc.run(max_cycles=5_000)
+        assert not result.halted  # fdiv needs an FP-MDU nobody can supply
+
+    def test_steering_with_complete_basis_recovers(self):
+        """With a basis covering every needed type, steering alone (no
+        FFUs) still completes the workload — reconfiguration substitutes
+        for fixed hardware, at the cost of start-up latency."""
+        proc = Processor(
+            _FP_KERNEL.program,
+            params=self._NO_FFUS,
+            policy=StaticConfiguration(CONFIG_FLOATING),
+        )
+        result = proc.run(max_cycles=100_000)
+        assert result.halted
+        _FP_KERNEL.verify(proc.dmem)
+
+    def test_mixed_kernel_needs_full_coverage(self):
+        """saxpy touches IALU, LSU, FP-ALU and FP-MDU: the floating config
+        covers all four, so an FFU-less static-floating machine completes."""
+        kernel = saxpy(n=8)
+        proc = Processor(
+            kernel.program,
+            params=self._NO_FFUS,
+            policy=StaticConfiguration(CONFIG_FLOATING),
+        )
+        result = proc.run(max_cycles=100_000)
+        assert result.halted
+        kernel.verify(proc.dmem)

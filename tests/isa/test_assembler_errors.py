@@ -1,0 +1,85 @@
+"""Additional assembler error-path and corner-case tests."""
+
+import pytest
+
+from repro.errors import AssemblerError
+from repro.isa.assembler import assemble
+from repro.isa.opcodes import Opcode
+
+
+class TestDirectiveErrors:
+    def test_align_non_positive(self):
+        with pytest.raises(AssemblerError, match="positive"):
+            assemble(".data\n.align 0\n.text\nhalt\n")
+
+    def test_bad_float(self):
+        with pytest.raises(AssemblerError, match="float"):
+            assemble(".data\n.float abc\n.text\nhalt\n")
+
+    def test_bad_word(self):
+        with pytest.raises(AssemblerError, match="integer"):
+            assemble(".data\n.word x\n.text\nhalt\n")
+
+    def test_unknown_directive(self):
+        with pytest.raises(AssemblerError, match="directive"):
+            assemble(".globl main\nhalt\n")
+
+    def test_float_outside_data(self):
+        with pytest.raises(AssemblerError):
+            assemble(".float 1.0\n")
+
+
+class TestOperandErrors:
+    def test_missing_memory_parens(self):
+        with pytest.raises(AssemblerError, match="imm\\(base\\)"):
+            assemble("lw x1, 4\n")
+
+    def test_fp_base_register_rejected(self):
+        with pytest.raises(AssemblerError, match="integer register"):
+            assemble("lw x1, 0(f2)\n")
+
+    def test_store_data_register_class(self):
+        with pytest.raises(AssemblerError):
+            assemble("fsw x1, 0(x2)\n")  # fsw stores an fp register
+
+    def test_undefined_label_is_int_error(self):
+        with pytest.raises(AssemblerError):
+            assemble("beq x1, x2, nowhere\nhalt\n")
+
+    def test_la_overflow(self):
+        # data segment large enough that the address exceeds imm15
+        src = ".data\nbig: .space 40000\ntail: .word 1\n.text\nla x1, tail\nhalt\n"
+        with pytest.raises(AssemblerError, match="la address"):
+            assemble(src)
+
+
+class TestLabelArithmetic:
+    def test_label_plus_offset(self):
+        p = assemble(".data\narr: .word 1, 2, 3\n.text\nlw x1, arr+8(x0)\nhalt\n")
+        assert p[0].imm == 8
+
+    def test_label_minus_offset(self):
+        p = assemble(".data\npad: .space 8\nv: .word 5\n.text\nlw x1, v-4(x0)\nhalt\n")
+        assert p[0].imm == 4
+
+    def test_hex_offset(self):
+        p = assemble(".data\narr: .word 1\n.text\nlw x1, arr+0x4(x0)\nhalt\n")
+        assert p[0].imm == 4
+
+
+class TestImmediateForms:
+    def test_negative_hex(self):
+        p = assemble("addi x1, x0, -0x10\n")
+        assert p[0].imm == -16
+
+    def test_branch_literal_offset(self):
+        p = assemble("beq x0, x0, -2\nhalt\n")
+        assert p[0].imm == -2
+
+    def test_li_negative_in_range(self):
+        p = assemble("li x1, -16384\n")
+        assert p[0].opcode is Opcode.ADDI and p[0].imm == -16384
+
+    def test_li_large_negative_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("li x1, -16385\n")

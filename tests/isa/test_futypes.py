@@ -1,0 +1,40 @@
+"""Tests for the functional-unit type definitions (Tables 1 and 2)."""
+
+from repro.isa.futypes import FU_TYPES, NUM_FU_TYPES, FUType
+
+
+def test_five_types():
+    assert NUM_FU_TYPES == 5
+    assert len(set(FU_TYPES)) == 5
+
+
+def test_table2_encodings():
+    assert FUType.INT_ALU.encoding == 0b001
+    assert FUType.INT_MDU.encoding == 0b010
+    assert FUType.LSU.encoding == 0b011
+    assert FUType.FP_ALU.encoding == 0b100
+    assert FUType.FP_MDU.encoding == 0b101
+
+
+def test_encodings_are_unique_3bit():
+    encs = [t.encoding for t in FU_TYPES]
+    assert len(set(encs)) == 5
+    assert all(0 < e < 8 for e in encs)
+    assert 0b111 not in encs  # reserved for the SPAN continuation marker
+    assert 0b000 not in encs  # reserved for EMPTY
+
+
+def test_slot_costs():
+    assert FUType.INT_ALU.slot_cost == 1
+    assert FUType.LSU.slot_cost == 1
+    assert FUType.INT_MDU.slot_cost == 2
+    assert FUType.FP_ALU.slot_cost == 3
+    assert FUType.FP_MDU.slot_cost == 3
+
+
+def test_bit_indices_match_fig2_order():
+    assert [t.bit_index for t in FU_TYPES] == [0, 1, 2, 3, 4]
+
+
+def test_short_names_unique():
+    assert len({t.short_name for t in FU_TYPES}) == 5

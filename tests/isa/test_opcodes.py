@@ -1,0 +1,76 @@
+"""Tests for the opcode table."""
+
+import pytest
+
+from repro.isa.futypes import FUType
+from repro.isa.opcodes import ALL_SPECS, Format, Opcode, OperandClass, spec_of
+
+
+def test_opcode_numbers_unique():
+    numbers = [int(op) for op in Opcode]
+    assert len(set(numbers)) == len(numbers)
+
+
+def test_every_opcode_has_spec():
+    for op in Opcode:
+        spec = spec_of(op)
+        assert spec.mnemonic
+        assert spec.latency >= 1
+
+
+def test_lookup_by_mnemonic_and_number():
+    assert spec_of("add") is spec_of(Opcode.ADD)
+    assert spec_of(int(Opcode.ADD)) is spec_of(Opcode.ADD)
+    with pytest.raises(KeyError):
+        spec_of("bogus")
+
+
+def test_each_instruction_single_fu_type():
+    """Paper assumption: each instruction is supported by one unit type."""
+    for spec in ALL_SPECS:
+        assert isinstance(spec.fu_type, FUType)
+
+
+def test_latency_ordering():
+    assert spec_of("add").latency == 1
+    assert spec_of("mul").latency > spec_of("add").latency
+    assert spec_of("div").latency > spec_of("mul").latency
+    assert spec_of("fdiv").latency > spec_of("fmul").latency
+    assert spec_of("fsqrt").latency >= spec_of("fdiv").latency
+
+
+def test_branches_on_int_alu():
+    for m in ("beq", "bne", "blt", "bge", "bltu", "bgeu", "jal", "jalr"):
+        assert spec_of(m).fu_type is FUType.INT_ALU
+
+
+def test_classification_flags():
+    assert spec_of("beq").is_branch and not spec_of("beq").is_jump
+    assert spec_of("jal").is_jump and not spec_of("jal").is_branch
+    assert spec_of("lw").is_load and not spec_of("lw").is_store
+    assert spec_of("sw").is_store and not spec_of("sw").is_load
+    assert spec_of("flw").is_load
+    assert spec_of("fsw").is_store
+    assert spec_of("halt").is_halt
+
+
+def test_fp_loads_write_fp_regs():
+    assert spec_of("flw").dst is OperandClass.FP
+    assert spec_of("fsw").src2 is OperandClass.FP
+    assert spec_of("feq").dst is OperandClass.INT
+
+
+def test_fu_type_coverage():
+    """Every unit type has at least one opcode."""
+    covered = {spec.fu_type for spec in ALL_SPECS}
+    assert covered == set(FUType)
+
+
+def test_format_operand_consistency():
+    for spec in ALL_SPECS:
+        if spec.format is Format.N:
+            assert spec.dst is OperandClass.NONE
+        if spec.format is Format.J:
+            assert spec.dst is OperandClass.INT
+        if spec.format in (Format.S, Format.B):
+            assert spec.dst is OperandClass.NONE

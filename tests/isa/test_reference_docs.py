@@ -1,0 +1,44 @@
+"""Tests for the generated ISA reference (docs can't drift from code)."""
+
+import pathlib
+
+from repro.isa.opcodes import ALL_SPECS
+from repro.isa.reference import format_reference, isa_reference
+
+
+class TestIsaReference:
+    def test_every_opcode_listed(self):
+        text = isa_reference()
+        for spec in ALL_SPECS:
+            assert f"{spec.mnemonic:10s}" in text
+
+    def test_grouped_by_unit_type(self):
+        text = isa_reference()
+        for name in ("INT_ALU", "INT_MDU", "LSU", "FP_ALU", "FP_MDU"):
+            assert f"--- {name}" in text
+
+    def test_latencies_shown(self):
+        assert " 16 " in isa_reference()  # fdiv
+        assert " 20 " in isa_reference()  # fsqrt
+
+
+class TestFormatReference:
+    def test_all_formats(self):
+        text = format_reference()
+        for fmt in ("R", "I", "S", "B", "J", "N"):
+            assert text.count(f"\n{fmt} ") or text.startswith(f"{fmt} ") or f"\n{fmt:7s}" in text
+
+    def test_imm_ranges(self):
+        text = format_reference()
+        assert "[-16384, 16383]" in text
+        assert "[-524288, 524287]" in text
+
+
+class TestDocsEmbedding:
+    def test_docs_file_contains_current_reference(self):
+        """docs/isa.md embeds the generated tables; regenerating must be a
+        no-op or the docs have drifted from the implementation."""
+        doc = pathlib.Path(__file__).parents[2] / "docs" / "isa.md"
+        text = doc.read_text()
+        assert isa_reference() in text
+        assert format_reference() in text

@@ -1,0 +1,195 @@
+"""Tests for the execution semantics (int32 wrap, float32 rounding, control)."""
+
+import math
+import struct
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.semantics import (
+    access_size,
+    alu_result,
+    control_outcome,
+    effective_address,
+    f32,
+    load_value,
+    store_bytes,
+)
+from repro.utils.bitops import to_signed, to_unsigned
+
+_U32 = st.integers(0, 2**32 - 1)
+
+
+def _r(op, s1=0, s2=0, imm=0, rd=1):
+    return alu_result(Instruction(op, rd=rd, rs1=2, rs2=3, imm=imm), s1, s2)
+
+
+class TestIntegerAlu:
+    @given(_U32, _U32)
+    def test_add_wraps(self, a, b):
+        assert _r(Opcode.ADD, a, b) == (a + b) & 0xFFFFFFFF
+
+    @given(_U32, _U32)
+    def test_sub_wraps(self, a, b):
+        assert _r(Opcode.SUB, a, b) == (a - b) & 0xFFFFFFFF
+
+    def test_logic(self):
+        assert _r(Opcode.AND, 0b1100, 0b1010) == 0b1000
+        assert _r(Opcode.OR, 0b1100, 0b1010) == 0b1110
+        assert _r(Opcode.XOR, 0b1100, 0b1010) == 0b0110
+        assert _r(Opcode.NOR, 0, 0) == 0xFFFFFFFF
+
+    def test_shifts(self):
+        assert _r(Opcode.SLL, 1, 4) == 16
+        assert _r(Opcode.SRL, 0x80000000, 31) == 1
+        assert _r(Opcode.SRA, 0x80000000, 31) == 0xFFFFFFFF
+
+    def test_shift_amount_masked_to_5_bits(self):
+        assert _r(Opcode.SLL, 1, 33) == 2
+
+    def test_set_less_than(self):
+        assert _r(Opcode.SLT, to_unsigned(-1, 32), 0) == 1
+        assert _r(Opcode.SLTU, to_unsigned(-1, 32), 0) == 0
+
+    def test_immediates(self):
+        assert _r(Opcode.ADDI, 5, imm=-3) == 2
+        assert _r(Opcode.ORI, 0xF0, imm=0x0F) == 0xFF
+        assert _r(Opcode.SLLI, 1, imm=8) == 256
+        assert _r(Opcode.SLTI, 1, imm=2) == 1
+
+    def test_lui(self):
+        assert _r(Opcode.LUI, imm=1) == 1 << 15
+
+
+class TestIntegerMdu:
+    @given(st.integers(-(2**31), 2**31 - 1), st.integers(-(2**31), 2**31 - 1))
+    def test_mul_matches_wrapped_product(self, a, b):
+        got = _r(Opcode.MUL, to_unsigned(a, 32), to_unsigned(b, 32))
+        assert got == to_unsigned(a * b, 32)
+
+    def test_mulh(self):
+        a, b = 0x12345678, 0x7FFFFFFF
+        assert _r(Opcode.MULH, a, b) == to_unsigned((a * b) >> 32, 32)
+
+    def test_div_semantics(self):
+        assert to_signed(_r(Opcode.DIV, to_unsigned(-7, 32), 2), 32) == -3
+        assert _r(Opcode.DIV, 7, 0) == 0xFFFFFFFF  # div by zero -> -1
+        assert _r(Opcode.DIVU, 7, 0) == 0xFFFFFFFF
+        assert _r(Opcode.REM, 7, 0) == 7
+        assert _r(Opcode.DIV, 0x80000000, to_unsigned(-1, 32)) == 0x80000000  # overflow
+
+    @given(st.integers(-1000, 1000), st.integers(1, 1000))
+    def test_div_rem_identity(self, a, b):
+        q = to_signed(_r(Opcode.DIV, to_unsigned(a, 32), to_unsigned(b, 32)), 32)
+        r = to_signed(_r(Opcode.REM, to_unsigned(a, 32), to_unsigned(b, 32)), 32)
+        assert q * b + r == a
+
+
+class TestFloatingPoint:
+    def test_float32_rounding(self):
+        # 0.1 + 0.2 in binary32 differs from binary64
+        got = _r(Opcode.FADD, f32(0.1), f32(0.2))
+        assert got == f32(f32(0.1) + f32(0.2))
+        assert got != 0.1 + 0.2
+
+    def test_arith(self):
+        assert _r(Opcode.FSUB, 3.0, 1.5) == 1.5
+        assert _r(Opcode.FMUL, 3.0, 2.0) == 6.0
+        assert _r(Opcode.FDIV, 3.0, 2.0) == 1.5
+        assert _r(Opcode.FSQRT, 9.0) == 3.0
+
+    def test_fdiv_by_zero(self):
+        assert math.isinf(_r(Opcode.FDIV, 1.0, 0.0))
+        assert _r(Opcode.FDIV, -1.0, 0.0) < 0
+        assert math.isnan(_r(Opcode.FDIV, 0.0, 0.0))
+
+    def test_fsqrt_negative_is_nan(self):
+        assert math.isnan(_r(Opcode.FSQRT, -1.0))
+
+    def test_min_max_abs_neg_mov(self):
+        assert _r(Opcode.FMIN, 1.0, 2.0) == 1.0
+        assert _r(Opcode.FMAX, 1.0, 2.0) == 2.0
+        assert _r(Opcode.FABS, -1.5) == 1.5
+        assert _r(Opcode.FNEG, 1.5) == -1.5
+        assert _r(Opcode.FMOV, 2.5) == 2.5
+
+    def test_compares_produce_int(self):
+        assert _r(Opcode.FEQ, 1.0, 1.0) == 1
+        assert _r(Opcode.FLT, 1.0, 2.0) == 1
+        assert _r(Opcode.FLE, 2.0, 2.0) == 1
+        assert _r(Opcode.FLT, 2.0, 1.0) == 0
+
+    def test_conversions(self):
+        assert _r(Opcode.FCVTWS, 3.7) == 3
+        assert to_signed(_r(Opcode.FCVTWS, -3.7), 32) == -3
+        assert _r(Opcode.FCVTSW, to_unsigned(-5, 32)) == -5.0
+
+    def test_fcvtws_clamps(self):
+        assert to_signed(_r(Opcode.FCVTWS, 1e20), 32) == 2**31 - 1
+        assert to_signed(_r(Opcode.FCVTWS, -1e20), 32) == -(2**31)
+
+
+class TestControl:
+    def test_branches(self):
+        beq = Instruction(Opcode.BEQ, rs1=1, rs2=2, imm=10)
+        assert control_outcome(beq, 100, 5, 5) == (True, 110, None)
+        assert control_outcome(beq, 100, 5, 6) == (False, 101, None)
+
+    def test_signed_vs_unsigned_branches(self):
+        blt = Instruction(Opcode.BLT, imm=4)
+        bltu = Instruction(Opcode.BLTU, imm=4)
+        neg1 = to_unsigned(-1, 32)
+        assert control_outcome(blt, 0, neg1, 0)[0] is True
+        assert control_outcome(bltu, 0, neg1, 0)[0] is False
+
+    def test_jal(self):
+        jal = Instruction(Opcode.JAL, rd=1, imm=-5)
+        taken, target, link = control_outcome(jal, 50)
+        assert (taken, target, link) == (True, 45, 51)
+
+    def test_jalr(self):
+        jalr = Instruction(Opcode.JALR, rd=1, rs1=2, imm=4)
+        taken, target, link = control_outcome(jalr, 10, s1=100)
+        assert (taken, target, link) == (True, 104, 11)
+
+    def test_halt_falls_through(self):
+        taken, target, link = control_outcome(Instruction(Opcode.HALT), 7)
+        assert taken is False and target == 8
+
+
+class TestMemoryHelpers:
+    def test_effective_address(self):
+        i = Instruction(Opcode.LW, rd=1, rs1=2, imm=-4)
+        assert effective_address(i, 100) == 96
+
+    def test_access_sizes(self):
+        assert access_size(Instruction(Opcode.LW)) == 4
+        assert access_size(Instruction(Opcode.LH)) == 2
+        assert access_size(Instruction(Opcode.LB)) == 1
+        assert access_size(Instruction(Opcode.FLW)) == 4
+        assert access_size(Instruction(Opcode.SB)) == 1
+
+    def test_store_load_roundtrip_int(self):
+        raw = store_bytes(Instruction(Opcode.SW), 0xDEADBEEF)
+        assert load_value(Instruction(Opcode.LW), raw) == 0xDEADBEEF
+
+    def test_store_load_roundtrip_float(self):
+        raw = store_bytes(Instruction(Opcode.FSW), 1.5)
+        assert load_value(Instruction(Opcode.FLW), raw) == 1.5
+
+    def test_signed_byte_loads(self):
+        raw = struct.pack("<B", 0xFF)
+        assert load_value(Instruction(Opcode.LB), raw) == 0xFFFFFFFF
+        assert load_value(Instruction(Opcode.LBU), raw) == 0xFF
+
+    def test_signed_half_loads(self):
+        raw = struct.pack("<H", 0x8000)
+        assert load_value(Instruction(Opcode.LH), raw) == 0xFFFF8000
+        assert load_value(Instruction(Opcode.LHU), raw) == 0x8000
+
+    def test_store_truncates(self):
+        assert store_bytes(Instruction(Opcode.SB), 0x1FF) == b"\xff"
+        assert store_bytes(Instruction(Opcode.SH), 0x1FFFF) == b"\xff\xff"

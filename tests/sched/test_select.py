@@ -1,0 +1,54 @@
+"""Tests for grant arbitration."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa.futypes import FU_TYPES, FUType
+from repro.sched.select import select_grants
+
+
+class TestSelectGrants:
+    def test_grants_limited_by_idle_units(self):
+        requests = [(0, 10, FUType.INT_ALU), (1, 11, FUType.INT_ALU), (2, 12, FUType.INT_ALU)]
+        granted = select_grants(requests, {FUType.INT_ALU: 2})
+        assert len(granted) == 2
+
+    def test_oldest_first(self):
+        requests = [(0, 30, FUType.LSU), (1, 10, FUType.LSU), (2, 20, FUType.LSU)]
+        granted = select_grants(requests, {FUType.LSU: 1})
+        assert granted == [1]  # seq 10 is oldest
+
+    def test_types_arbitrated_independently(self):
+        requests = [
+            (0, 5, FUType.INT_ALU),
+            (1, 1, FUType.FP_MDU),
+            (2, 3, FUType.INT_ALU),
+        ]
+        granted = select_grants(requests, {FUType.INT_ALU: 1, FUType.FP_MDU: 1})
+        assert set(granted) == {1, 2}
+
+    def test_no_units_no_grants(self):
+        requests = [(0, 1, FUType.FP_ALU)]
+        assert select_grants(requests, {}) == []
+        assert select_grants(requests, {FUType.FP_ALU: 0}) == []
+
+    def test_empty_requests(self):
+        assert select_grants([], {t: 1 for t in FU_TYPES}) == []
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 6), st.integers(0, 100), st.sampled_from(list(FU_TYPES))),
+            max_size=7,
+            unique_by=lambda r: r[0],
+        ),
+        st.dictionaries(st.sampled_from(list(FU_TYPES)), st.integers(0, 3)),
+    )
+    def test_never_overcommits(self, requests, idle):
+        granted = select_grants(requests, idle)
+        by_type = {}
+        lookup = {row: t for row, _, t in requests}
+        for row in granted:
+            t = lookup[row]
+            by_type[t] = by_type.get(t, 0) + 1
+        for t, n in by_type.items():
+            assert n <= idle.get(t, 0)

@@ -1,0 +1,86 @@
+"""The vectorised batch selection unit vs the scalar bit-faithful models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.errors import ConfigurationError
+from repro.steering.batch import BatchSelectionUnit, shift_for_counts
+from repro.steering.error_metric import ErrorMetricGenerator
+from repro.steering.selection import ConfigurationSelectionUnit
+from repro.fabric.configuration import PREDEFINED_CONFIGS
+
+_REQUIRED = arrays(np.int64, (16, 5), elements=st.integers(0, 7))
+_COUNTS = arrays(np.int64, (5,), elements=st.integers(0, 7))
+
+
+class TestShiftForCounts:
+    def test_matches_scalar_rule(self):
+        from repro.circuits.shifters import cem_shift_control
+
+        counts = np.arange(8)
+        got = shift_for_counts(counts)
+        assert got.tolist() == [cem_shift_control(int(c)) for c in counts]
+
+    def test_clamps_above_seven(self):
+        assert shift_for_counts(np.array([9, 15])).tolist() == [2, 2]
+
+
+class TestBatchErrors:
+    @settings(max_examples=40, deadline=None)
+    @given(required=_REQUIRED, current=_COUNTS)
+    def test_matches_scalar_generators(self, required, current):
+        unit = BatchSelectionUnit()
+        got = unit.errors(required, current)
+        current_gen = ErrorMetricGenerator(None)
+        cfg_gens = [ErrorMetricGenerator(c) for c in PREDEFINED_CONFIGS]
+        for i, row in enumerate(required):
+            row_t = tuple(int(v) for v in row)
+            cur = tuple(int(v) for v in current)
+            assert got[i, 0] == current_gen.error(row_t, cur)
+            for k, gen in enumerate(cfg_gens, start=1):
+                assert got[i, k] == gen.error(row_t)
+
+    def test_shape_validation(self):
+        unit = BatchSelectionUnit()
+        with pytest.raises(ConfigurationError):
+            unit.errors(np.zeros((4, 3), dtype=np.int64), np.zeros(5))
+        with pytest.raises(ConfigurationError):
+            unit.errors(np.full((2, 5), 9), np.zeros(5))
+
+
+class TestBatchSelect:
+    @settings(max_examples=40, deadline=None)
+    @given(required=_REQUIRED, current=_COUNTS)
+    def test_matches_scalar_selection_unit(self, required, current):
+        """Row-for-row agreement with the bit-faithful scalar unit over
+        the 3-bit hardware domain."""
+        batch = BatchSelectionUnit()
+        scalar = ConfigurationSelectionUnit()
+        picks = batch.select(required, current)
+        from repro.circuits.comparators import minimum_index
+
+        for i, row in enumerate(required):
+            row_t = tuple(int(v) for v in row)
+            cur = tuple(int(v) for v in current)
+            errors = scalar.candidate_errors(row_t, cur)
+            distances = scalar._distances(cur)
+            keys = [(e << 6) | d for e, d in zip(errors, distances)]
+            assert picks[i] == minimum_index(keys, 12)
+
+    def test_tie_prefers_current(self):
+        unit = BatchSelectionUnit()
+        # zero requirements: every candidate scores 0, current must win
+        picks = unit.select(np.zeros((3, 5), dtype=np.int64), np.ones(5, dtype=np.int64))
+        assert picks.tolist() == [0, 0, 0]
+
+
+class TestAgreement:
+    def test_agreement_in_unit_interval_and_high(self):
+        rng = np.random.default_rng(0)
+        required = rng.integers(0, 8, size=(5000, 5))
+        unit = BatchSelectionUnit()
+        agreement = unit.agreement_with_exact(required, np.ones(5, dtype=np.int64))
+        assert 0.7 <= agreement <= 1.0

@@ -1,0 +1,62 @@
+"""Tests for the unit decoders (Fig. 2 stage 1)."""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.isa.encoding import encode
+from repro.isa.futypes import FU_TYPES, FUType
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.steering.decoders import UnitDecoder
+
+
+@pytest.fixture
+def decoder():
+    return UnitDecoder()
+
+
+class TestDecodeInstruction:
+    def test_output_is_one_hot(self, decoder):
+        for op in Opcode:
+            v = decoder.decode_instruction(Instruction(op))
+            assert bin(v).count("1") == 1
+
+    @pytest.mark.parametrize(
+        "mnemonic,expected_bit",
+        [("add", 0), ("mul", 1), ("lw", 2), ("fadd", 3), ("fmul", 4)],
+    )
+    def test_bit_positions_match_fig2(self, decoder, mnemonic, expected_bit):
+        instr = assemble({
+            "add": "add x1, x2, x3",
+            "mul": "mul x1, x2, x3",
+            "lw": "lw x1, 0(x2)",
+            "fadd": "fadd f1, f2, f3",
+            "fmul": "fmul f1, f2, f3",
+        }[mnemonic] + "\n")[0]
+        assert decoder(instr) == 1 << expected_bit
+
+    def test_branches_decode_to_int_alu(self, decoder):
+        assert decoder(Instruction(Opcode.BEQ)) == 1 << FUType.INT_ALU.bit_index
+
+
+class TestDecodeWord:
+    def test_legacy_binary_path(self, decoder):
+        """The decoder works on raw machine words, as the hardware would."""
+        instr = Instruction(Opcode.FDIV, rd=1, rs1=2, rs2=3)
+        assert decoder.decode_word(encode(instr)) == 1 << FUType.FP_MDU.bit_index
+
+    def test_call_dispatches_on_type(self, decoder):
+        instr = Instruction(Opcode.LW, rd=1, rs1=2)
+        assert decoder(instr) == decoder(encode(instr))
+
+
+class TestInversion:
+    def test_fu_type_of_round_trips(self, decoder):
+        for t in FU_TYPES:
+            assert UnitDecoder.fu_type_of(1 << t.bit_index) is t
+
+    def test_fu_type_of_rejects_non_onehot(self):
+        with pytest.raises(ValueError):
+            UnitDecoder.fu_type_of(0b11)
+        with pytest.raises(ValueError):
+            UnitDecoder.fu_type_of(0)

@@ -1,0 +1,120 @@
+"""Tests for the configuration-error-metric generators (Fig. 3)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.fabric.configuration import (
+    CONFIG_FLOATING,
+    CONFIG_INTEGER,
+    CONFIG_MEMORY,
+    Configuration,
+)
+from repro.isa.futypes import FU_TYPES, FUType
+from repro.steering.error_metric import (
+    ErrorMetricGenerator,
+    cem_error,
+    exact_error,
+    hardwired_shifts,
+)
+
+_COUNTS = st.tuples(*[st.integers(0, 7)] * 5)
+
+
+class TestHardwiredShifts:
+    def test_integer_config(self):
+        # avail incl. FFUs: IALU 5, IMDU 3, LSU 1, FPALU 1, FPMDU 1
+        assert hardwired_shifts(CONFIG_INTEGER) == (2, 1, 0, 0, 0)
+
+    def test_memory_config(self):
+        # avail: IALU 3, IMDU 2, LSU 5, FPALU 1, FPMDU 1
+        assert hardwired_shifts(CONFIG_MEMORY) == (1, 1, 2, 0, 0)
+
+    def test_floating_config(self):
+        # avail: IALU 2, IMDU 1, LSU 2, FPALU 2, FPMDU 2
+        assert hardwired_shifts(CONFIG_FLOATING) == (1, 0, 1, 1, 1)
+
+    def test_no_ffus(self):
+        empty = Configuration("none", {})
+        assert hardwired_shifts(empty, ffu_counts={}) == (0, 0, 0, 0, 0)
+
+
+class TestCemError:
+    def test_zero_required_zero_error(self):
+        assert cem_error((0, 0, 0, 0, 0), (2, 2, 2, 2, 2)) == 0
+
+    def test_matches_shift_sum(self):
+        required = (6, 2, 1, 0, 0)
+        shifts = (2, 1, 0, 0, 0)
+        assert cem_error(required, shifts) == (6 >> 2) + (2 >> 1) + 1
+
+    @given(_COUNTS, st.tuples(*[st.integers(0, 2)] * 5))
+    def test_equals_sum_of_shifted_terms(self, required, shifts):
+        assert cem_error(required, shifts) == sum(
+            r >> s for r, s in zip(required, shifts)
+        )
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            cem_error((1, 2, 3), (0, 0, 0))
+
+
+class TestExactError:
+    def test_true_division(self):
+        assert exact_error((6, 0, 0, 0, 0), (3, 1, 1, 1, 1)) == pytest.approx(2.0)
+
+    def test_zero_available_penalised(self):
+        assert exact_error((2, 0, 0, 0, 0), (0, 1, 1, 1, 1)) == pytest.approx(16.0)
+
+    @given(_COUNTS)
+    def test_cem_approximates_exact_from_above_half(self, required):
+        """The shifter divides by a power of two <= avail, so the CEM is an
+        *over*-estimate of exact division, by at most a factor of 2 per term
+        (ignoring floor)."""
+        avail = (5, 3, 1, 1, 1)  # integer config totals
+        shifts = hardwired_shifts(CONFIG_INTEGER)
+        approx = cem_error(required, shifts)
+        exact = exact_error(required, avail)
+        assert approx >= int(exact) - 5  # floor slack: one unit per term
+
+
+class TestGenerator:
+    def test_predefined_generator_uses_hardwired_shifts(self):
+        gen = ErrorMetricGenerator(CONFIG_INTEGER)
+        assert gen.shifts_for() == hardwired_shifts(CONFIG_INTEGER)
+        assert not gen.is_current
+
+    def test_current_generator_needs_live_counts(self):
+        gen = ErrorMetricGenerator(None)
+        with pytest.raises(ConfigurationError):
+            gen.error((0,) * 5)
+        assert gen.is_current
+
+    def test_current_generator_tracks_counts(self):
+        gen = ErrorMetricGenerator(None)
+        # counts (5,1,1,1,1): IALU divides by 4, everything else by 1
+        assert gen.shifts_for((5, 1, 1, 1, 1)) == (2, 0, 0, 0, 0)
+        assert gen.error((4, 0, 0, 0, 0), (5, 1, 1, 1, 1)) == 1
+
+    def test_available_counts(self):
+        gen = ErrorMetricGenerator(CONFIG_MEMORY)
+        assert gen.available_counts() == (3, 2, 5, 1, 1)
+        cur = ErrorMetricGenerator(None)
+        assert cur.available_counts((1, 2, 3, 4, 5)) == (1, 2, 3, 4, 5)
+
+    def test_best_match_wins_for_each_specialised_queue(self):
+        """Sanity: each steering config scores best on its own workload."""
+        gens = {
+            "integer": ErrorMetricGenerator(CONFIG_INTEGER),
+            "memory": ErrorMetricGenerator(CONFIG_MEMORY),
+            "floating": ErrorMetricGenerator(CONFIG_FLOATING),
+        }
+        queues = {
+            "integer": (5, 2, 0, 0, 0),
+            "memory": (2, 0, 5, 0, 0),
+            "floating": (1, 0, 1, 3, 2),
+        }
+        for name, required in queues.items():
+            errors = {n: g.error(required) for n, g in gens.items()}
+            assert min(errors, key=errors.get) == name, errors

@@ -1,0 +1,104 @@
+"""Tests for the configuration manager (selection + loader, clocked)."""
+
+import pytest
+
+from repro.fabric.fabric import Fabric
+from repro.isa.assembler import assemble
+from repro.isa.futypes import FUType
+from repro.steering.manager import ConfigurationManager
+
+
+def _queue(src):
+    return assemble(src).instructions
+
+
+_INT_QUEUE = _queue("\n".join(["add x1, x2, x3"] * 4 + ["mul x4, x5, x6"] * 3))
+_FP_QUEUE = _queue("\n".join(["fmul f1, f2, f3"] * 4 + ["fadd f4, f5, f6"] * 3))
+_MEM_QUEUE = _queue("\n".join(["lw x1, 0(x2)"] * 5 + ["add x3, x4, x5"] * 2))
+
+
+def _run(manager, queue, cycles):
+    for _ in range(cycles):
+        manager.cycle(queue)
+        manager.fabric.tick()
+
+
+@pytest.fixture
+def fabric():
+    return Fabric(reconfig_latency=2)
+
+
+class TestSteering:
+    def test_steers_to_integer_config(self, fabric):
+        """Steering loads integer units until the current hybrid matches as
+        well as the full integer configuration (the tie then favours
+        current, so loading may stop one unit short — §3.1)."""
+        mgr = ConfigurationManager(fabric)
+        _run(mgr, _INT_QUEUE, 60)
+        counts = fabric.rfus.counts()
+        assert counts.get(FUType.INT_ALU, 0) >= 3
+        assert counts.get(FUType.INT_MDU, 0) == 2
+        assert counts.get(FUType.FP_ALU, 0) == 0
+
+    def test_steers_to_floating_config(self, fabric):
+        mgr = ConfigurationManager(fabric)
+        _run(mgr, _FP_QUEUE, 80)
+        counts = fabric.rfus.counts()
+        assert counts.get(FUType.FP_ALU, 0) == 1
+        assert counts.get(FUType.FP_MDU, 0) == 1
+
+    def test_settles_then_keeps_current(self, fabric):
+        """After steering completes the selection switches to 'current'."""
+        mgr = ConfigurationManager(fabric)
+        _run(mgr, _INT_QUEUE, 60)
+        result = mgr.cycle(_INT_QUEUE)
+        assert result.keeps_current
+
+    def test_phase_change_resteers(self, fabric):
+        """A workload phase change redirects steering toward memory units
+        (settling once the hybrid error ties the memory config's)."""
+        mgr = ConfigurationManager(fabric)
+        _run(mgr, _INT_QUEUE, 60)
+        assert fabric.rfus.counts().get(FUType.LSU, 0) == 0
+        _run(mgr, _MEM_QUEUE, 80)
+        assert fabric.rfus.counts().get(FUType.LSU, 0) >= 1
+        assert mgr.cycle(_MEM_QUEUE).keeps_current
+
+    def test_empty_queue_is_stable(self, fabric):
+        mgr = ConfigurationManager(fabric)
+        _run(mgr, [], 20)
+        assert fabric.reconfigurations == 0
+        assert mgr.stats.current_kept_fraction == 1.0
+
+
+class TestStats:
+    def test_stats_accumulate(self, fabric):
+        mgr = ConfigurationManager(fabric)
+        _run(mgr, _INT_QUEUE, 30)
+        assert mgr.stats.cycles == 30
+        assert sum(mgr.stats.selections.values()) == 30
+        assert mgr.stats.loads == fabric.reconfigurations
+
+    def test_mean_selected_error_defined(self, fabric):
+        mgr = ConfigurationManager(fabric)
+        assert mgr.stats.mean_selected_error == 0.0
+        _run(mgr, _INT_QUEUE, 10)
+        assert mgr.stats.mean_selected_error >= 0.0
+
+    def test_trace_recording(self, fabric):
+        mgr = ConfigurationManager(fabric, record_trace=True)
+        _run(mgr, _FP_QUEUE, 15)
+        assert len(mgr.trace) == 15
+        assert mgr.trace[0].cycle == 1
+        assert any(t.load is not None for t in mgr.trace)
+
+    def test_no_trace_by_default(self, fabric):
+        assert ConfigurationManager(fabric).trace is None
+
+
+class TestExactMetricOption:
+    def test_exact_metric_manager_still_steers(self, fabric):
+        mgr = ConfigurationManager(fabric, use_exact_metric=True)
+        _run(mgr, _FP_QUEUE, 80)
+        counts = fabric.rfus.counts()
+        assert counts.get(FUType.FP_ALU, 0) == 1

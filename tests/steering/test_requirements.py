@@ -1,0 +1,67 @@
+"""Tests for the resource-requirement encoders (Fig. 2 stage 2)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa.futypes import FU_TYPES, FUType
+from repro.steering.decoders import UnitDecoder
+from repro.steering.requirements import RequirementsEncoder
+
+
+def _onehot(t: FUType) -> int:
+    return 1 << t.bit_index
+
+
+class TestEncode:
+    def test_empty_queue(self):
+        assert RequirementsEncoder().encode([]) == (0, 0, 0, 0, 0)
+
+    def test_mixed_queue(self):
+        queue = [
+            _onehot(FUType.INT_ALU),
+            _onehot(FUType.INT_ALU),
+            _onehot(FUType.LSU),
+            _onehot(FUType.FP_MDU),
+        ]
+        assert RequirementsEncoder().encode(queue) == (2, 0, 1, 0, 1)
+
+    def test_full_queue_of_one_type(self):
+        queue = [_onehot(FUType.INT_ALU)] * 7
+        assert RequirementsEncoder().encode(queue) == (7, 0, 0, 0, 0)
+
+    def test_saturates_beyond_seven(self):
+        """Defensive clamp for queues wider than the paper's seven."""
+        queue = [_onehot(FUType.LSU)] * 9
+        assert RequirementsEncoder().encode(queue)[FUType.LSU.bit_index] == 7
+
+    @given(st.lists(st.sampled_from(list(FU_TYPES)), max_size=7))
+    def test_matches_counting(self, types):
+        counts = RequirementsEncoder().encode([_onehot(t) for t in types])
+        for t in FU_TYPES:
+            assert counts[t.bit_index] == types.count(t)
+
+    @given(st.lists(st.sampled_from(list(FU_TYPES)), max_size=7))
+    def test_total_equals_queue_occupancy(self, types):
+        counts = RequirementsEncoder().encode([_onehot(t) for t in types])
+        assert sum(counts) == len(types)
+
+
+class TestEndToEndWithDecoder:
+    def test_decoder_feeds_encoder(self):
+        from repro.isa.assembler import assemble
+
+        program = assemble(
+            """
+            add x1, x2, x3
+            mul x4, x5, x6
+            lw x7, 0(x8)
+            lw x9, 4(x8)
+            fadd f1, f2, f3
+            fdiv f4, f5, f6
+            halt
+            """
+        )
+        dec = UnitDecoder()
+        counts = RequirementsEncoder().encode([dec(i) for i in program.instructions])
+        # add + halt on INT_ALU; mul on MDU; 2 loads; 1 fp-alu; 1 fp-mdu
+        assert counts == (2, 1, 2, 1, 1)

@@ -1,0 +1,113 @@
+"""Unit and property tests for bit-manipulation helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.bitops import (
+    bit,
+    bits,
+    mask,
+    ones,
+    popcount,
+    reverse_bits,
+    set_bits,
+    sign_extend,
+    to_signed,
+    to_unsigned,
+)
+
+
+class TestMask:
+    def test_zero_width(self):
+        assert mask(0) == 0
+
+    @pytest.mark.parametrize("w,expected", [(1, 1), (3, 7), (8, 255), (32, 0xFFFFFFFF)])
+    def test_values(self, w, expected):
+        assert mask(w) == expected
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(ValueError):
+            mask(-1)
+
+
+class TestBitAndBits:
+    def test_bit_extraction(self):
+        assert bit(0b1010, 1) == 1
+        assert bit(0b1010, 0) == 0
+        assert bit(0b1010, 3) == 1
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            bit(1, -1)
+
+    def test_bits_field(self):
+        assert bits(0xDEADBEEF, 31, 16) == 0xDEAD
+        assert bits(0xDEADBEEF, 15, 0) == 0xBEEF
+        assert bits(0b110100, 5, 2) == 0b1101
+
+    def test_bits_single(self):
+        assert bits(0b100, 2, 2) == 1
+
+    def test_bits_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            bits(0, 1, 2)
+
+
+class TestSetBits:
+    def test_replace_field(self):
+        assert set_bits(0, 7, 4, 0xA) == 0xA0
+        assert set_bits(0xFF, 3, 0, 0) == 0xF0
+
+    def test_field_too_wide_rejected(self):
+        with pytest.raises(ValueError):
+            set_bits(0, 3, 0, 16)
+
+    @given(st.integers(0, 2**16 - 1), st.integers(0, 15))
+    def test_roundtrip(self, value, field):
+        assert bits(set_bits(value, 11, 8, field), 11, 8) == field
+
+
+class TestSignExtend:
+    @pytest.mark.parametrize(
+        "value,width,expected",
+        [(0x7F, 8, 127), (0x80, 8, -128), (0xFF, 8, -1), (0, 8, 0), (0x4000, 15, -16384)],
+    )
+    def test_values(self, value, width, expected):
+        assert sign_extend(value, width) == expected
+
+    @given(st.integers(-(2**14), 2**14 - 1))
+    def test_roundtrip_15bit(self, v):
+        assert to_signed(to_unsigned(v, 15), 15) == v
+
+    @given(st.integers(-(2**31), 2**31 - 1))
+    def test_roundtrip_32bit(self, v):
+        assert to_signed(to_unsigned(v, 32), 32) == v
+
+
+class TestPopcountOnes:
+    def test_popcount(self):
+        assert popcount(0) == 0
+        assert popcount(0b1011) == 3
+
+    def test_popcount_rejects_negative(self):
+        with pytest.raises(ValueError):
+            popcount(-1)
+
+    def test_ones(self):
+        assert ones(0b1011, 4) == [0, 1, 3]
+        assert ones(0, 8) == []
+
+    @given(st.integers(0, 2**20 - 1))
+    def test_ones_matches_popcount(self, v):
+        assert len(ones(v, 20)) == popcount(v)
+
+
+class TestReverseBits:
+    def test_simple(self):
+        assert reverse_bits(0b001, 3) == 0b100
+        assert reverse_bits(0b110, 3) == 0b011
+
+    @given(st.integers(0, 2**12 - 1))
+    def test_involution(self, v):
+        assert reverse_bits(reverse_bits(v, 12), 12) == v

@@ -1,0 +1,43 @@
+"""Tests for the validation helpers."""
+
+import pytest
+
+from repro.utils.validation import (
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_width,
+)
+
+
+def test_check_in_range_passes_and_returns():
+    assert check_in_range("x", 5, 0, 10) == 5
+    assert check_in_range("x", 0, 0, 10) == 0
+    assert check_in_range("x", 10, 0, 10) == 10
+
+
+def test_check_in_range_rejects():
+    with pytest.raises(ValueError, match="x must be in"):
+        check_in_range("x", 11, 0, 10)
+    with pytest.raises(ValueError):
+        check_in_range("x", -1, 0, 10)
+
+
+def test_check_non_negative():
+    assert check_non_negative("n", 0) == 0
+    with pytest.raises(ValueError):
+        check_non_negative("n", -1)
+
+
+def test_check_positive():
+    assert check_positive("n", 1) == 1
+    with pytest.raises(ValueError):
+        check_positive("n", 0)
+
+
+def test_check_width():
+    assert check_width("v", 7, 3) == 7
+    with pytest.raises(ValueError):
+        check_width("v", 8, 3)
+    with pytest.raises(ValueError):
+        check_width("v", -1, 3)

@@ -1,0 +1,120 @@
+"""Tests for the kernel library: assembly correctness and golden results."""
+
+import pytest
+
+from repro.core.reference import run_reference
+from repro.errors import WorkloadError
+from repro.isa.futypes import FUType
+from repro.workloads.kernels import (
+    all_kernels,
+    checksum,
+    dot_product,
+    fir_filter,
+    kernel_by_name,
+    matmul,
+    memcpy,
+    newton_sqrt,
+    saxpy,
+    sum_reduction,
+)
+
+
+@pytest.mark.parametrize("kernel", all_kernels(), ids=lambda k: k.name)
+class TestEveryKernel:
+    def test_reference_run_matches_golden(self, kernel):
+        ref = run_reference(kernel.program)
+        assert ref.halted
+        kernel.verify(ref.memory)
+
+    def test_has_description_and_dominant_types(self, kernel):
+        assert kernel.description
+        assert kernel.dominant
+
+    def test_dominant_types_appear_in_dynamic_mix(self, kernel):
+        ref = run_reference(kernel.program)
+        counts = {}
+        for t in ref.trace:
+            counts[t] = counts.get(t, 0) + 1
+        for t in kernel.dominant:
+            assert counts.get(t, 0) > 0, f"{kernel.name} never used {t}"
+
+
+class TestSpecificResults:
+    def test_sum_reduction_value(self):
+        k = sum_reduction(n=8)
+        data = [(i * 7 + 3) % 101 for i in range(8)]
+        assert k.expected_words["result"] == sum(data)
+        run_reference(k.program)  # assembles and halts
+
+    def test_dot_product_scales_with_n(self):
+        small = run_reference(dot_product(n=8).program).executed
+        large = run_reference(dot_product(n=32).program).executed
+        assert large > small
+
+    def test_memcpy_copies_everything(self):
+        k = memcpy(n=16)
+        ref = run_reference(k.program)
+        dst = k.program.data_labels["dst"]
+        src = k.program.data_labels["src"]
+        for i in range(16):
+            assert ref.memory.peek_word(dst + 4 * i) == ref.memory.peek_word(src + 4 * i)
+
+    def test_matmul_full_matrix(self):
+        k = matmul(n=4)
+        ref = run_reference(k.program)
+        base = k.program.data_labels["mc"]
+        expected = k._expected_matrix
+        n = 4
+        for i in range(n):
+            for j in range(n):
+                got = ref.memory.peek_word(base + 4 * (i * n + j))
+                assert got == expected[i][j], (i, j)
+
+    def test_fir_full_output(self):
+        k = fir_filter(n=8)
+        ref = run_reference(k.program)
+        base = k.program.data_labels["out"]
+        for i, expected in enumerate(k._expected_out):
+            assert ref.memory.peek_float(base + 4 * i) == pytest.approx(expected, rel=1e-6)
+
+    def test_saxpy_last_element(self):
+        k = saxpy(n=8)
+        ref = run_reference(k.program)
+        base = k.program.data_labels["vy"]
+        assert ref.memory.peek_float(base + 4 * 7) == pytest.approx(
+            k._expected_last, rel=1e-6
+        )
+
+    def test_checksum_is_xorshift(self):
+        k = checksum(iterations=3, seed=42)
+        x = 42
+        for _ in range(3):
+            x ^= (x << 13) & 0xFFFFFFFF
+            x ^= x >> 17
+            x ^= (x << 5) & 0xFFFFFFFF
+        assert k.expected_words["result"] == x
+
+    def test_newton_sqrt_converges(self):
+        import math
+
+        k = newton_sqrt(value=9.0, iterations=16)
+        assert k.expected_floats["result"] == pytest.approx(3.0, rel=1e-5)
+        ref = run_reference(k.program)
+        k.verify(ref.memory)
+
+    def test_fir_rejects_wrong_tap_count(self):
+        with pytest.raises(WorkloadError):
+            fir_filter(taps=[1.0, 2.0])
+
+
+class TestLookup:
+    def test_kernel_by_name(self):
+        assert kernel_by_name("checksum", iterations=5).name == "checksum"
+
+    def test_unknown_name(self):
+        with pytest.raises(WorkloadError):
+            kernel_by_name("bogus")
+
+    def test_all_kernels_unique_names(self):
+        names = [k.name for k in all_kernels()]
+        assert len(set(names)) == len(names) == 8

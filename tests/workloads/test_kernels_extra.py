@@ -1,0 +1,98 @@
+"""Tests for the extended kernel library."""
+
+import pytest
+
+from repro.core.baselines import steering_processor
+from repro.core.params import ProcessorParams
+from repro.core.reference import run_reference
+from repro.workloads.kernels_extra import (
+    bubble_sort,
+    extended_kernels,
+    fibonacci,
+    histogram,
+    mandelbrot_point,
+    string_length,
+    vector_max,
+)
+
+_PARAMS = ProcessorParams(reconfig_latency=4)
+
+
+@pytest.mark.parametrize("kernel", extended_kernels(), ids=lambda k: k.name)
+class TestEveryExtendedKernel:
+    def test_reference_matches_golden(self, kernel):
+        ref = run_reference(kernel.program)
+        assert ref.halted
+        kernel.verify(ref.memory)
+
+    def test_pipeline_matches_golden(self, kernel):
+        proc = steering_processor(kernel.program, _PARAMS)
+        result = proc.run(max_cycles=300_000)
+        assert result.halted
+        kernel.verify(proc.dmem)
+
+
+class TestBubbleSort:
+    def test_fully_sorted(self):
+        k = bubble_sort(n=12)
+        ref = run_reference(k.program)
+        base = k.program.data_labels["arr"]
+        got = [ref.memory.peek_word(base + 4 * i) for i in range(12)]
+        assert got == k._expected_sorted
+
+    def test_branchy_workload_mispredicts(self):
+        k = bubble_sort(n=12)
+        result = steering_processor(k.program, _PARAMS).run()
+        assert result.branch_resolutions > 50
+
+
+class TestHistogram:
+    def test_all_buckets(self):
+        k = histogram(n=32, buckets=8)
+        ref = run_reference(k.program)
+        base = k.program.data_labels["hist"]
+        got = [ref.memory.peek_word(base + 4 * i) for i in range(8)]
+        assert got == k._expected_counts
+        assert sum(got) == 32
+
+
+class TestStringLength:
+    def test_counts_bytes(self):
+        k = string_length("hello")
+        ref = run_reference(k.program)
+        assert ref.memory.peek_word(k.program.data_labels["result"]) == 5
+
+    def test_empty_string(self):
+        k = string_length("")
+        ref = run_reference(k.program)
+        k.verify(ref.memory)
+
+
+class TestFibonacci:
+    @pytest.mark.parametrize("n,expected", [(1, 1), (2, 1), (10, 55), (30, 832040)])
+    def test_values(self, n, expected):
+        k = fibonacci(n=n)
+        assert k.expected_words["result"] == expected
+        ref = run_reference(k.program)
+        k.verify(ref.memory)
+
+
+class TestMandelbrot:
+    def test_inside_point_runs_to_max(self):
+        k = mandelbrot_point(cr_fx=0, ci_fx=0, max_iter=25)
+        assert k.expected_words["result"] == 25
+        ref = run_reference(k.program)
+        k.verify(ref.memory)
+
+    def test_outside_point_escapes_early(self):
+        k = mandelbrot_point(cr_fx=2 << 6, ci_fx=2 << 6, max_iter=25)
+        assert k.expected_words["result"] < 3
+        ref = run_reference(k.program)
+        k.verify(ref.memory)
+
+
+class TestVectorMax:
+    def test_matches_python_max(self):
+        k = vector_max(n=16)
+        ref = run_reference(k.program)
+        k.verify(ref.memory)
