@@ -1,0 +1,92 @@
+"""Record simulator throughput to a JSON artifact.
+
+Standalone counterpart of ``bench_simulator_throughput.py`` for CI: times
+the same checksum workload under the steering and ffu-only policies,
+smoke-tests the parallel batch engine, and writes the cycles-per-second
+numbers to ``BENCH_throughput.json`` so runs can be compared over time.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/record_throughput.py [-o out.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import time
+
+from repro.core.baselines import fixed_superscalar, steering_processor
+from repro.core.params import ProcessorParams
+from repro.evaluation.batch import ResultCache, SimJob, run_many
+from repro.workloads.kernels import checksum
+
+_PARAMS = ProcessorParams(reconfig_latency=8)
+
+
+def _throughput(factory, program, repeats: int = 3) -> dict:
+    """Best-of-N cycles per wall-clock second."""
+    best = 0.0
+    cycles = 0
+    for _ in range(repeats):
+        proc = factory(program, _PARAMS)
+        start = time.perf_counter()
+        result = proc.run(max_cycles=100_000)
+        elapsed = time.perf_counter() - start
+        assert result.halted, "benchmark workload must run to completion"
+        cycles = result.cycles
+        best = max(best, result.cycles / elapsed)
+    return {"cycles": cycles, "cycles_per_second": round(best, 1)}
+
+
+def _batch_smoke(program) -> dict:
+    """Exercise run_many with two workers + the result cache."""
+    jobs = [
+        SimJob("steering", program, _PARAMS, max_cycles=100_000),
+        SimJob("ffu-only", program, _PARAMS, max_cycles=100_000),
+    ]
+    cache = ResultCache()
+    start = time.perf_counter()
+    first = run_many(jobs, workers=2, cache=cache)
+    elapsed = time.perf_counter() - start
+    again = run_many(jobs, workers=2, cache=cache)
+    assert all(r.halted for r in first)
+    assert [a.to_dict() for a in again] == [f.to_dict() for f in first]
+    assert cache.hits == len(jobs), "resubmission must be answered from cache"
+    return {
+        "jobs": len(jobs),
+        "workers": 2,
+        "wall_seconds": round(elapsed, 3),
+        "cache_hits_on_resubmit": cache.hits,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "-o", "--output", default="BENCH_throughput.json",
+        help="where to write the JSON artifact",
+    )
+    args = parser.parse_args(argv)
+
+    program = checksum(iterations=150).program
+    record = {
+        "workload": "checksum(iterations=150)",
+        "reconfig_latency": _PARAMS.reconfig_latency,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "steering": _throughput(steering_processor, program),
+        "ffu_only": _throughput(fixed_superscalar, program),
+        "batch_engine": _batch_smoke(program),
+    }
+    path = pathlib.Path(args.output)
+    path.write_text(json.dumps(record, indent=2) + "\n")
+    print(json.dumps(record, indent=2))
+    print(f"\nwritten to {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -150,6 +150,8 @@ def _cmd_report(args: argparse.Namespace) -> int:
     text = generate_report(
         fast=not args.full,
         progress=lambda msg: print(f"[report] {msg}", file=sys.stderr),
+        workers=args.workers,
+        use_cache=not args.no_cache,
     )
     if args.output:
         pathlib.Path(args.output).write_text(text)
@@ -210,6 +212,10 @@ def _build_parser() -> argparse.ArgumentParser:
     report = sub.add_parser("report", help="regenerate the full reproduction report")
     report.add_argument("--full", action="store_true", help="full-scale experiments")
     report.add_argument("--output", "-o", help="write to a file instead of stdout")
+    report.add_argument("--workers", type=int, default=0,
+                        help="simulation worker processes (0 = sequential)")
+    report.add_argument("--no-cache", action="store_true",
+                        help="disable the content-keyed simulation result cache")
     report.set_defaults(func=_cmd_report)
 
     trace = sub.add_parser("trace", help="print the fabric timeline")

@@ -41,6 +41,7 @@ def steering_processor(
     params: ProcessorParams | None = None,
     use_exact_metric: bool = False,
     record_trace: bool = False,
+    trace_limit: int | None = None,
 ) -> Processor:
     """The paper's processor: CEM-based configuration steering."""
     params = params if params is not None else ProcessorParams()
@@ -48,6 +49,7 @@ def steering_processor(
         use_exact_metric=use_exact_metric or params.use_exact_metric,
         queue_size=params.window_size,
         record_trace=record_trace,
+        trace_limit=trace_limit,
     )
     return Processor(program, params=params, policy=policy)
 

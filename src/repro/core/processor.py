@@ -87,10 +87,20 @@ class Processor:
         self.policy.bind(self.fabric)
 
         self.cycle_count = 0
-        #: the most recent cycle's events (always kept).
-        self.last_events: CycleEvents | None = None
+        self._record_events = record_events
         #: full event history when ``record_events`` is set.
         self.events: list[CycleEvents] | None = [] if record_events else None
+        #: materialised events of the most recent cycle (recording mode).
+        self._last_events: CycleEvents | None = None
+        # raw per-cycle facts stashed for the on-demand snapshot path: kept
+        # as the tuples/lists the step already produced, so the fast path
+        # never builds a CycleEvents or renders slot glyphs.
+        self._last_cycle: int | None = None
+        self._last_fetched: tuple[int, ...] = ()
+        self._last_dispatched: list[int] = []
+        self._last_issued: tuple[int, ...] = ()
+        self._last_retired: list = []
+        self._last_flushed = 0
         self._retired_per_type = {t: 0 for t in FU_TYPES}
         self._busy_cycles = {t: 0 for t in FU_TYPES}
         self._configured_cycles = {t: 0 for t in FU_TYPES}
@@ -119,9 +129,7 @@ class Processor:
                 self._frontend_empty_cycles += 1
             flushed_before = self.ruu.flushed
             report = self.ruu.issue_and_execute(self.cycle_count)
-            issued_seqs = tuple(
-                e.seq for e in self.ruu.in_order() if e.issue_cycle == self.cycle_count
-            )
+            issued_seqs = tuple(report.issued)
             self._handle_resolutions(report.resolutions)
             flushed = self.ruu.flushed - flushed_before
             self._resource_blocked_cycles += report.resource_blocked
@@ -148,28 +156,72 @@ class Processor:
         self.policy.cycle(self.ruu.ready_unscheduled(), self.ruu.retired)
 
         # 6. record + advance time
-        manager = getattr(self.policy, "manager", None)
-        selection = (
-            manager.trace[-1].selection
-            if manager is not None and manager.trace
-            else None
-        )
-        self.last_events = CycleEvents(
-            cycle=self.cycle_count,
-            fetched=fetched_pcs,
-            dispatched=tuple(dispatched),
-            issued=issued_seqs,
-            retired=tuple(e.seq for e in retired),
-            flushed=flushed,
-            slots=slot_glyphs(self.fabric),
-            selection=selection,
-        )
-        if self.events is not None:
-            self.events.append(self.last_events)
+        if self._record_events:
+            self._last_events = CycleEvents(
+                cycle=self.cycle_count,
+                fetched=fetched_pcs,
+                dispatched=tuple(dispatched),
+                issued=issued_seqs,
+                retired=tuple(e.seq for e in retired),
+                flushed=flushed,
+                slots=slot_glyphs(self.fabric),
+                selection=self._current_selection(),
+            )
+            self.events.append(self._last_events)
+        else:
+            # fast path: stash the raw facts; snapshot_events() materialises
+            # a CycleEvents on demand
+            self._last_fetched = fetched_pcs
+            self._last_dispatched = dispatched
+            self._last_issued = issued_seqs
+            self._last_retired = retired
+            self._last_flushed = flushed
+        self._last_cycle = self.cycle_count
         self._accumulate_utilisation()
         self.fabric.tick()
         self.ruu.tick()
         self.cycle_count += 1
+
+    def _current_selection(self) -> int | None:
+        """The steering selection of the most recent manager cycle (only
+        policies recording a steering trace expose one)."""
+        manager = getattr(self.policy, "manager", None)
+        if manager is not None and manager.trace:
+            return manager.trace[-1].selection
+        return None
+
+    @property
+    def last_events(self) -> CycleEvents | None:
+        """The most recent cycle's events.
+
+        In recording mode this is the stored per-cycle record; otherwise it
+        is built on demand by :meth:`snapshot_events` (the fast path pays
+        nothing per cycle for it).
+        """
+        if self._record_events:
+            return self._last_events
+        return self.snapshot_events()
+
+    def snapshot_events(self) -> CycleEvents | None:
+        """Materialise a :class:`CycleEvents` for the last executed cycle.
+
+        Cheap-on-demand counterpart of per-cycle recording: the pipeline
+        facts (fetch/dispatch/issue/retire/flush) are exact; the slot
+        glyphs show the fabric as it stands *after* that cycle's tick.
+        Returns None before the first cycle.
+        """
+        if self._last_cycle is None:
+            return None
+        return CycleEvents(
+            cycle=self._last_cycle,
+            fetched=self._last_fetched,
+            dispatched=tuple(self._last_dispatched),
+            issued=self._last_issued,
+            retired=tuple(e.seq for e in self._last_retired),
+            flushed=self._last_flushed,
+            slots=slot_glyphs(self.fabric),
+            selection=self._current_selection(),
+        )
 
     def _handle_resolutions(self, resolutions) -> None:
         """Train the predictors; repair the pipeline on the oldest mispredict."""
@@ -197,9 +249,18 @@ class Processor:
             self.fetch.redirect(oldest_mispredict.target)
 
     def _accumulate_utilisation(self) -> None:
-        for t, (busy, total) in self.fabric.utilisation().items():
-            self._busy_cycles[t] += busy
-            self._configured_cycles[t] += total
+        busy_cycles = self._busy_cycles
+        configured_cycles = self._configured_cycles
+        for t, units in self.fabric.units_by_type().items():
+            n = len(units)
+            if not n:
+                continue
+            configured_cycles[t] += n
+            busy = 0
+            for u in units:
+                if u.busy_remaining:
+                    busy += 1
+            busy_cycles[t] += busy
 
     # ----------------------------------------------------------------- run
     def run(self, max_cycles: int = 1_000_000) -> SimulationResult:

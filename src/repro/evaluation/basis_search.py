@@ -19,7 +19,7 @@ import random
 from collections.abc import Sequence
 
 from repro.errors import ConfigurationError
-from repro.core.reference import run_reference
+from repro.evaluation.batch import ResultCache, SimJob, run_many
 from repro.fabric.configuration import (
     FFU_COUNTS,
     NUM_RFU_SLOTS,
@@ -39,13 +39,23 @@ def demand_profile(
     window: int = 7,
     stride: int = 4,
     max_instructions: int = 200_000,
+    workers: int = 0,
+    cache: ResultCache | None = None,
 ) -> list[tuple[int, ...]]:
     """Required-unit vectors over sliding windows of the dynamic traces."""
     if window <= 0 or stride <= 0:
         raise ConfigurationError("window and stride must be positive")
+    references = run_many(
+        [
+            SimJob("reference", p, kwargs={"max_instructions": max_instructions})
+            for p in programs
+        ],
+        workers,
+        cache,
+    )
     profile: list[tuple[int, ...]] = []
-    for program in programs:
-        trace = run_reference(program, max_instructions=max_instructions).trace
+    for reference in references:
+        trace = reference.trace
         for start in range(0, max(1, len(trace) - window + 1), stride):
             chunk = trace[start : start + window]
             profile.append(

@@ -1,0 +1,316 @@
+"""Parallel batch simulation engine.
+
+Every evaluation experiment reduces to the same shape: a list of
+independent (program, parameters, policy) simulations whose results are
+then aggregated.  This module gives that shape one engine:
+
+* :class:`SimJob` — a fully serialisable job description.  Policies are
+  named through a factory registry (a policy object holds live fabric
+  references, so jobs carry the *recipe*, never the instance);
+* :func:`run_many` — executes a batch sequentially or across worker
+  processes (:class:`concurrent.futures.ProcessPoolExecutor`), preserving
+  job order in the returned results;
+* :class:`ResultCache` — a content-addressed result store (in-memory,
+  optionally spilled to disk) keyed by :func:`job_key`, a SHA-256 over the
+  job's complete semantic fingerprint: program binary + data image,
+  processor parameters, factory name and arguments, and cycle budget.
+  Identical jobs resubmitted — across experiments or across report runs —
+  are answered from the cache without simulating.
+
+Determinism: a job's result depends only on its fingerprint (the
+simulator is seeded and has no wall-clock dependence), which is what makes
+content-keyed caching sound.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+from collections.abc import Callable, Iterable, Sequence
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field, fields
+from pathlib import Path
+from typing import Any
+
+from repro.core.baselines import (
+    demand_processor,
+    fixed_superscalar,
+    oracle_processor,
+    random_processor,
+    static_processor,
+    steering_processor,
+)
+from repro.core.params import ProcessorParams
+from repro.core.reference import run_reference
+from repro.errors import ConfigurationError
+from repro.fabric.configuration import Configuration
+from repro.isa.futypes import FUType
+from repro.isa.program import Program
+
+__all__ = [
+    "SimJob",
+    "ResultCache",
+    "run_many",
+    "execute_job",
+    "job_key",
+    "FACTORY_NAMES",
+]
+
+
+# ------------------------------------------------------------ job factories
+def _make_ffu_only(program, params, max_cycles, **kw):
+    return fixed_superscalar(program, params).run(max_cycles=max_cycles)
+
+
+def _make_steering(program, params, max_cycles, **kw):
+    return steering_processor(
+        program, params, use_exact_metric=kw.get("use_exact_metric", False)
+    ).run(max_cycles=max_cycles)
+
+
+def _make_steering_basis(program, params, max_cycles, **kw):
+    from repro.core.policies import PaperSteering
+    from repro.core.processor import Processor
+
+    params = params if params is not None else ProcessorParams()
+    policy = PaperSteering(
+        configs=tuple(kw["configs"]), queue_size=params.window_size
+    )
+    return Processor(program, params=params, policy=policy).run(
+        max_cycles=max_cycles
+    )
+
+
+def _make_static(program, params, max_cycles, **kw):
+    return static_processor(program, kw["config"], params).run(
+        max_cycles=max_cycles
+    )
+
+
+def _make_random(program, params, max_cycles, **kw):
+    return random_processor(
+        program, params, period=kw.get("period", 200), seed=kw.get("seed", 0)
+    ).run(max_cycles=max_cycles)
+
+
+def _make_oracle(program, params, max_cycles, **kw):
+    return oracle_processor(
+        program, params, lookahead=kw.get("lookahead", 64)
+    ).run(max_cycles=max_cycles)
+
+
+def _make_demand(program, params, max_cycles, **kw):
+    return demand_processor(
+        program,
+        params,
+        smoothing=kw.get("smoothing", 0.1),
+        improvement_margin=kw.get("improvement_margin", 0.15),
+    ).run(max_cycles=max_cycles)
+
+
+def _make_reference(program, params, max_cycles, **kw):
+    # functional (non-cycle-accurate) reference execution; ``params`` and
+    # ``max_cycles`` do not apply — the budget is in dynamic instructions.
+    return run_reference(
+        program, max_instructions=kw.get("max_instructions", 1_000_000)
+    )
+
+
+_FACTORIES: dict[str, Callable[..., Any]] = {
+    "ffu-only": _make_ffu_only,
+    "steering": _make_steering,
+    "steering-basis": _make_steering_basis,
+    "static": _make_static,
+    "random": _make_random,
+    "oracle": _make_oracle,
+    "demand": _make_demand,
+    "reference": _make_reference,
+}
+
+#: registered job factory names.
+FACTORY_NAMES = tuple(sorted(_FACTORIES))
+
+
+# ------------------------------------------------------------------ job spec
+@dataclass
+class SimJob:
+    """One simulation, described entirely by picklable values."""
+
+    #: factory registry name (see :data:`FACTORY_NAMES`).
+    factory: str
+    program: Program
+    params: ProcessorParams | None = None
+    max_cycles: int = 400_000
+    #: extra factory arguments (must be fingerprintable: primitives,
+    #: sequences, dicts, Configuration, FUType).
+    kwargs: dict[str, Any] = field(default_factory=dict)
+    #: free-form tag carried through to progress callbacks.
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.factory not in _FACTORIES:
+            raise ConfigurationError(
+                f"unknown job factory {self.factory!r}; "
+                f"choose from {', '.join(FACTORY_NAMES)}"
+            )
+
+
+def execute_job(job: SimJob) -> Any:
+    """Run one job to completion (in this process) and return its result."""
+    return _FACTORIES[job.factory](
+        job.program, job.params, job.max_cycles, **job.kwargs
+    )
+
+
+# ------------------------------------------------------------- content keys
+def _canon(value: Any) -> Any:
+    """Reduce a job component to primitives with a deterministic repr."""
+    if isinstance(value, Program):
+        return (
+            "program",
+            tuple(value.to_binary()),
+            bytes(value.data),
+            tuple(sorted(value.labels.items())),
+            tuple(sorted(value.data_labels.items())),
+        )
+    if isinstance(value, ProcessorParams):
+        return ("params",) + tuple(
+            (f.name, _canon(getattr(value, f.name))) for f in fields(value)
+        )
+    if isinstance(value, Configuration):
+        return (
+            "config",
+            value.name,
+            tuple(sorted((t.name, n) for t, n in value.counts.items())),
+        )
+    if isinstance(value, FUType):
+        return ("futype", value.name)
+    if isinstance(value, dict):
+        return (
+            "dict",
+            tuple(sorted(((_canon(k), _canon(v)) for k, v in value.items()), key=repr)),
+        )
+    if isinstance(value, (list, tuple)):
+        return ("seq",) + tuple(_canon(v) for v in value)
+    if value is None or isinstance(value, (bool, int, float, str, bytes)):
+        return value
+    raise ConfigurationError(
+        f"job component {value!r} has no canonical fingerprint"
+    )
+
+
+def job_key(job: SimJob) -> str:
+    """Content key of a job: SHA-256 over its semantic fingerprint.
+
+    The label is deliberately excluded — two jobs asking the same question
+    share one key no matter how the caller tagged them.
+    """
+    fingerprint = _canon(
+        (job.factory, job.program, job.params, job.max_cycles, job.kwargs)
+    )
+    return hashlib.sha256(repr(fingerprint).encode()).hexdigest()
+
+
+# ------------------------------------------------------------- result cache
+class ResultCache:
+    """Content-addressed result store: memory first, optionally disk.
+
+    With a ``directory`` every stored result is also pickled to
+    ``<directory>/<key>.pkl``, so caches survive across processes and
+    report invocations; without one the cache lives for the object's
+    lifetime only.
+    """
+
+    def __init__(self, directory: str | Path | None = None) -> None:
+        self._memory: dict[str, Any] = {}
+        self.directory = Path(directory) if directory is not None else None
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.pkl"
+
+    def get(self, key: str) -> Any | None:
+        if key in self._memory:
+            self.hits += 1
+            return self._memory[key]
+        if self.directory is not None:
+            path = self._path(key)
+            if path.exists():
+                result = pickle.loads(path.read_bytes())
+                self._memory[key] = result
+                self.hits += 1
+                return result
+        self.misses += 1
+        return None
+
+    def put(self, key: str, result: Any) -> None:
+        self._memory[key] = result
+        if self.directory is not None:
+            self._path(key).write_bytes(pickle.dumps(result))
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+
+# -------------------------------------------------------------- batch runner
+def run_many(
+    jobs: Iterable[SimJob],
+    workers: int = 0,
+    cache: ResultCache | None = None,
+    progress: Callable[[int, int, SimJob], None] | None = None,
+) -> list[Any]:
+    """Execute a batch of jobs; results come back in submission order.
+
+    ``workers <= 1`` runs sequentially in this process (the default keeps
+    single-simulation behaviour and avoids process start-up for small
+    batches); ``workers > 1`` fans out over a process pool.  Jobs with
+    identical content keys are simulated once per batch, and a ``cache``
+    answers repeats across batches.  ``progress(done, total, job)`` is
+    invoked as each job resolves (cache hits included).
+    """
+    jobs = list(jobs)
+    total = len(jobs)
+    results: list[Any] = [None] * total
+    done = 0
+
+    def resolved(index: int, result: Any) -> None:
+        nonlocal done
+        results[index] = result
+        done += 1
+        if progress is not None:
+            progress(done, total, jobs[index])
+
+    # cache lookups + within-batch dedup --------------------------------
+    pending: dict[str, list[int]] = {}
+    for i, job in enumerate(jobs):
+        key = job_key(job)
+        if cache is not None:
+            hit = cache.get(key)
+            if hit is not None:
+                resolved(i, hit)
+                continue
+        pending.setdefault(key, []).append(i)
+
+    def settle(key: str, result: Any) -> None:
+        if cache is not None:
+            cache.put(key, result)
+        for i in pending[key]:
+            resolved(i, result)
+
+    unique = [(key, jobs[indices[0]]) for key, indices in pending.items()]
+    if workers <= 1:
+        for key, job in unique:
+            settle(key, execute_job(job))
+        return results
+
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = {pool.submit(execute_job, job): key for key, job in unique}
+        remaining = set(futures)
+        while remaining:
+            finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+            for fut in finished:
+                settle(futures[fut], fut.result())
+    return results

@@ -14,16 +14,11 @@ import random
 from dataclasses import dataclass, field
 
 from repro.circuits.cost import selection_unit_cost
-from repro.core.baselines import (
-    fixed_superscalar,
-    oracle_processor,
-    random_processor,
-    static_processor,
-    steering_processor,
-)
+from repro.core.baselines import steering_processor
 from repro.core.params import ProcessorParams
 from repro.core.stats import SimulationResult
 from repro.errors import ConfigurationError
+from repro.evaluation.batch import ResultCache, SimJob, run_many
 from repro.evaluation.report import render_table
 from repro.fabric.configuration import (
     NUM_RFU_SLOTS,
@@ -86,36 +81,42 @@ def run_ipc_comparison(
     params: ProcessorParams | None = None,
     include_oracle: bool = True,
     max_cycles: int = 400_000,
+    workers: int = 0,
+    cache: ResultCache | None = None,
 ) -> IpcComparison:
     """E-IPC: steering vs every baseline across the workload suite."""
     params = params if params is not None else _DEFAULT_PARAMS
     if workloads is None:
         workloads = [(k.name, k.program) for k in all_kernels()]
 
-    def factories(program):
-        out = {
-            "ffu-only": lambda: fixed_superscalar(program, params),
-            "steering": lambda: steering_processor(program, params),
-        }
-        for cfg in PREDEFINED_CONFIGS:
-            out[f"static-{cfg.name}"] = (
-                lambda _c=cfg: static_processor(program, _c, params)
+    def jobs_for(program) -> list[tuple[str, SimJob]]:
+        def job(factory, **kwargs):
+            return SimJob(
+                factory, program, params, max_cycles=max_cycles, kwargs=kwargs
             )
-        out["random"] = lambda: random_processor(program, params, period=100)
+
+        out = [("ffu-only", job("ffu-only")), ("steering", job("steering"))]
+        for cfg in PREDEFINED_CONFIGS:
+            out.append((f"static-{cfg.name}", job("static", config=cfg)))
+        out.append(("random", job("random", period=100)))
         if include_oracle:
-            out["oracle"] = lambda: oracle_processor(program, params)
+            out.append(("oracle", job("oracle")))
         return out
 
-    policies = list(factories(workloads[0][1]))
-    ipc: dict[str, dict[str, float]] = {}
-    results: dict[str, dict[str, SimulationResult]] = {}
+    policies = [p for p, _ in jobs_for(workloads[0][1])]
+    batch: list[SimJob] = []
+    slots: list[tuple[str, str]] = []
     for name, program in workloads:
-        ipc[name] = {}
-        results[name] = {}
-        for policy, make in factories(program).items():
-            result = make().run(max_cycles=max_cycles)
-            ipc[name][policy] = result.ipc
-            results[name][policy] = result
+        for policy, job in jobs_for(program):
+            job.label = f"{name}/{policy}"
+            batch.append(job)
+            slots.append((name, policy))
+
+    ipc: dict[str, dict[str, float]] = {w: {} for w, _ in workloads}
+    results: dict[str, dict[str, SimulationResult]] = {w: {} for w, _ in workloads}
+    for (name, policy), result in zip(slots, run_many(batch, workers, cache)):
+        ipc[name][policy] = result.ipc
+        results[name][policy] = result
     return IpcComparison(
         workloads=[w for w, _ in workloads],
         policies=policies,
@@ -129,6 +130,8 @@ def run_reconfig_latency_sweep(
     latencies: list[int] | None = None,
     program: Program | None = None,
     max_cycles: int = 400_000,
+    workers: int = 0,
+    cache: ResultCache | None = None,
 ) -> list[tuple[int, float, float, int]]:
     """E-RL: IPC vs reconfiguration latency.
 
@@ -142,11 +145,23 @@ def run_reconfig_latency_sweep(
         program = phased_program(
             [(INT_MIX, 30), (FP_MIX, 30), (MEM_MIX, 30)], seed=11
         )
-    out = []
+    batch = []
     for latency in latencies:
         params = ProcessorParams(reconfig_latency=latency)
-        steer = steering_processor(program, params).run(max_cycles=max_cycles)
-        ffu = fixed_superscalar(program, params).run(max_cycles=max_cycles)
+        for factory in ("steering", "ffu-only"):
+            batch.append(
+                SimJob(
+                    factory,
+                    program,
+                    params,
+                    max_cycles=max_cycles,
+                    label=f"latency={latency}/{factory}",
+                )
+            )
+    results = run_many(batch, workers, cache)
+    out = []
+    for i, latency in enumerate(latencies):
+        steer, ffu = results[2 * i], results[2 * i + 1]
         out.append((latency, steer.ipc, ffu.ipc, steer.reconfigurations))
     return out
 
@@ -203,18 +218,26 @@ def run_queue_depth_sweep(
     depths: list[int] | None = None,
     program: Program | None = None,
     max_cycles: int = 400_000,
+    workers: int = 0,
+    cache: ResultCache | None = None,
 ) -> list[tuple[int, float]]:
     """E-Q: IPC vs wake-up window / instruction queue depth."""
     if depths is None:
         depths = [3, 5, 7, 11, 16]
     if program is None:
         program = phased_program([(INT_MIX, 40), (FP_MIX, 40)], seed=7)
-    out = []
-    for depth in depths:
-        params = ProcessorParams(window_size=depth, reconfig_latency=8)
-        result = steering_processor(program, params).run(max_cycles=max_cycles)
-        out.append((depth, result.ipc))
-    return out
+    batch = [
+        SimJob(
+            "steering",
+            program,
+            ProcessorParams(window_size=depth, reconfig_latency=8),
+            max_cycles=max_cycles,
+            label=f"depth={depth}",
+        )
+        for depth in depths
+    ]
+    results = run_many(batch, workers, cache)
+    return [(depth, result.ipc) for depth, result in zip(depths, results)]
 
 
 # ------------------------------------------------------------------ E-CEM
@@ -222,6 +245,8 @@ def run_cem_ablation(
     workloads: list[tuple[str, Program]] | None = None,
     params: ProcessorParams | None = None,
     max_cycles: int = 400_000,
+    workers: int = 0,
+    cache: ResultCache | None = None,
 ) -> list[tuple[str, float, float]]:
     """E-CEM: steering with the shift-approximate metric vs exact division.
 
@@ -231,14 +256,26 @@ def run_cem_ablation(
     params = params if params is not None else _DEFAULT_PARAMS
     if workloads is None:
         workloads = [(k.name, k.program) for k in all_kernels()]
-    out = []
+    batch = []
     for name, program in workloads:
-        approx = steering_processor(program, params).run(max_cycles=max_cycles)
-        exact = steering_processor(
-            program, params, use_exact_metric=True
-        ).run(max_cycles=max_cycles)
-        out.append((name, approx.ipc, exact.ipc))
-    return out
+        for exact in (False, True):
+            batch.append(
+                SimJob(
+                    "steering",
+                    program,
+                    params,
+                    max_cycles=max_cycles,
+                    # the approx case keeps empty kwargs so it shares a
+                    # cache key with E-IPC's plain steering job
+                    kwargs={"use_exact_metric": True} if exact else {},
+                    label=f"{name}/{'exact' if exact else 'approx'}",
+                )
+            )
+    results = run_many(batch, workers, cache)
+    return [
+        (name, results[2 * i].ipc, results[2 * i + 1].ipc)
+        for i, (name, _) in enumerate(workloads)
+    ]
 
 
 # ----------------------------------------------------------------- E-ORTH
@@ -284,6 +321,8 @@ def run_orthogonality_study(
     seed: int = 0,
     params: ProcessorParams | None = None,
     max_cycles: int = 200_000,
+    workers: int = 0,
+    cache: ResultCache | None = None,
 ) -> list[tuple[str, float, float]]:
     """E-ORTH (§5 future work): does a more orthogonal steering basis help?
 
@@ -292,9 +331,6 @@ def run_orthogonality_study(
     the expected shape is a loose negative relation between similarity and
     IPC, with the paper's hand-designed basis among the best.
     """
-    from repro.core.policies import PaperSteering
-    from repro.core.processor import Processor
-
     params = params if params is not None else _DEFAULT_PARAMS
     rng = random.Random(seed)
     program = phased_program([(INT_MIX, 40), (MEM_MIX, 40), (FP_MIX, 40)], seed=5)
@@ -308,14 +344,22 @@ def run_orthogonality_study(
     for k in range(n_bases):
         bases.append((f"random-{k}", _random_basis(rng)))
 
-    out = []
-    for name, basis in bases:
-        policy = PaperSteering(configs=tuple(basis), queue_size=params.window_size)
-        result = Processor(program, params=params, policy=policy).run(
-            max_cycles=max_cycles
+    batch = [
+        SimJob(
+            "steering-basis",
+            program,
+            params,
+            max_cycles=max_cycles,
+            kwargs={"configs": list(basis)},
+            label=name,
         )
-        out.append((name, _basis_similarity(basis), result.ipc))
-    return out
+        for name, basis in bases
+    ]
+    results = run_many(batch, workers, cache)
+    return [
+        (name, _basis_similarity(basis), result.ipc)
+        for (name, basis), result in zip(bases, results)
+    ]
 
 
 # ----------------------------------------------------------------- E-COST

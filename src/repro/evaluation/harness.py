@@ -12,6 +12,7 @@ from collections.abc import Callable
 
 from repro.core.params import ProcessorParams
 from repro.evaluation import artifacts
+from repro.evaluation.batch import ResultCache
 from repro.evaluation.experiments import (
     run_cem_ablation,
     run_circuit_cost_report,
@@ -33,13 +34,23 @@ def _section(title: str, body: str) -> str:
 def generate_report(
     fast: bool = True,
     progress: Callable[[str], None] | None = None,
+    workers: int = 0,
+    use_cache: bool = True,
 ) -> str:
     """Regenerate everything.  ``fast`` shrinks the experiment workloads so
-    the whole report completes in tens of seconds."""
+    the whole report completes in tens of seconds.
+
+    ``workers > 1`` fans each experiment's simulations out over a process
+    pool; ``use_cache`` shares one content-keyed result cache across the
+    experiments, so simulations asked for twice (e.g. the same
+    steering/workload pair in E-IPC and E-CEM) run once.
+    """
 
     def note(msg: str) -> None:
         if progress is not None:
             progress(msg)
+
+    cache = ResultCache() if use_cache else None
 
     parts = ["# Reproduction report (generated)\n"]
 
@@ -76,11 +87,17 @@ def generate_report(
     ]
 
     note("experiment: E-IPC")
-    comparison = run_ipc_comparison(workloads=workloads, params=params)
+    comparison = run_ipc_comparison(
+        workloads=workloads, params=params, workers=workers, cache=cache
+    )
     parts.append(_section("E-IPC — policy comparison", comparison.render()))
 
     note("experiment: E-RL")
-    rl = run_reconfig_latency_sweep([1, 16, 128] if fast else [1, 4, 16, 64, 256])
+    rl = run_reconfig_latency_sweep(
+        [1, 16, 128] if fast else [1, 4, 16, 64, 256],
+        workers=workers,
+        cache=cache,
+    )
     parts.append(
         _section(
             "E-RL — reconfiguration latency",
@@ -103,13 +120,17 @@ def generate_report(
     )
 
     note("experiment: E-Q")
-    qd = run_queue_depth_sweep([3, 7, 16] if fast else [3, 5, 7, 11, 16])
+    qd = run_queue_depth_sweep(
+        [3, 7, 16] if fast else [3, 5, 7, 11, 16], workers=workers, cache=cache
+    )
     parts.append(
         _section("E-Q — queue depth", render_table(["depth", "IPC"], qd))
     )
 
     note("experiment: E-CEM")
-    cem = run_cem_ablation(workloads=workloads, params=params)
+    cem = run_cem_ablation(
+        workloads=workloads, params=params, workers=workers, cache=cache
+    )
     parts.append(
         _section(
             "E-CEM — metric ablation",

@@ -9,6 +9,15 @@ where the allocation vector covers both the reconfigurable slots and the
 fixed units, SPAN continuation entries never match any type encoding (so a
 multi-slot unit is considered exactly once, through its head entry), and
 ``availability(i)`` is the idle signal of the unit at entry *i*.
+
+Besides the bit-faithful :func:`available` reference, this module holds
+:class:`AvailabilityCache` — the simulator's fast evaluation of the same
+function.  The cache keeps per-type unit lists (rebuilt only when the slot
+array's *structure* changes, i.e. a unit is loaded or evicted) and the
+5-bit availability bus (recomputed only when some unit's busy state
+changes, tracked through :func:`repro.fabric.units.busy_epoch`).  On the
+scheduler's per-cycle hot path this turns Eq. 1 from five list-building
+scans into a pair of integer version checks.
 """
 
 from __future__ import annotations
@@ -17,9 +26,10 @@ from collections.abc import Sequence
 
 from repro.errors import FabricError
 from repro.fabric.allocation import EMPTY_ENCODING, SPAN_ENCODING
+from repro.fabric.units import FunctionalUnit, busy_epoch
 from repro.isa.futypes import FU_TYPES, FUType
 
-__all__ = ["available", "availability_report"]
+__all__ = ["available", "availability_report", "AvailabilityCache"]
 
 
 def available(
@@ -54,3 +64,103 @@ def availability_report(
 ) -> dict[FUType, bool]:
     """Eq. 1 evaluated for every unit type (one Fig. 7 circuit per type)."""
     return {t: available(t, allocation, availability) for t in FU_TYPES}
+
+
+class AvailabilityCache:
+    """Versioned cache of the configured units and the Eq. 1 bus.
+
+    The cache answers the scheduler's three per-cycle questions — *which
+    units exist per type*, *which types have an idle unit* (the 5-bit
+    availability bus), and *how many idle units per type* — without
+    rebuilding any lists, as long as nothing changed:
+
+    * the per-type unit tuples are refreshed when the slot array's
+      ``structure_version`` moves (a load completed or a unit was evicted);
+    * the availability bus / idle counts are refreshed when the process
+      busy epoch moves (any unit went busy or idle).
+
+    Unit ordering inside each tuple is fixed units first, then
+    reconfigurable units in slot order — the same preference order
+    :meth:`Fabric.idle_unit` has always used.
+    """
+
+    __slots__ = (
+        "_ffus",
+        "_rfus",
+        "_structure_seen",
+        "_epoch_seen",
+        "_by_type",
+        "_counts",
+        "_bits",
+        "_idle_counts",
+    )
+
+    def __init__(self, ffus, rfus) -> None:
+        self._ffus = ffus
+        self._rfus = rfus
+        self._structure_seen = -1
+        self._epoch_seen = -1
+        self._by_type: dict[FUType, tuple[FunctionalUnit, ...]] = {}
+        self._counts: tuple[int, ...] = ()
+        self._bits = 0
+        self._idle_counts: dict[FUType, int] = {}
+
+    # ----------------------------------------------------------- refresh
+    def _refresh_structure(self) -> None:
+        version = self._rfus.structure_version
+        if version == self._structure_seen:
+            return
+        by_type: dict[FUType, list[FunctionalUnit]] = {t: [] for t in FU_TYPES}
+        for u in self._ffus.units:
+            by_type[u.fu_type].append(u)
+        for _, u in self._rfus.units():
+            by_type[u.fu_type].append(u)
+        self._by_type = {t: tuple(us) for t, us in by_type.items()}
+        self._counts = tuple(len(self._by_type[t]) for t in FU_TYPES)
+        self._structure_seen = version
+        self._epoch_seen = -1  # force a bus recompute against the new units
+
+    def _refresh_busy(self) -> None:
+        self._refresh_structure()
+        epoch = busy_epoch()
+        if epoch == self._epoch_seen:
+            return
+        bits = 0
+        idle_counts: dict[FUType, int] = {}
+        for t, units in self._by_type.items():
+            idle = 0
+            for u in units:
+                if u.busy_remaining == 0:
+                    idle += 1
+            idle_counts[t] = idle
+            if idle:
+                bits |= 1 << t.bit_index
+        self._bits = bits
+        self._idle_counts = idle_counts
+        self._epoch_seen = epoch
+
+    # ----------------------------------------------------------- queries
+    def units_by_type(self) -> dict[FUType, tuple[FunctionalUnit, ...]]:
+        """Configured units per type (treat as read-only)."""
+        self._refresh_structure()
+        return self._by_type
+
+    def units_of_type(self, fu_type: FUType) -> tuple[FunctionalUnit, ...]:
+        self._refresh_structure()
+        return self._by_type[fu_type]
+
+    def counts_tuple(self) -> tuple[int, ...]:
+        """Configured units per type in canonical type order."""
+        self._refresh_structure()
+        return self._counts
+
+    def bits(self) -> int:
+        """The Eq. 1 availability bus: bit ``t.bit_index`` set when a unit
+        of type ``t`` is configured and idle."""
+        self._refresh_busy()
+        return self._bits
+
+    def idle_counts(self) -> dict[FUType, int]:
+        """Idle units per type (treat as read-only)."""
+        self._refresh_busy()
+        return self._idle_counts

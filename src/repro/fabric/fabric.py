@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from repro.errors import FabricError
 from repro.fabric.allocation import AllocationVector
+from repro.fabric.availability import AvailabilityCache
 from repro.fabric.availability import available as _eq1_available
 from repro.fabric.configuration import FFU_COUNTS
 from repro.fabric.slots import RfuSlotArray
@@ -40,6 +41,8 @@ class Fabric:
             reconfig_latency=reconfig_latency,
             reconfig_mode=reconfig_mode,
         )
+        #: versioned cache of per-type units and the Eq. 1 availability bus.
+        self._avail = AvailabilityCache(self.ffus, self.rfus)
 
     # ------------------------------------------------------------- queries
     def counts(self, include_ffus: bool = True) -> dict[FUType, int]:
@@ -48,17 +51,29 @@ class Fabric:
         Units under reconfiguration are *not* counted: they cannot execute
         anything yet.
         """
+        if include_ffus:
+            by_type = self._avail.units_by_type()
+            return {t: len(by_type[t]) for t in FU_TYPES}
         out = {t: 0 for t in FU_TYPES}
         for t, n in self.rfus.counts().items():
             out[t] += n
-        if include_ffus:
-            for t, n in self.ffus.counts().items():
-                out[t] += n
         return out
+
+    def counts_tuple(self) -> tuple[int, ...]:
+        """Configured units (fixed + loaded) per type, canonical type order.
+
+        Cached by structure version: repeated calls between
+        reconfigurations return the same tuple object without allocating.
+        """
+        return self._avail.counts_tuple()
+
+    def units_by_type(self) -> dict[FUType, tuple[FunctionalUnit, ...]]:
+        """All configured units grouped per type (cached; treat as read-only)."""
+        return self._avail.units_by_type()
 
     def units_of_type(self, fu_type: FUType) -> list[FunctionalUnit]:
         """All configured units of a type, fixed units first."""
-        return self.ffus.units_of_type(fu_type) + self.rfus.units_of_type(fu_type)
+        return list(self._avail.units_of_type(fu_type))
 
     def full_allocation(self) -> tuple[list[int], list[bool]]:
         """Allocation + availability vectors over RFU slots then FFUs.
@@ -80,28 +95,30 @@ class Fabric:
     def available(self, fu_type: FUType) -> bool:
         """Eq. 1: is a unit of this type configured *and* idle?
 
-        Computed by scanning the units directly — provably the same value
+        Read from the cached availability bus — provably the same value
         as evaluating the Fig. 7 circuit over :meth:`full_allocation`
         (the availability property tests pin the equivalence), but without
         rebuilding the allocation vector on the scheduler's hot path.
         """
-        for u in self.ffus.units_of_type(fu_type):
-            if u.available:
-                return True
-        for u in self.rfus.units_of_type(fu_type):
-            if u.available:
-                return True
-        return False
+        return bool(self._avail.bits() & (1 << fu_type.bit_index))
+
+    def availability_bits(self) -> int:
+        """The full Eq. 1 bus: bit ``t.bit_index`` set iff ``available(t)``."""
+        return self._avail.bits()
+
+    def idle_counts(self) -> dict[FUType, int]:
+        """Idle units per type (cached; treat as read-only)."""
+        return self._avail.idle_counts()
 
     def idle_unit(self, fu_type: FUType) -> FunctionalUnit | None:
         """An idle unit of the given type, preferring fixed units."""
-        for u in self.units_of_type(fu_type):
+        for u in self._avail.units_of_type(fu_type):
             if u.available:
                 return u
         return None
 
     def idle_units(self, fu_type: FUType) -> list[FunctionalUnit]:
-        return [u for u in self.units_of_type(fu_type) if u.available]
+        return [u for u in self._avail.units_of_type(fu_type) if u.available]
 
     def allocation_vector(self) -> AllocationVector:
         """RFU-only Table 2 vector (the loader's bookkeeping structure)."""
@@ -128,8 +145,7 @@ class Fabric:
     def utilisation(self) -> dict[FUType, tuple[int, int]]:
         """(busy, total) unit counts per type at this instant."""
         out: dict[FUType, tuple[int, int]] = {}
-        for t in FU_TYPES:
-            units = self.units_of_type(t)
+        for t, units in self._avail.units_by_type().items():
             busy = sum(1 for u in units if not u.available)
             out[t] = (busy, len(units))
         return out

@@ -42,7 +42,7 @@ __all__ = ["Slot", "RfuSlotArray"]
 _INT_FAMILY = frozenset({FUType.INT_ALU, FUType.INT_MDU, FUType.LSU})
 
 
-@dataclass
+@dataclass(slots=True)
 class Slot:
     """State of one reconfigurable slot."""
 
@@ -99,6 +99,9 @@ class RfuSlotArray:
         self.reconfigurations = 0
         #: total cycles the bus has been busy (for statistics).
         self.bus_busy_cycles = 0
+        #: bumped whenever the set of configured units changes (a unit is
+        #: loaded or evicted) — the availability cache's invalidation key.
+        self.structure_version = 0
 
     # ------------------------------------------------------------- queries
     @property
@@ -229,11 +232,13 @@ class RfuSlotArray:
         self.slots[head].unit = None
         for i in range(head + 1, head + cost):
             self.slots[i].span_of = None
+        self.structure_version += 1
 
     def tick(self) -> None:
         """Advance one cycle: unit execution and the configuration bus."""
-        for _, u in self.units():
-            u.tick()
+        for s in self.slots:
+            if s.unit is not None:
+                s.unit.tick()
         if self._bus_remaining > 0:
             self._bus_remaining -= 1
             self.bus_busy_cycles += 1
@@ -254,3 +259,4 @@ class RfuSlotArray:
             self.slots[i].pending_span_of = None
             self.slots[i].span_of = head
         self._bus_target = None
+        self.structure_version += 1

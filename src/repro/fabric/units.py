@@ -5,6 +5,13 @@ instruction's full latency (units are not internally pipelined — this is
 what makes the *number* of configured units matter, which is the quantity
 the steering mechanism optimises).  Each unit exposes the ``available``
 signal of Fig. 7: asserted when the unit is configured and idle.
+
+Units also maintain a process-wide **busy epoch**: a counter bumped
+whenever any unit's idle/busy state changes (occupy, release, or a
+count-down reaching zero).  The Eq. 1 availability cache keys off this
+epoch so the availability bus is recomputed only when some unit's state
+actually changed — regardless of whether the mutation went through the
+:class:`~repro.fabric.fabric.Fabric` or touched a unit directly.
 """
 
 from __future__ import annotations
@@ -15,12 +22,29 @@ from dataclasses import dataclass, field
 from repro.errors import FabricError
 from repro.isa.futypes import FU_TYPES, FUType
 
-__all__ = ["FunctionalUnit", "FfuBank"]
+__all__ = ["FunctionalUnit", "FfuBank", "busy_epoch"]
 
 _unit_ids = itertools.count()
 
 
-@dataclass
+class _BusyEpoch:
+    """Process-wide monotonically increasing busy-state version."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+
+_BUSY_EPOCH = _BusyEpoch()
+
+
+def busy_epoch() -> int:
+    """The current busy-state version (see module docstring)."""
+    return _BUSY_EPOCH.value
+
+
+@dataclass(slots=True)
 class FunctionalUnit:
     """One execution unit, fixed or reconfigurable."""
 
@@ -47,11 +71,13 @@ class FunctionalUnit:
             )
         self.busy_remaining = cycles
         self.occupant = occupant
+        _BUSY_EPOCH.value += 1
 
     def release(self) -> None:
         """Force-release the unit (used when a flush squashes its occupant)."""
         self.busy_remaining = 0
         self.occupant = None
+        _BUSY_EPOCH.value += 1
 
     def tick(self) -> None:
         """Advance one cycle."""
@@ -59,6 +85,7 @@ class FunctionalUnit:
             self.busy_remaining -= 1
             if self.busy_remaining == 0:
                 self.occupant = None
+                _BUSY_EPOCH.value += 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "idle" if self.available else f"busy({self.busy_remaining})"

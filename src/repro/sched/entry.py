@@ -25,7 +25,7 @@ class EntryState(enum.Enum):
     COMPLETED = "completed"  # result available, awaiting in-order retire
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SourceBinding:
     """Where one source operand comes from."""
 
@@ -36,7 +36,7 @@ class SourceBinding:
     producer_seq: int | None
 
 
-@dataclass
+@dataclass(slots=True)
 class RuuEntry:
     """One dispatched instruction."""
 

@@ -55,6 +55,9 @@ class IssueReport:
     """What happened during one issue/execute step."""
 
     granted: list[int] = field(default_factory=list)
+    #: sequence numbers issued this cycle, oldest first (what the processor
+    #: records — returned directly so callers never rescan the window).
+    issued: list[int] = field(default_factory=list)
     resolutions: list[BranchResolution] = field(default_factory=list)
     #: loads denied a grant by memory-ordering this cycle (statistics).
     memory_stalls: int = 0
@@ -93,6 +96,14 @@ class RegisterUpdateUnit:
         self.scheduling_replays = 0
         #: row index -> in-flight entry (parallel to the wake-up array).
         self._entries: dict[int, RuuEntry] = {}
+        #: in-flight entries oldest first.  Sequence numbers are allocated
+        #: monotonically, retirement removes from the front and flushes
+        #: truncate the tail, so plain appends keep this sorted — the
+        #: per-cycle ``sorted()`` rescans of the seed implementation become
+        #: list reads.
+        self._order: list[RuuEntry] = []
+        #: seq -> wake-up row of the in-flight entry holding it.
+        self._row_by_seq: dict[int, int] = {}
         #: youngest in-flight writer of each register: (class, idx) -> seq.
         self._rename: dict[tuple[str, int], int] = {}
         self._next_seq = 0
@@ -118,22 +129,19 @@ class RegisterUpdateUnit:
 
     def in_order(self) -> list[RuuEntry]:
         """In-flight entries oldest first."""
-        return sorted(self._entries.values(), key=lambda e: e.seq)
+        return list(self._order)
 
     def ready_unscheduled(self) -> list[Instruction]:
         """The instructions the configuration manager inspects: queue
         entries that have not yet been granted execution."""
         return [
             e.instruction
-            for e in self.in_order()
+            for e in self._order
             if e.state is EntryState.WAITING
         ]
 
     def _row_of_seq(self, seq: int) -> int | None:
-        for row, e in self._entries.items():
-            if e.seq == seq:
-                return row
-        return None
+        return self._row_by_seq.get(seq)
 
     # ----------------------------------------------------------- dispatch
     def dispatch(self, fetched: FetchedInstruction) -> RuuEntry:
@@ -168,6 +176,8 @@ class RegisterUpdateUnit:
         )
         self._next_seq += 1
         self._entries[row] = entry
+        self._order.append(entry)
+        self._row_by_seq[entry.seq] = row
 
         dest = instr.destination()
         if dest is not None:
@@ -192,9 +202,13 @@ class RegisterUpdateUnit:
 
     # -------------------------------------------------------- memory rules
     def _older_stores(self, entry: RuuEntry) -> list[RuuEntry]:
-        return [
-            e for e in self.in_order() if e.is_store and e.seq < entry.seq
-        ]
+        out = []
+        for e in self._order:  # oldest first, so stop at the entry itself
+            if e.seq >= entry.seq:
+                break
+            if e.is_store:
+                out.append(e)
+        return out
 
     def _load_memory_check(self, entry: RuuEntry) -> tuple[bool, RuuEntry | None]:
         """May this load issue, and from which store (if any) to forward?
@@ -223,11 +237,9 @@ class RegisterUpdateUnit:
 
     # --------------------------------------------------------------- issue
     def _resource_available_bits(self) -> int:
-        bits = 0
-        for t in FU_TYPES:
-            if self.fabric.available(t):
-                bits |= 1 << t.bit_index
-        return bits
+        # the fabric's cached Eq. 1 bus (recomputed only when a unit's busy
+        # state or the configured structure actually changed)
+        return self.fabric.availability_bits()
 
     def _result_available_bits(self) -> int:
         bits = 0
@@ -268,8 +280,7 @@ class RegisterUpdateUnit:
             (row, self._entries[row].seq, self._entries[row].fu_type)
             for row in requests
         ]
-        idle = {t: len(self.fabric.idle_units(t)) for t in FU_TYPES}
-        granted_rows = select_grants(triples, idle)
+        granted_rows = select_grants(triples, self.fabric.idle_counts())
         if self.pipelined_scheduling:
             # select-free [9]: every requester considered itself scheduled;
             # collision losers are squashed and replay via reschedule
@@ -302,6 +313,7 @@ class RegisterUpdateUnit:
             self.wakeup.mark_scheduled(row)
             self.issued_per_type[entry.fu_type] += 1
             report.granted.append(row)
+            report.issued.append(entry.seq)
         return report
 
     # ------------------------------------------------------ execution kinds
@@ -341,24 +353,23 @@ class RegisterUpdateUnit:
     # ---------------------------------------------------------------- tick
     def tick(self) -> None:
         """Advance all count-down timers one cycle."""
-        for e in self._entries.values():
+        for e in self._order:
             e.tick()
 
     # -------------------------------------------------------------- retire
     def retire(self) -> list[RuuEntry]:
         """In-order retirement of up to ``retire_width`` completed entries."""
         retired: list[RuuEntry] = []
-        while len(retired) < self.retire_width:
-            ordered = self.in_order()
-            if not ordered:
-                break
-            head = ordered[0]
+        order = self._order
+        while len(retired) < self.retire_width and order:
+            head = order[0]
             if not head.completed:
                 break
-            row = self._row_of_seq(head.seq)
+            row = self._row_by_seq.pop(head.seq)
             self._commit(head)
             self.wakeup.remove(row)
             del self._entries[row]
+            order.pop(0)
             dest = head.instruction.destination()
             if dest is not None and self._rename.get(dest) == head.seq:
                 del self._rename[dest]
@@ -392,8 +403,10 @@ class RegisterUpdateUnit:
                 self._release_unit(e)
             self.wakeup.remove(row)
             del self._entries[row]
+            del self._row_by_seq[e.seq]
+        self._order = [e for e in self._order if e.seq <= seq]
         self._rename = {}
-        for e in self.in_order():
+        for e in self._order:
             dest = e.instruction.destination()
             if dest is not None:
                 self._rename[dest] = e.seq

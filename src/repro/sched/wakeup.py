@@ -25,7 +25,7 @@ from repro.isa.futypes import FU_TYPES, NUM_FU_TYPES, FUType
 __all__ = ["WakeupRow", "WakeupArray"]
 
 
-@dataclass
+@dataclass(slots=True)
 class WakeupRow:
     """One occupied row of the array."""
 

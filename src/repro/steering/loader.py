@@ -72,8 +72,7 @@ class ConfigurationLoader:
         This is the Fig. 2 input the loader feeds back to the selection
         unit's current-configuration CEM generator.
         """
-        counts = self.fabric.counts(include_ffus=True)
-        return tuple(counts[t] for t in FU_TYPES)
+        return self.fabric.counts_tuple()
 
     def _have(self) -> dict[FUType, int]:
         """Loaded + in-flight units per type (RFU portion only)."""

@@ -15,6 +15,7 @@ error/selection trace used by the phase-adaptation experiment.
 
 from __future__ import annotations
 
+from collections import deque
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 
@@ -51,7 +52,7 @@ class ManagerStats:
         return self.selections.get(0, 0) / self.cycles
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceEntry:
     """One cycle of the (optional) steering trace."""
 
@@ -72,6 +73,7 @@ class ConfigurationManager:
         use_exact_metric: bool = False,
         queue_size: int = 7,
         record_trace: bool = False,
+        trace_limit: int | None = None,
     ) -> None:
         self.fabric = fabric
         self.selection_unit = ConfigurationSelectionUnit(
@@ -81,7 +83,17 @@ class ConfigurationManager:
         )
         self.loader = ConfigurationLoader(fabric)
         self.stats = ManagerStats()
-        self.trace: list[TraceEntry] | None = [] if record_trace else None
+        #: per-cycle steering trace, recorded only on request.  With a
+        #: ``trace_limit`` the trace is a ring buffer keeping the newest
+        #: entries, so arbitrarily long runs hold bounded memory;
+        #: ``trace_limit=None`` opts into full retention (the
+        #: phase-adaptation experiment needs the whole trajectory).
+        self.trace: deque[TraceEntry] | None = (
+            deque(maxlen=trace_limit) if record_trace else None
+        )
+        #: candidate index selected by the most recent cycle (0 = current);
+        #: kept unconditionally so callers never touch the trace for it.
+        self.last_selection: int | None = None
 
     def cycle(self, ready_queue: Sequence[Instruction]) -> SelectionResult:
         """One clock of the manager.  ``ready_queue`` holds the unscheduled
@@ -91,6 +103,7 @@ class ConfigurationManager:
         self.loader.set_target(result.config)
         plan = self.loader.step()
 
+        self.last_selection = result.index
         self.stats.cycles += 1
         self.stats.selections[result.index] = (
             self.stats.selections.get(result.index, 0) + 1

@@ -72,6 +72,11 @@ class ConfigurationSelectionUnit:
         self._config_gens = tuple(
             ErrorMetricGenerator(c, self.ffu_counts) for c in self.configs
         )
+        # select() is a pure function of the queue's unit types and the
+        # current counts, so its (gate-level-faithful, hence expensive)
+        # evaluation is memoised: identical inputs return the identical
+        # SelectionResult without re-simulating the adders and shifters.
+        self._memo: dict[tuple, SelectionResult] = {}
 
     # ------------------------------------------------------------- stages
     def required_counts(
@@ -132,7 +137,20 @@ class ConfigurationSelectionUnit:
             raise ValueError(
                 f"current_counts needs {len(FU_TYPES)} entries, got {len(current_counts)}"
             )
-        required = self.required_counts(queue)
+        window = list(queue)[: self.queue_size]
+        memo_key = (
+            tuple(
+                item.fu_type.bit_index
+                if isinstance(item, Instruction)
+                else ("word", item)
+                for item in window
+            ),
+            tuple(current_counts),
+        )
+        cached = self._memo.get(memo_key)
+        if cached is not None:
+            return cached
+        required = self.required_counts(window)
         errors = self.candidate_errors(required, current_counts)
         distances = self._distances(current_counts)
         keys = [
@@ -140,4 +158,10 @@ class ConfigurationSelectionUnit:
         ]
         index = minimum_index(keys, SUM_WIDTH + _DISTANCE_WIDTH)
         config = None if index == 0 else self.configs[index - 1]
-        return SelectionResult(index=index, config=config, errors=errors, required=required)
+        result = SelectionResult(
+            index=index, config=config, errors=errors, required=required
+        )
+        if len(self._memo) >= 16384:  # bound the memo for pathological inputs
+            self._memo.clear()
+        self._memo[memo_key] = result
+        return result

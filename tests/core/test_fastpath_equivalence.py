@@ -1,0 +1,97 @@
+"""Fast path vs traced path: bit-identical simulation results.
+
+The per-cycle fast path (no event recording, no steering trace, cached
+availability, memoised selection) must not change *any* architected or
+statistical outcome — only the wall-clock cost of producing it.  These
+tests run every seed kernel under both modes and compare the complete
+:class:`SimulationResult` records field by field.
+"""
+
+import pytest
+
+from repro.core.baselines import fixed_superscalar, steering_processor
+from repro.core.params import ProcessorParams
+from repro.core.policies import PaperSteering
+from repro.core.processor import Processor
+from repro.workloads.kernels import checksum, memcpy, saxpy
+
+_KERNELS = [
+    ("checksum", checksum(iterations=40).program),
+    ("memcpy", memcpy(n=24).program),
+    ("saxpy", saxpy(n=16).program),
+]
+_PARAMS = ProcessorParams(reconfig_latency=8)
+
+
+def _traced_steering(program):
+    policy = PaperSteering(
+        queue_size=_PARAMS.window_size, record_trace=True
+    )
+    return Processor(
+        program, params=_PARAMS, policy=policy, record_events=True
+    )
+
+
+@pytest.mark.parametrize("name,program", _KERNELS, ids=[n for n, _ in _KERNELS])
+def test_steering_traced_matches_fast_path(name, program):
+    fast = steering_processor(program, _PARAMS).run(max_cycles=100_000)
+    traced_proc = _traced_steering(program)
+    traced = traced_proc.run(max_cycles=100_000)
+
+    assert fast.halted and traced.halted
+    assert fast.to_dict() == traced.to_dict()
+    # the traced run really did record per-cycle events + a steering trace
+    assert len(traced_proc.events) == traced.cycles
+    assert traced_proc.policy.manager.trace
+
+
+@pytest.mark.parametrize("name,program", _KERNELS, ids=[n for n, _ in _KERNELS])
+def test_ffu_only_traced_matches_fast_path(name, program):
+    from repro.core.policies import NoSteering
+
+    fast = fixed_superscalar(program, _PARAMS).run(max_cycles=100_000)
+    traced = Processor(
+        program, params=_PARAMS, policy=NoSteering(), record_events=True
+    ).run(max_cycles=100_000)
+    assert fast.halted and traced.halted
+    assert fast.to_dict() == traced.to_dict()
+
+
+@pytest.mark.parametrize("name,program", _KERNELS, ids=[n for n, _ in _KERNELS])
+def test_architected_state_identical(name, program):
+    """Registers and steering decisions, not just aggregate counters."""
+    fast = steering_processor(program, _PARAMS).run(max_cycles=100_000)
+    traced = _traced_steering(program).run(max_cycles=100_000)
+    assert fast.final_registers == traced.final_registers
+    assert fast.cycles == traced.cycles
+    assert fast.retired == traced.retired
+    assert fast.steering_selections == traced.steering_selections
+
+
+def test_trace_ring_buffer_bounds_memory():
+    """A trace_limit keeps only the newest entries on long runs."""
+    program = checksum(iterations=40).program
+    proc = steering_processor(
+        program, _PARAMS, record_trace=True, trace_limit=64
+    )
+    result = proc.run(max_cycles=100_000)
+    trace = proc.policy.manager.trace
+    assert len(trace) == 64
+    # newest entries are retained (manager cycles are 1-based)
+    assert trace[-1].cycle == proc.policy.manager.stats.cycles
+    assert trace[0].cycle == proc.policy.manager.stats.cycles - 63
+    # the bounded trace does not perturb the simulation itself
+    unbounded = steering_processor(program, _PARAMS).run(max_cycles=100_000)
+    assert result.to_dict() == unbounded.to_dict()
+
+
+def test_snapshot_events_available_without_recording():
+    """The fast path still answers last_events, built on demand."""
+    program = memcpy(n=8).program
+    proc = steering_processor(program, _PARAMS)
+    assert proc.last_events is None  # nothing simulated yet
+    proc.run(max_cycles=100_000)
+    events = proc.last_events
+    assert events is not None
+    assert events.cycle == proc.cycle_count - 1
+    assert proc.events is None  # no per-cycle history was kept
