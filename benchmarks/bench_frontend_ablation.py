@@ -4,70 +4,25 @@ Not a paper artifact — these back DESIGN.md's requirement that the design
 choices of the substrate (trace cache, predictor sizing, machine width)
 be justified by measurement.  Expected shapes: the trace cache helps tight
 loops; a larger predictor table never hurts; IPC saturates with width.
+
+The study itself lives in :func:`repro.evaluation.experiments.
+run_frontend_ablation` (one batch job graph); this benchmark times the
+whole graph and asserts the shapes.
 """
 
-from repro.core.baselines import steering_processor
-from repro.core.params import ProcessorParams
-from repro.evaluation.report import render_table
-from repro.workloads.kernels import checksum
-from repro.workloads.kernels_extra import bubble_sort
-
-_LOOPY = checksum(iterations=250).program
-_BRANCHY = bubble_sort(n=20).program
-
-
-def _front_end_study():
-    rows = []
-    variants = {
-        "baseline (tc=64, bp=256)": ProcessorParams(reconfig_latency=8),
-        "no trace cache": ProcessorParams(reconfig_latency=8, use_trace_cache=False),
-        "tiny predictor (4)": ProcessorParams(reconfig_latency=8, predictor_entries=4),
-        "tiny BTB (1)": ProcessorParams(reconfig_latency=8, btb_entries=1),
-    }
-    for label, params in variants.items():
-        loopy = steering_processor(_LOOPY, params).run()
-        branchy = steering_processor(_BRANCHY, params).run()
-        rows.append(
-            (label, loopy.ipc, branchy.ipc, f"{branchy.branch_accuracy:.3f}")
-        )
-    return rows
-
-
-def _width_study():
-    rows = []
-    for width in (1, 2, 4, 8):
-        params = ProcessorParams(
-            reconfig_latency=8, fetch_width=width, retire_width=width
-        )
-        result = steering_processor(_LOOPY, params).run()
-        rows.append((width, result.ipc))
-    return rows
+from repro.evaluation.experiments import run_frontend_ablation
 
 
 def test_front_end_ablation(benchmark, save_artifact):
-    rows = benchmark.pedantic(_front_end_study, rounds=1, iterations=1)
-    width_rows = _width_study()
-    save_artifact(
-        "e_frontend_ablation",
-        render_table(
-            ["variant", "checksum IPC", "bubble_sort IPC", "branch accuracy"],
-            rows,
-            title="E-FRONT: front-end ablations",
-        )
-        + "\n\n"
-        + render_table(
-            ["fetch/retire width", "checksum IPC"],
-            width_rows,
-            title="E-FRONT: machine width sweep",
-        ),
-    )
-    by_label = {r[0]: r for r in rows}
-    base = by_label["baseline (tc=64, bp=256)"]
+    study = benchmark.pedantic(run_frontend_ablation, rounds=1, iterations=1)
+    save_artifact("e_frontend_ablation", study.render())
+
+    base = study.variant("baseline (tc=64, bp=256)")
     # the trace cache never hurts the tight loop
-    assert base[1] >= by_label["no trace cache"][1] * 0.999
+    assert base[1] >= study.variant("no trace cache")[1] * 0.999
     # predictor aliasing cannot *improve* accuracy materially
-    assert float(base[3]) >= float(by_label["tiny predictor (4)"][3]) - 0.02
+    assert base[3] >= study.variant("tiny predictor (4)")[3] - 0.02
     # wider machines are monotone-ish up to saturation
-    widths = dict(width_rows)
+    widths = dict(study.width_rows)
     assert widths[4] >= widths[1]
     assert widths[8] >= widths[4] * 0.95

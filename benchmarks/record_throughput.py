@@ -5,9 +5,15 @@ the same checksum workload under the steering and ffu-only policies,
 smoke-tests the parallel batch engine, and writes the cycles-per-second
 numbers to ``BENCH_throughput.json`` so runs can be compared over time.
 
+With ``--baseline`` the record is additionally diffed against a previous
+run's artifact: any policy whose cycles-per-second dropped by more than
+``--max-regression`` (default 20%) fails the run with exit code 1.  A
+missing or unreadable baseline is tolerated (first run, cold cache).
+
 Usage::
 
-    PYTHONPATH=src python benchmarks/record_throughput.py [-o out.json]
+    PYTHONPATH=src python benchmarks/record_throughput.py [-o out.json] \
+        [--baseline previous.json] [--max-regression 0.20]
 """
 
 from __future__ import annotations
@@ -63,11 +69,45 @@ def _batch_smoke(program) -> dict:
     }
 
 
+def compare_to_baseline(
+    record: dict, baseline: dict, max_regression: float
+) -> list[str]:
+    """Regression messages for every policy slower than the baseline allows.
+
+    Only the throughput metrics are compared; a baseline from a different
+    machine or Python is still compared (CI restores the cache per runner
+    image, so in practice the environments match).
+    """
+    failures = []
+    for policy in ("steering", "ffu_only"):
+        then = baseline.get(policy, {}).get("cycles_per_second")
+        now = record.get(policy, {}).get("cycles_per_second")
+        if not then or not now:
+            continue
+        drop = (then - now) / then
+        if drop > max_regression:
+            failures.append(
+                f"{policy}: {now:.1f} cycles/sec is {drop:.1%} below "
+                f"baseline {then:.1f} (allowed {max_regression:.0%})"
+            )
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "-o", "--output", default="BENCH_throughput.json",
         help="where to write the JSON artifact",
+    )
+    parser.add_argument(
+        "--baseline", default=None,
+        help="previous BENCH_throughput.json to diff against "
+             "(missing file = no comparison)",
+    )
+    parser.add_argument(
+        "--max-regression", type=float, default=0.20,
+        help="fail when cycles/sec drops by more than this fraction "
+             "against the baseline (default 0.20)",
     )
     args = parser.parse_args(argv)
 
@@ -85,6 +125,26 @@ def main(argv: list[str] | None = None) -> int:
     path.write_text(json.dumps(record, indent=2) + "\n")
     print(json.dumps(record, indent=2))
     print(f"\nwritten to {path}")
+
+    if args.baseline:
+        baseline_path = pathlib.Path(args.baseline)
+        if not baseline_path.exists():
+            print(f"no baseline at {baseline_path}; skipping comparison")
+            return 0
+        try:
+            baseline = json.loads(baseline_path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"unreadable baseline {baseline_path} ({exc}); skipping")
+            return 0
+        failures = compare_to_baseline(record, baseline, args.max_regression)
+        if failures:
+            for message in failures:
+                print(f"REGRESSION {message}")
+            return 1
+        print(
+            f"no throughput regression beyond {args.max_regression:.0%} "
+            f"vs {baseline_path}"
+        )
     return 0
 
 

@@ -152,6 +152,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
         progress=lambda msg: print(f"[report] {msg}", file=sys.stderr),
         workers=args.workers,
         use_cache=not args.no_cache,
+        cache_dir=args.cache_dir,
     )
     if args.output:
         pathlib.Path(args.output).write_text(text)
@@ -216,6 +217,10 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="simulation worker processes (0 = sequential)")
     report.add_argument("--no-cache", action="store_true",
                         help="disable the content-keyed simulation result cache")
+    report.add_argument("--cache-dir", default=None,
+                        help="persist the result cache to this directory "
+                             "(shared across report runs; CI keys it on the "
+                             "source tree)")
     report.set_defaults(func=_cmd_report)
 
     trace = sub.add_parser("trace", help="print the fabric timeline")

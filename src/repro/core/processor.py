@@ -140,7 +140,7 @@ class Processor:
         # 3. dispatch
         dispatched: list[int] = []
         if not self.ruu.halted:
-            room = len(self.ruu.wakeup.free_rows())
+            room = self.ruu.wakeup.free_count()
             for fetched in self.decode.pop(limit=room):
                 dispatched.append(self.ruu.dispatch(fetched).seq)
 
@@ -249,18 +249,17 @@ class Processor:
             self.fetch.redirect(oldest_mispredict.target)
 
     def _accumulate_utilisation(self) -> None:
+        # read the incrementally-maintained counts: no per-unit scan
         busy_cycles = self._busy_cycles
         configured_cycles = self._configured_cycles
-        for t, units in self.fabric.units_by_type().items():
-            n = len(units)
+        counts = self.fabric.counts_tuple()
+        idle = self.fabric.idle_counts()
+        for i, t in enumerate(FU_TYPES):
+            n = counts[i]
             if not n:
                 continue
             configured_cycles[t] += n
-            busy = 0
-            for u in units:
-                if u.busy_remaining:
-                    busy += 1
-            busy_cycles[t] += busy
+            busy_cycles[t] += n - idle[t]
 
     # ----------------------------------------------------------------- run
     def run(self, max_cycles: int = 1_000_000) -> SimulationResult:

@@ -9,7 +9,15 @@ then aggregated.  This module gives that shape one engine:
   references, so jobs carry the *recipe*, never the instance);
 * :func:`run_many` — executes a batch sequentially or across worker
   processes (:class:`concurrent.futures.ProcessPoolExecutor`), preserving
-  job order in the returned results;
+  job order in the returned results.  The parallel path ships each
+  distinct **program image once per worker** (not once per job): the
+  distinct programs of the batch are keyed by their content hash and
+  installed into a worker-global registry through the pool initializer —
+  inherited for free under the ``fork`` start method, pickled exactly
+  once per worker otherwise — and the per-job payload submitted to the
+  pool carries only the factory name, parameters and the program's hash.
+  A thousand-job sweep over one workload serialises the program image a
+  handful of times (once per worker), not a thousand;
 * :class:`ResultCache` — a content-addressed result store (in-memory,
   optionally spilled to disk) keyed by :func:`job_key`, a SHA-256 over the
   job's complete semantic fingerprint: program binary + data image,
@@ -53,6 +61,7 @@ __all__ = [
     "run_many",
     "execute_job",
     "job_key",
+    "program_key",
     "FACTORY_NAMES",
 ]
 
@@ -66,6 +75,26 @@ def _make_steering(program, params, max_cycles, **kw):
     return steering_processor(
         program, params, use_exact_metric=kw.get("use_exact_metric", False)
     ).run(max_cycles=max_cycles)
+
+
+def _make_steering_traced(program, params, max_cycles, **kw):
+    # steering with the manager trace recorded; returns a picklable dict so
+    # the trace survives the process boundary and the result cache.
+    proc = steering_processor(
+        program,
+        params,
+        use_exact_metric=kw.get("use_exact_metric", False),
+        record_trace=True,
+        trace_limit=kw.get("trace_limit"),
+    )
+    result = proc.run(max_cycles=max_cycles)
+    trace = proc.policy.manager.trace
+    return {
+        "result": result,
+        "selections": [t.selection for t in trace],
+        "load_cycles": [t.cycle for t in trace if t.load is not None],
+        "kept_fraction": proc.policy.manager.stats.current_kept_fraction,
+    }
 
 
 def _make_steering_basis(program, params, max_cycles, **kw):
@@ -119,6 +148,7 @@ def _make_reference(program, params, max_cycles, **kw):
 _FACTORIES: dict[str, Callable[..., Any]] = {
     "ffu-only": _make_ffu_only,
     "steering": _make_steering,
+    "steering-traced": _make_steering_traced,
     "steering-basis": _make_steering_basis,
     "static": _make_static,
     "random": _make_random,
@@ -209,6 +239,95 @@ def job_key(job: SimJob) -> str:
         (job.factory, job.program, job.params, job.max_cycles, job.kwargs)
     )
     return hashlib.sha256(repr(fingerprint).encode()).hexdigest()
+
+
+def program_key(program: Program) -> str:
+    """Content key of a program image alone (SHA-256 of its fingerprint).
+
+    Used by the parallel path of :func:`run_many` to ship each distinct
+    program to the worker processes exactly once, however many jobs of the
+    batch reference it.
+    """
+    return hashlib.sha256(repr(_canon(program)).encode()).hexdigest()
+
+
+# ------------------------------------------------- worker-side program store
+#: per-worker registry of program images, installed by :func:`_init_worker`
+#: before the worker accepts its first job.  Keyed by :func:`program_key`.
+_WORKER_PROGRAMS: dict[str, Program] = {}
+
+
+def _init_worker(programs: dict[str, Program]) -> None:
+    """Pool initializer: install the batch's distinct programs.
+
+    Runs once per worker process.  Under the ``fork`` start method the
+    dict arrives through the copied address space for free; under
+    ``spawn``/``forkserver`` it is pickled once per worker — either way
+    the cost is O(workers), not O(jobs).
+    """
+    _WORKER_PROGRAMS.update(programs)
+
+
+@dataclass
+class _ShippedJob:
+    """The per-job payload crossing the process boundary.
+
+    A :class:`SimJob` minus its heaviest member: the program image is
+    replaced by its content key and resolved from the worker-global
+    registry on arrival.
+    """
+
+    factory: str
+    program_hash: str
+    params: ProcessorParams | None
+    max_cycles: int
+    kwargs: dict[str, Any]
+
+
+def _ship(job: SimJob, key: str) -> _ShippedJob:
+    return _ShippedJob(
+        factory=job.factory,
+        program_hash=key,
+        params=job.params,
+        max_cycles=job.max_cycles,
+        kwargs=job.kwargs,
+    )
+
+
+def _execute_shipped(payload: _ShippedJob) -> Any:
+    """Worker-side entry point: rehydrate the program and run the job."""
+    program = _WORKER_PROGRAMS.get(payload.program_hash)
+    if program is None:
+        raise ConfigurationError(
+            f"worker has no program for hash {payload.program_hash[:12]}…; "
+            "was the pool started with the run_many initializer?"
+        )
+    return _FACTORIES[payload.factory](
+        program, payload.params, payload.max_cycles, **payload.kwargs
+    )
+
+
+def _prepare_shipment(
+    unique: Sequence[tuple[str, SimJob]],
+) -> tuple[dict[str, Program], list[tuple[str, _ShippedJob]]]:
+    """Split a deduplicated batch into (distinct programs, light payloads).
+
+    The returned ``programs`` dict goes to the workers once (via the pool
+    initializer); the payloads — one per unique job — carry only the
+    program's content hash.  Separated from :func:`run_many` so the tests
+    can assert on exactly what crosses the process boundary.
+    """
+    programs: dict[str, Program] = {}
+    key_by_id: dict[int, str] = {}
+    shipped: list[tuple[str, _ShippedJob]] = []
+    for key, job in unique:
+        pkey = key_by_id.get(id(job.program))
+        if pkey is None:
+            pkey = program_key(job.program)
+            key_by_id[id(job.program)] = pkey
+            programs.setdefault(pkey, job.program)
+        shipped.append((key, _ship(job, pkey)))
+    return programs, shipped
 
 
 # ------------------------------------------------------------- result cache
@@ -306,8 +425,19 @@ def run_many(
             settle(key, execute_job(job))
         return results
 
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = {pool.submit(execute_job, job): key for key, job in unique}
+    # Ship each distinct program once per worker (via the pool initializer),
+    # not once per job: payloads carry only the program's content hash.
+    programs, shipped = _prepare_shipment(unique)
+
+    with ProcessPoolExecutor(
+        max_workers=workers,
+        initializer=_init_worker,
+        initargs=(programs,),
+    ) as pool:
+        futures = {
+            pool.submit(_execute_shipped, payload): key
+            for key, payload in shipped
+        }
         remaining = set(futures)
         while remaining:
             finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)

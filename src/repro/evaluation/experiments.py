@@ -14,7 +14,6 @@ import random
 from dataclasses import dataclass, field
 
 from repro.circuits.cost import selection_unit_cost
-from repro.core.baselines import steering_processor
 from repro.core.params import ProcessorParams
 from repro.core.stats import SimulationResult
 from repro.errors import ConfigurationError
@@ -33,11 +32,13 @@ from repro.workloads.synthetic import FP_MIX, INT_MIX, MEM_MIX, MixSpec
 
 __all__ = [
     "IpcComparison",
+    "FrontendAblation",
     "run_ipc_comparison",
     "run_reconfig_latency_sweep",
     "run_phase_adaptation",
     "run_queue_depth_sweep",
     "run_cem_ablation",
+    "run_frontend_ablation",
     "run_orthogonality_study",
     "run_circuit_cost_report",
 ]
@@ -196,20 +197,33 @@ def run_phase_adaptation(
     params: ProcessorParams | None = None,
     seed: int = 3,
     max_cycles: int = 400_000,
+    workers: int = 0,
+    cache: ResultCache | None = None,
 ) -> PhaseAdaptation:
-    """E-PH: track the steering trajectory over a phase-changing workload."""
+    """E-PH: track the steering trajectory over a phase-changing workload.
+
+    Runs through the batch engine (the ``steering-traced`` factory ships
+    the trace back as a picklable dict), so the traced simulation joins
+    the report's shared result cache and job graph like every other
+    experiment.
+    """
     if phases is None:
         phases = [(INT_MIX, 60), (MEM_MIX, 60), (FP_MIX, 60)]
     params = params if params is not None else _DEFAULT_PARAMS
     program = phased_program(phases, seed=seed)
-    proc = steering_processor(program, params, record_trace=True)
-    result = proc.run(max_cycles=max_cycles)
-    trace = proc.policy.manager.trace
+    job = SimJob(
+        "steering-traced",
+        program,
+        params,
+        max_cycles=max_cycles,
+        label="phase-adaptation",
+    )
+    traced = run_many([job], workers, cache)[0]
     return PhaseAdaptation(
-        result=result,
-        selections=[t.selection for t in trace],
-        load_cycles=[t.cycle for t in trace if t.load is not None],
-        kept_fraction=proc.policy.manager.stats.current_kept_fraction,
+        result=traced["result"],
+        selections=traced["selections"],
+        load_cycles=traced["load_cycles"],
+        kept_fraction=traced["kept_fraction"],
     )
 
 
@@ -276,6 +290,109 @@ def run_cem_ablation(
         (name, results[2 * i].ipc, results[2 * i + 1].ipc)
         for i, (name, _) in enumerate(workloads)
     ]
+
+
+# ---------------------------------------------------------------- E-FRONT
+@dataclass
+class FrontendAblation:
+    """Front-end substrate ablations (trace cache, predictor, width)."""
+
+    #: ``(variant, loopy_ipc, branchy_ipc, branch_accuracy)`` rows.
+    variant_rows: list[tuple[str, float, float, float]]
+    #: ``(fetch/retire width, loopy_ipc)`` rows.
+    width_rows: list[tuple[int, float]]
+
+    def variant(self, label: str) -> tuple[str, float, float, float]:
+        for row in self.variant_rows:
+            if row[0] == label:
+                return row
+        raise ConfigurationError(f"no ablation variant {label!r}")
+
+    def render(self) -> str:
+        variants = render_table(
+            ["variant", "loopy IPC", "branchy IPC", "branch accuracy"],
+            [(v, f"{li:.3f}", f"{bi:.3f}", f"{acc:.3f}")
+             for v, li, bi, acc in self.variant_rows],
+            title="E-FRONT: front-end ablations",
+        )
+        widths = render_table(
+            ["fetch/retire width", "loopy IPC"],
+            [(w, f"{ipc:.3f}") for w, ipc in self.width_rows],
+            title="E-FRONT: machine width sweep",
+        )
+        return variants + "\n\n" + widths
+
+
+#: the E-FRONT parameter variants (baseline first).
+_FRONTEND_VARIANTS: tuple[tuple[str, dict], ...] = (
+    ("baseline (tc=64, bp=256)", {}),
+    ("no trace cache", {"use_trace_cache": False}),
+    ("tiny predictor (4)", {"predictor_entries": 4}),
+    ("tiny BTB (1)", {"btb_entries": 1}),
+)
+
+#: the E-FRONT machine-width sweep points.
+_FRONTEND_WIDTHS = (1, 2, 4, 8)
+
+
+def run_frontend_ablation(
+    loopy: Program | None = None,
+    branchy: Program | None = None,
+    max_cycles: int = 400_000,
+    workers: int = 0,
+    cache: ResultCache | None = None,
+) -> FrontendAblation:
+    """E-FRONT: front-end substrate ablations as one batch job graph.
+
+    Two workloads (a tight loop and a branchy kernel) across the
+    trace-cache / predictor / BTB variants, plus a fetch+retire width
+    sweep on the loop — all submitted through :func:`run_many` so the
+    whole study parallelises and caches like the other experiments.
+    """
+    if loopy is None:
+        loopy = _frontend_loopy()
+    if branchy is None:
+        branchy = _frontend_branchy()
+
+    batch: list[SimJob] = []
+    for label, overrides in _FRONTEND_VARIANTS:
+        params = ProcessorParams(reconfig_latency=8, **overrides)
+        batch.append(SimJob("steering", loopy, params, max_cycles=max_cycles,
+                            label=f"front/{label}/loopy"))
+        batch.append(SimJob("steering", branchy, params, max_cycles=max_cycles,
+                            label=f"front/{label}/branchy"))
+    for width in _FRONTEND_WIDTHS:
+        params = ProcessorParams(
+            reconfig_latency=8, fetch_width=width, retire_width=width
+        )
+        batch.append(SimJob("steering", loopy, params, max_cycles=max_cycles,
+                            label=f"front/width={width}"))
+
+    results = run_many(batch, workers, cache)
+    variant_rows = []
+    for i, (label, _) in enumerate(_FRONTEND_VARIANTS):
+        loopy_res, branchy_res = results[2 * i], results[2 * i + 1]
+        variant_rows.append(
+            (label, loopy_res.ipc, branchy_res.ipc, branchy_res.branch_accuracy)
+        )
+    offset = 2 * len(_FRONTEND_VARIANTS)
+    width_rows = [
+        (width, results[offset + j].ipc)
+        for j, width in enumerate(_FRONTEND_WIDTHS)
+    ]
+    return FrontendAblation(variant_rows=variant_rows, width_rows=width_rows)
+
+
+def _frontend_loopy() -> Program:
+    from repro.workloads.kernels import checksum
+
+    return checksum(iterations=250).program
+
+
+def _frontend_branchy() -> Program:
+    from repro.workloads.kernels_extra import bubble_sort
+
+    return bubble_sort(n=20).program
 
 
 # ----------------------------------------------------------------- E-ORTH

@@ -16,6 +16,7 @@ from repro.evaluation.batch import ResultCache
 from repro.evaluation.experiments import (
     run_cem_ablation,
     run_circuit_cost_report,
+    run_frontend_ablation,
     run_ipc_comparison,
     run_phase_adaptation,
     run_queue_depth_sweep,
@@ -36,6 +37,7 @@ def generate_report(
     progress: Callable[[str], None] | None = None,
     workers: int = 0,
     use_cache: bool = True,
+    cache_dir: str | None = None,
 ) -> str:
     """Regenerate everything.  ``fast`` shrinks the experiment workloads so
     the whole report completes in tens of seconds.
@@ -43,14 +45,17 @@ def generate_report(
     ``workers > 1`` fans each experiment's simulations out over a process
     pool; ``use_cache`` shares one content-keyed result cache across the
     experiments, so simulations asked for twice (e.g. the same
-    steering/workload pair in E-IPC and E-CEM) run once.
+    steering/workload pair in E-IPC and E-CEM) run once.  ``cache_dir``
+    additionally spills the cache to disk, so identical simulations are
+    answered from previous report runs (the CI persists this directory
+    across workflow runs).
     """
 
     def note(msg: str) -> None:
         if progress is not None:
             progress(msg)
 
-    cache = ResultCache() if use_cache else None
+    cache = ResultCache(cache_dir) if (use_cache or cache_dir) else None
 
     parts = ["# Reproduction report (generated)\n"]
 
@@ -108,7 +113,7 @@ def generate_report(
     )
 
     note("experiment: E-PH")
-    adaptation = run_phase_adaptation(params=params)
+    adaptation = run_phase_adaptation(params=params, workers=workers, cache=cache)
     parts.append(
         _section(
             "E-PH — phase adaptation",
@@ -137,6 +142,12 @@ def generate_report(
             render_table(["workload", "approx IPC", "exact IPC"], cem),
         )
     )
+
+    note("experiment: E-FRONT")
+    front = run_frontend_ablation(
+        max_cycles=100_000 if fast else 400_000, workers=workers, cache=cache
+    )
+    parts.append(_section("E-FRONT — front-end ablations", front.render()))
 
     note("experiment: E-COST")
     parts.append(_section("E-COST — circuit cost", run_circuit_cost_report([7])))

@@ -6,12 +6,14 @@ what makes the *number* of configured units matter, which is the quantity
 the steering mechanism optimises).  Each unit exposes the ``available``
 signal of Fig. 7: asserted when the unit is configured and idle.
 
-Units also maintain a process-wide **busy epoch**: a counter bumped
-whenever any unit's idle/busy state changes (occupy, release, or a
-count-down reaching zero).  The Eq. 1 availability cache keys off this
-epoch so the availability bus is recomputed only when some unit's state
-actually changed — regardless of whether the mutation went through the
-:class:`~repro.fabric.fabric.Fabric` or touched a unit directly.
+Units also publish their idle/busy **transitions** to registered
+listeners (the Eq. 1 availability cache): occupy, a busy release, and a
+count-down reaching zero call ``listener.unit_state_changed(unit, idle)``
+at the moment the state flips.  This is what makes the availability layer
+*incremental* — the cache point-updates one per-type count per event
+instead of rescanning every unit whenever anything changed.  The
+process-wide **busy epoch** (a counter bumped on the same transitions) is
+retained as a cheap external observability hook.
 """
 
 from __future__ import annotations
@@ -54,11 +56,19 @@ class FunctionalUnit:
     busy_remaining: int = 0
     #: id of the in-flight instruction occupying the unit (for tracing).
     occupant: int | None = None
+    #: objects notified on every idle/busy transition via
+    #: ``unit_state_changed(unit, idle)`` (the availability caches).
+    listeners: list = field(default_factory=list, repr=False, compare=False)
 
     @property
     def available(self) -> bool:
         """The slot's 'available' output: asserted when the unit is idle."""
         return self.busy_remaining == 0
+
+    def _notify(self, idle: bool) -> None:
+        _BUSY_EPOCH.value += 1
+        for listener in self.listeners:
+            listener.unit_state_changed(self, idle)
 
     def occupy(self, cycles: int, occupant: int | None = None) -> None:
         """Begin executing an instruction that holds the unit for ``cycles``."""
@@ -71,13 +81,17 @@ class FunctionalUnit:
             )
         self.busy_remaining = cycles
         self.occupant = occupant
-        _BUSY_EPOCH.value += 1
+        self._notify(False)
 
     def release(self) -> None:
         """Force-release the unit (used when a flush squashes its occupant)."""
+        was_busy = self.busy_remaining > 0
         self.busy_remaining = 0
         self.occupant = None
-        _BUSY_EPOCH.value += 1
+        if was_busy:
+            self._notify(True)
+        else:
+            _BUSY_EPOCH.value += 1  # preserved epoch semantics: always bumps
 
     def tick(self) -> None:
         """Advance one cycle."""
@@ -85,7 +99,7 @@ class FunctionalUnit:
             self.busy_remaining -= 1
             if self.busy_remaining == 0:
                 self.occupant = None
-                _BUSY_EPOCH.value += 1
+                self._notify(True)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "idle" if self.available else f"busy({self.busy_remaining})"

@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from functools import cached_property
 
 from repro.isa.futypes import FUType
 from repro.isa.opcodes import Format, Opcode, OpcodeSpec, OperandClass, spec_of
@@ -18,6 +19,12 @@ class Instruction:
     (integer or floating-point) is determined by the opcode; unused operand
     slots are 0.  ``imm`` is the sign-extended immediate (branch/jump
     immediates are in instruction words).
+
+    The spec-derived attributes (``spec``, ``fu_type``, ``latency``, the
+    ``is_*`` predicates) are cached per instance: the scheduler reads them
+    tens of times per cycle, and the value never changes for a frozen
+    instruction.  ``cached_property`` writes straight into the instance
+    ``__dict__``, which frozen dataclasses permit.
     """
 
     opcode: Opcode
@@ -32,16 +39,16 @@ class Instruction:
             if not 0 <= v < 32:
                 raise ValueError(f"{name} out of range: {v}")
 
-    @property
+    @cached_property
     def spec(self) -> OpcodeSpec:
         return spec_of(self.opcode)
 
-    @property
+    @cached_property
     def fu_type(self) -> FUType:
         """The (single) functional-unit type that executes this instruction."""
         return self.spec.fu_type
 
-    @property
+    @cached_property
     def latency(self) -> int:
         return self.spec.latency
 
@@ -49,27 +56,27 @@ class Instruction:
     def mnemonic(self) -> str:
         return self.spec.mnemonic
 
-    @property
+    @cached_property
     def is_branch(self) -> bool:
         return self.spec.is_branch
 
-    @property
+    @cached_property
     def is_jump(self) -> bool:
         return self.spec.is_jump
 
-    @property
+    @cached_property
     def is_control(self) -> bool:
         return self.is_branch or self.is_jump or self.spec.is_halt
 
-    @property
+    @cached_property
     def is_load(self) -> bool:
         return self.spec.is_load
 
-    @property
+    @cached_property
     def is_store(self) -> bool:
         return self.spec.is_store
 
-    @property
+    @cached_property
     def is_halt(self) -> bool:
         return self.spec.is_halt
 

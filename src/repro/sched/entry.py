@@ -45,6 +45,13 @@ class RuuEntry:
     #: positional bindings for (src1, src2); None = unused or hard-wired x0.
     sources: tuple[SourceBinding | None, SourceBinding | None]
     state: EntryState = EntryState.WAITING
+    # invariant views of ``fetched.instruction``, materialised once at
+    # construction: the scheduler reads these every cycle, and a chain of
+    # property hops showed up in the per-cycle profile.
+    instruction: Instruction = field(init=False)
+    fu_type: FUType = field(init=False)
+    is_load: bool = field(init=False)
+    is_store: bool = field(init=False)
     #: cycles until the result-available line asserts (ISSUED state).
     countdown: int = 0
     #: computed result value (int regs as u32, fp as float), if any.
@@ -62,29 +69,20 @@ class RuuEntry:
     #: cycle the entry was granted execution (trace/debug).
     issue_cycle: int | None = None
 
-    @property
-    def instruction(self) -> Instruction:
-        return self.fetched.instruction
+    def __post_init__(self) -> None:
+        instruction = self.fetched.instruction
+        self.instruction = instruction
+        self.fu_type = instruction.fu_type
+        self.is_load = instruction.is_load
+        self.is_store = instruction.is_store
 
     @property
     def pc(self) -> int:
         return self.fetched.pc
 
     @property
-    def fu_type(self) -> FUType:
-        return self.instruction.fu_type
-
-    @property
     def completed(self) -> bool:
         return self.state is EntryState.COMPLETED
-
-    @property
-    def is_store(self) -> bool:
-        return self.instruction.is_store
-
-    @property
-    def is_load(self) -> bool:
-        return self.instruction.is_load
 
     def tick(self) -> None:
         """Advance the count-down timer; completion asserts result-available."""

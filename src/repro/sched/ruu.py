@@ -34,7 +34,6 @@ from repro.isa.instruction import Instruction
 from repro.isa.opcodes import OperandClass
 from repro.sched.entry import EntryState, RuuEntry, SourceBinding
 from repro.sched.regfile import RegisterFile
-from repro.sched.select import select_grants
 from repro.sched.wakeup import WakeupArray
 
 __all__ = ["BranchResolution", "IssueReport", "RegisterUpdateUnit"]
@@ -50,7 +49,7 @@ class BranchResolution:
     mispredicted: bool
 
 
-@dataclass
+@dataclass(slots=True)
 class IssueReport:
     """What happened during one issue/execute step."""
 
@@ -96,6 +95,11 @@ class RegisterUpdateUnit:
         self.scheduling_replays = 0
         #: row index -> in-flight entry (parallel to the wake-up array).
         self._entries: dict[int, RuuEntry] = {}
+        #: result-available bus, maintained incrementally: bit ``row`` set
+        #: while the entry in that row is COMPLETED.  Updated at the state
+        #: transitions (countdown expiry, retire, flush) instead of being
+        #: rebuilt from the window every cycle.
+        self._completed_bits = 0
         #: in-flight entries oldest first.  Sequence numbers are allocated
         #: monotonically, retirement removes from the front and flushes
         #: truncate the tail, so plain appends keep this sorted — the
@@ -242,11 +246,7 @@ class RegisterUpdateUnit:
         return self.fabric.availability_bits()
 
     def _result_available_bits(self) -> int:
-        bits = 0
-        for row, e in self._entries.items():
-            if e.completed:
-                bits |= 1 << row
-        return bits
+        return self._completed_bits
 
     def issue_and_execute(self, cycle: int = 0) -> IssueReport:
         """One issue step: wake-up requests, grants, functional execution."""
@@ -269,26 +269,38 @@ class RegisterUpdateUnit:
             self._stale_resource_bits = live_bits
         else:
             wakeup_bits = live_bits
-        requests = self.wakeup.requests(wakeup_bits, result_bits)
-        report.requests = len(requests)
+        req_mask = self.wakeup.requests_mask(wakeup_bits, result_bits)
+        report.requests = req_mask.bit_count()
         # rows ready on data but blocked on a unit: what steering fixes
         all_resources = (1 << len(FU_TYPES)) - 1
-        report.resource_blocked = len(
-            self.wakeup.requests(all_resources, result_bits)
-        ) - len(requests)
-        triples = [
-            (row, self._entries[row].seq, self._entries[row].fu_type)
-            for row in requests
-        ]
-        granted_rows = select_grants(triples, self.fabric.idle_counts())
-        if self.pipelined_scheduling:
+        report.resource_blocked = (
+            self.wakeup.requests_mask(all_resources, result_bits).bit_count()
+            - report.requests
+        )
+        # oldest-first grants (the select_grants arbitration, inlined over
+        # the age-ordered window so no triple list is built or sorted)
+        granted_rows: list[int] = []
+        if req_mask:
+            remaining = dict(self.fabric.idle_counts())
+            row_by_seq = self._row_by_seq
+            for e in self._order:  # oldest first by construction
+                row = row_by_seq[e.seq]
+                if (req_mask >> row) & 1 and remaining.get(e.fu_type, 0) > 0:
+                    remaining[e.fu_type] -= 1
+                    granted_rows.append(row)
+        if self.pipelined_scheduling and req_mask:
             # select-free [9]: every requester considered itself scheduled;
             # collision losers are squashed and replay via reschedule
-            for row in requests:
-                if row not in granted_rows:
-                    self.wakeup.mark_scheduled(row)
-                    self._pending_reschedule.append(row)
-                    self.scheduling_replays += 1
+            loser_mask = req_mask
+            for row in granted_rows:
+                loser_mask &= ~(1 << row)
+            while loser_mask:
+                low = loser_mask & -loser_mask
+                row = low.bit_length() - 1
+                loser_mask ^= low
+                self.wakeup.mark_scheduled(row)
+                self._pending_reschedule.append(row)
+                self.scheduling_replays += 1
         for row in granted_rows:
             entry = self._entries[row]
             if entry.is_load:
@@ -352,9 +364,19 @@ class RegisterUpdateUnit:
 
     # ---------------------------------------------------------------- tick
     def tick(self) -> None:
-        """Advance all count-down timers one cycle."""
+        """Advance all count-down timers one cycle.
+
+        An entry whose countdown expires asserts its result-available line:
+        the transition sets the row's bit in the incrementally-maintained
+        ``_completed_bits`` bus."""
+        bits = self._completed_bits
+        issued = EntryState.ISSUED
         for e in self._order:
-            e.tick()
+            if e.state is issued:
+                e.tick()
+                if e.completed:
+                    bits |= 1 << self._row_by_seq[e.seq]
+        self._completed_bits = bits
 
     # -------------------------------------------------------------- retire
     def retire(self) -> list[RuuEntry]:
@@ -368,6 +390,7 @@ class RegisterUpdateUnit:
             row = self._row_by_seq.pop(head.seq)
             self._commit(head)
             self.wakeup.remove(row)
+            self._completed_bits &= ~(1 << row)
             del self._entries[row]
             order.pop(0)
             dest = head.instruction.destination()
@@ -402,6 +425,7 @@ class RegisterUpdateUnit:
             if e.state is EntryState.ISSUED:
                 self._release_unit(e)
             self.wakeup.remove(row)
+            self._completed_bits &= ~(1 << row)
             del self._entries[row]
             del self._row_by_seq[e.seq]
         self._order = [e for e in self._order if e.seq <= seq]

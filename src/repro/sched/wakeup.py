@@ -12,7 +12,29 @@ Each row holds the *resource vector* of one instruction-queue entry:
 
 A row requests execution when, for every column, the OR of "not needed"
 and "available" is true, and its scheduled bit is clear — exactly the
-Fig. 6 gate network, computed here with bit masks.
+Fig. 6 gate network.
+
+Representation: the whole matrix is **bit-packed into machine integers**.
+Row *i*'s needs occupy one field of a single Python int (``_need``) at bit
+offset ``i * field_width``::
+
+    field := resource_bits          (NUM_FU_TYPES bits)
+           | dep_bits << NUM_FU_TYPES   (n_entries bits)
+           | guard                  (1 bit, always clear in _need)
+
+and the occupied/scheduled flags are plain n-bit masks.  The per-cycle
+request evaluation (:meth:`requests_mask`) runs the Fig. 6 logic for *all*
+rows in one pass of word-wide bitwise operations — replicate the
+availability buses across every field with one multiply, AND with the
+stored needs to get the unmet columns, then zero-detect every field
+simultaneously with the carry-free guard-bit subtraction trick.  No loop
+over rows, no per-row objects on the hot path.
+
+:class:`WakeupRow` and the ``rows`` list survive as a read-only facade
+(snapshots built on demand) so rendering, tests and debuggers see the
+same object API as before.  :meth:`requests_reference` keeps the original
+row-loop implementation; the equivalence suite (and the opt-in
+``WakeupArray.crosscheck`` mode) pin the kernel to it bit-for-bit.
 """
 
 from __future__ import annotations
@@ -24,10 +46,13 @@ from repro.isa.futypes import FU_TYPES, NUM_FU_TYPES, FUType
 
 __all__ = ["WakeupRow", "WakeupArray"]
 
+#: mask of the resource (execution-unit) columns within one packed field.
+_RES_MASK = (1 << NUM_FU_TYPES) - 1
+
 
 @dataclass(slots=True)
 class WakeupRow:
-    """One occupied row of the array."""
+    """Read-only snapshot of one occupied row (see :attr:`WakeupArray.rows`)."""
 
     #: one-hot unit-type requirement (5 bits, Fig. 2 bit order).
     resource_bits: int
@@ -39,68 +64,169 @@ class WakeupRow:
 class WakeupArray:
     """Fixed-size array of resource vectors with select-free request logic."""
 
+    #: when set (class-wide), every :meth:`requests_mask` evaluation is
+    #: checked against :meth:`requests_reference`; a divergence raises
+    #: :class:`SchedulerError`.  Used by the equivalence tests.
+    crosscheck = False
+
     def __init__(self, n_entries: int = 7) -> None:
         if n_entries <= 0:
             raise SchedulerError(f"wake-up array size must be positive: {n_entries}")
-        self.n_entries = n_entries
-        self.rows: list[WakeupRow | None] = [None] * n_entries
+        n = n_entries
+        self.n_entries = n
+        # ---- packed-field geometry (see module docstring) ----------------
+        width = NUM_FU_TYPES + n + 1  # resource | dep | guard
+        self._width = width
+        self._field_mask = (1 << (width - 1)) - 1  # one field, guard excluded
+        ones = 0
+        for i in range(n):
+            ones |= 1 << (i * width)
+        self._row_ones = ones  # bit 0 of every field
+        self._guards = ones << (width - 1)  # guard bit of every field
+        self._lo_mask = self._field_mask * ones  # all non-guard bits
+        # ---- packed state ------------------------------------------------
+        self._need = 0  # all rows' resource+dep fields
+        self._occupied = 0  # n-bit row-occupancy mask
+        self._scheduled = 0  # n-bit scheduled mask
+        self._all_rows = (1 << n) - 1
+        # guard-bit pattern -> row mask / row tuple memos (≤ 2**n entries)
+        self._mask_memo: dict[int, int] = {}
+        self._list_memo: dict[int, tuple[int, ...]] = {}
 
     # ------------------------------------------------------------ occupancy
     def __len__(self) -> int:
-        return sum(1 for r in self.rows if r is not None)
+        return self._occupied.bit_count()
 
     @property
     def full(self) -> bool:
-        return all(r is not None for r in self.rows)
+        return self._occupied == self._all_rows
+
+    def occupied_mask(self) -> int:
+        """n-bit mask of occupied rows."""
+        return self._occupied
+
+    def free_count(self) -> int:
+        """Number of free rows (dispatch headroom) without building a list."""
+        return self.n_entries - self._occupied.bit_count()
 
     def free_rows(self) -> list[int]:
-        return [i for i, r in enumerate(self.rows) if r is None]
+        free = ~self._occupied & self._all_rows
+        return [i for i in range(self.n_entries) if (free >> i) & 1]
+
+    @property
+    def rows(self) -> list[WakeupRow | None]:
+        """Per-row snapshots (``None`` for free rows).  Read-only facade:
+        mutations must go through the array's methods."""
+        out: list[WakeupRow | None] = []
+        need, occ, sched = self._need, self._occupied, self._scheduled
+        width, fmask = self._width, self._field_mask
+        for i in range(self.n_entries):
+            if not (occ >> i) & 1:
+                out.append(None)
+                continue
+            field = (need >> (i * width)) & fmask
+            out.append(
+                WakeupRow(
+                    resource_bits=field & _RES_MASK,
+                    dep_bits=field >> NUM_FU_TYPES,
+                    scheduled=bool((sched >> i) & 1),
+                )
+            )
+        return out
 
     def insert(self, fu_type: FUType, dep_rows: set[int]) -> int:
         """Allocate a row for an instruction needing ``fu_type`` and the
         results of ``dep_rows``.  Returns the row index."""
+        occ = self._occupied
         for d in dep_rows:
-            if not 0 <= d < self.n_entries or self.rows[d] is None:
+            if not 0 <= d < self.n_entries or not (occ >> d) & 1:
                 raise SchedulerError(f"dependency on invalid row {d}")
-        for i, row in enumerate(self.rows):
-            if row is None:
-                dep_bits = 0
-                for d in dep_rows:
-                    dep_bits |= 1 << d
-                self.rows[i] = WakeupRow(
-                    resource_bits=1 << fu_type.bit_index, dep_bits=dep_bits
-                )
-                return i
-        raise SchedulerError("wake-up array is full")
+        free = ~occ & self._all_rows
+        if not free:
+            raise SchedulerError("wake-up array is full")
+        index = (free & -free).bit_length() - 1  # lowest free row
+        dep_bits = 0
+        for d in dep_rows:
+            dep_bits |= 1 << d
+        field = (1 << fu_type.bit_index) | (dep_bits << NUM_FU_TYPES)
+        self._need |= field << (index * self._width)
+        self._occupied = occ | (1 << index)
+        return index
 
     def remove(self, index: int) -> None:
         """Free a row and clear its result column everywhere (retire rule:
         dependents of a retired instruction must not wait for it, and new
         occupants of the row must not inherit stale dependences)."""
-        if self.rows[index] is None:
+        if not (self._occupied >> index) & 1:
             raise SchedulerError(f"row {index} is not occupied")
-        self.rows[index] = None
+        bit = 1 << index
+        self._occupied &= ~bit
+        self._scheduled &= ~bit
+        self._need &= ~(self._field_mask << (index * self._width))
         self.clear_column(index)
 
     def clear_column(self, index: int) -> None:
-        """Clear result column ``index`` in every row."""
-        mask = ~(1 << index)
-        for row in self.rows:
-            if row is not None:
-                row.dep_bits &= mask
+        """Clear result column ``index`` in every row (one AND)."""
+        self._need &= ~(self._row_ones << (NUM_FU_TYPES + index))
 
     # -------------------------------------------------------------- request
-    def requests(self, resource_available: int, result_available: int) -> list[int]:
-        """Rows requesting execution this cycle (Fig. 6 logic).
+    def requests_mask(self, resource_available: int, result_available: int) -> int:
+        """n-bit mask of rows requesting execution this cycle (Fig. 6).
 
         ``resource_available`` is the 5-bit Eq. 1 availability bus;
-        ``result_available`` the n-bit result-available bus.  A row requests
-        when every needed column is available and it is not yet scheduled.
+        ``result_available`` the n-bit result-available bus.  A row
+        requests when every needed column is available and it is not yet
+        scheduled.  All rows are evaluated in one bitwise pass.
         """
         if resource_available < 0 or resource_available >= (1 << NUM_FU_TYPES):
             raise SchedulerError(
                 f"resource availability bus out of range: {resource_available:#x}"
             )
+        # replicate the concatenated availability buses into every field
+        avail = resource_available | (
+            (result_available & self._all_rows) << NUM_FU_TYPES
+        )
+        unmet = self._need & (self._lo_mask ^ (avail * self._row_ones))
+        # guard-bit zero detection: subtracting 1 from (guard | field)
+        # borrows the guard away exactly when the field is zero, and the
+        # guard confines every borrow to its own field
+        nonzero = (unmet | self._guards) - self._row_ones
+        satisfied = ~nonzero & self._guards
+        rows = self._mask_memo.get(satisfied)
+        if rows is None:
+            rows = 0
+            step = self._width
+            probe = 1 << (step - 1)  # guard position of row 0
+            for i in range(self.n_entries):
+                if satisfied & probe:
+                    rows |= 1 << i
+                probe <<= step
+            self._mask_memo[satisfied] = rows
+        mask = rows & self._occupied & ~self._scheduled
+        if WakeupArray.crosscheck:
+            ref = 0
+            for i in self.requests_reference(resource_available, result_available):
+                ref |= 1 << i
+            if ref != mask:
+                raise SchedulerError(
+                    f"bit-packed wake-up kernel diverged: {mask:#x} != {ref:#x}"
+                )
+        return mask
+
+    def requests(self, resource_available: int, result_available: int) -> list[int]:
+        """Rows requesting execution this cycle, ascending row order."""
+        mask = self.requests_mask(resource_available, result_available)
+        rows = self._list_memo.get(mask)
+        if rows is None:
+            rows = tuple(i for i in range(self.n_entries) if (mask >> i) & 1)
+            self._list_memo[mask] = rows
+        return list(rows)
+
+    def requests_reference(
+        self, resource_available: int, result_available: int
+    ) -> list[int]:
+        """The original per-row-loop request logic, kept as the executable
+        specification the packed kernel is proven against."""
         out = []
         for i, row in enumerate(self.rows):
             if row is None or row.scheduled:
@@ -113,19 +239,18 @@ class WakeupArray:
         return out
 
     def mark_scheduled(self, index: int) -> None:
-        row = self.rows[index]
-        if row is None:
+        bit = 1 << index
+        if not self._occupied & bit:
             raise SchedulerError(f"row {index} is not occupied")
-        if row.scheduled:
+        if self._scheduled & bit:
             raise SchedulerError(f"row {index} is already scheduled")
-        row.scheduled = True
+        self._scheduled |= bit
 
     def reschedule(self, index: int) -> None:
         """De-assert the scheduled bit (the Fig. 6 reschedule input)."""
-        row = self.rows[index]
-        if row is None:
+        if not (self._occupied >> index) & 1:
             raise SchedulerError(f"row {index} is not occupied")
-        row.scheduled = False
+        self._scheduled &= ~(1 << index)
 
     # ------------------------------------------------------------ rendering
     def render(self, labels: dict[int, str] | None = None) -> str:

@@ -16,6 +16,7 @@ hardware.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from collections.abc import Sequence
 from dataclasses import dataclass
 
@@ -31,6 +32,9 @@ __all__ = ["SelectionResult", "ConfigurationSelectionUnit"]
 
 #: bits used for the reconfiguration-distance field of the tie-break key.
 _DISTANCE_WIDTH = 6
+
+#: maximum number of memoised select() evaluations (LRU-evicted beyond).
+_MEMO_CAPACITY = 16384
 
 
 @dataclass(frozen=True)
@@ -76,7 +80,11 @@ class ConfigurationSelectionUnit:
         # current counts, so its (gate-level-faithful, hence expensive)
         # evaluation is memoised: identical inputs return the identical
         # SelectionResult without re-simulating the adders and shifters.
-        self._memo: dict[tuple, SelectionResult] = {}
+        # Bounded by LRU eviction: recency order is maintained by
+        # move-to-end on every hit, and at capacity the single coldest
+        # entry is dropped — a long phased workload keeps its hot window
+        # states cached instead of losing the whole memo to a reset.
+        self._memo: OrderedDict[tuple, SelectionResult] = OrderedDict()
 
     # ------------------------------------------------------------- stages
     def required_counts(
@@ -149,6 +157,7 @@ class ConfigurationSelectionUnit:
         )
         cached = self._memo.get(memo_key)
         if cached is not None:
+            self._memo.move_to_end(memo_key)
             return cached
         required = self.required_counts(window)
         errors = self.candidate_errors(required, current_counts)
@@ -161,7 +170,7 @@ class ConfigurationSelectionUnit:
         result = SelectionResult(
             index=index, config=config, errors=errors, required=required
         )
-        if len(self._memo) >= 16384:  # bound the memo for pathological inputs
-            self._memo.clear()
+        if len(self._memo) >= _MEMO_CAPACITY:
+            self._memo.popitem(last=False)  # evict the least recently used
         self._memo[memo_key] = result
         return result

@@ -1,0 +1,69 @@
+"""Tests for the throughput regression gate in benchmarks/record_throughput.py."""
+
+import importlib.util
+import json
+import pathlib
+import sys
+
+_MODULE_PATH = (
+    pathlib.Path(__file__).resolve().parents[2]
+    / "benchmarks"
+    / "record_throughput.py"
+)
+
+
+def _load():
+    spec = importlib.util.spec_from_file_location(
+        "record_throughput", _MODULE_PATH
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def _record(steering, ffu):
+    return {
+        "steering": {"cycles_per_second": steering},
+        "ffu_only": {"cycles_per_second": ffu},
+    }
+
+
+def test_no_failure_within_tolerance():
+    mod = _load()
+    baseline = _record(10_000.0, 15_000.0)
+    current = _record(9_000.0, 14_000.0)  # 10% / 6.7% down
+    assert mod.compare_to_baseline(current, baseline, 0.20) == []
+
+
+def test_regression_beyond_tolerance_reported():
+    mod = _load()
+    baseline = _record(10_000.0, 15_000.0)
+    current = _record(7_000.0, 15_000.0)  # steering down 30%
+    failures = mod.compare_to_baseline(current, baseline, 0.20)
+    assert len(failures) == 1
+    assert failures[0].startswith("steering")
+
+
+def test_improvement_never_fails():
+    mod = _load()
+    baseline = _record(10_000.0, 15_000.0)
+    current = _record(20_000.0, 30_000.0)
+    assert mod.compare_to_baseline(current, baseline, 0.20) == []
+
+
+def test_missing_metrics_tolerated():
+    mod = _load()
+    assert mod.compare_to_baseline(_record(1.0, 1.0), {}, 0.20) == []
+    assert mod.compare_to_baseline({}, _record(1.0, 1.0), 0.20) == []
+
+
+def test_missing_baseline_file_exits_zero(tmp_path, monkeypatch, capsys):
+    mod = _load()
+    monkeypatch.chdir(tmp_path)
+    code = mod.main(
+        ["-o", "out.json", "--baseline", "does-not-exist.json"]
+    )
+    assert code == 0
+    assert "skipping comparison" in capsys.readouterr().out
+    assert json.loads((tmp_path / "out.json").read_text())["steering"]

@@ -123,6 +123,49 @@ class TestTieBreaking:
         assert result.required == (0, 0, 1, 1, 0)
 
 
+class TestMemoLRU:
+    """The select() memo evicts least-recently-used entries, one at a time."""
+
+    def _select_counts(self, unit, n0):
+        # distinct memo keys: vary the IALU count of the current-counts
+        # vector (arity stays 5, values stay plausible small ints)
+        return unit.select([], (n0, 1, 1, 1, 1))
+
+    def test_memo_is_bounded(self):
+        import repro.steering.selection as mod
+
+        unit = ConfigurationSelectionUnit()
+        original = mod._MEMO_CAPACITY
+        mod._MEMO_CAPACITY = 8
+        try:
+            for i in range(20):
+                self._select_counts(unit, i)
+            assert len(unit._memo) == 8
+        finally:
+            mod._MEMO_CAPACITY = original
+
+    def test_hot_entries_survive_eviction(self):
+        import repro.steering.selection as mod
+
+        unit = ConfigurationSelectionUnit()
+        original = mod._MEMO_CAPACITY
+        mod._MEMO_CAPACITY = 4
+        try:
+            for i in range(4):  # fill: keys 0..3, oldest first
+                self._select_counts(unit, i)
+            self._select_counts(unit, 0)  # touch key 0 -> most recent
+            self._select_counts(unit, 4)  # evicts key 1, NOT key 0
+            keys = {k[1][0] for k in unit._memo}
+            assert 0 in keys and 1 not in keys
+        finally:
+            mod._MEMO_CAPACITY = original
+
+    def test_memo_hit_returns_identical_result(self):
+        unit = ConfigurationSelectionUnit()
+        first = unit.select([], _FFUS_ONLY)
+        assert unit.select([], _FFUS_ONLY) is first
+
+
 class TestExactMetricMode:
     def test_exact_mode_selects_same_on_clear_cut_queues(self):
         approx = ConfigurationSelectionUnit(use_exact_metric=False)
