@@ -109,6 +109,11 @@ def main(argv: list[str] | None = None) -> int:
         help="fail when cycles/sec drops by more than this fraction "
              "against the baseline (default 0.20)",
     )
+    parser.add_argument(
+        "--store", default=None,
+        help="also register the throughput numbers as a run in this "
+             "SQLite run store (see 'repro serve')",
+    )
     args = parser.parse_args(argv)
 
     program = checksum(iterations=150).program
@@ -125,6 +130,26 @@ def main(argv: list[str] | None = None) -> int:
     path.write_text(json.dumps(record, indent=2) + "\n")
     print(json.dumps(record, indent=2))
     print(f"\nwritten to {path}")
+
+    if args.store:
+        import hashlib
+
+        from repro.serving.store import RunStore
+
+        config_hash = hashlib.sha256(
+            f"{record['workload']}|latency={record['reconfig_latency']}".encode()
+        ).hexdigest()
+        metrics = {
+            "steering_cycles_per_second": record["steering"]["cycles_per_second"],
+            "ffu_only_cycles_per_second": record["ffu_only"]["cycles_per_second"],
+            "batch_wall_seconds": record["batch_engine"]["wall_seconds"],
+        }
+        with RunStore(args.store) as store:
+            run_id = store.record_run(
+                "BENCH-throughput", config_hash, metrics,
+                label=record["workload"],
+            )
+        print(f"registered run {run_id} in {args.store}")
 
     if args.baseline:
         baseline_path = pathlib.Path(args.baseline)

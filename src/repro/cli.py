@@ -13,6 +13,8 @@ Commands
     Regenerate paper artifacts (tables/figures); default: all of them.
 ``trace <kernel-or-file.s> [--cycles N]``
     Run with event recording and print the fabric-occupancy timeline.
+``serve [--port N] [--store runs.sqlite] [--cache-dir .report-cache]``
+    Serve the run store + dashboard over HTTP (see docs/serving.md).
 """
 
 from __future__ import annotations
@@ -147,19 +149,48 @@ def _cmd_artifacts(args: argparse.Namespace) -> int:
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.evaluation.harness import generate_report
 
-    text = generate_report(
-        fast=not args.full,
-        progress=lambda msg: print(f"[report] {msg}", file=sys.stderr),
-        workers=args.workers,
-        use_cache=not args.no_cache,
-        cache_dir=args.cache_dir,
-    )
+    store = None
+    if args.store:
+        from repro.serving.store import RunStore
+
+        store = RunStore(args.store)
+    try:
+        text = generate_report(
+            fast=not args.full,
+            progress=lambda msg: print(f"[report] {msg}", file=sys.stderr),
+            workers=args.workers,
+            use_cache=not args.no_cache,
+            cache_dir=args.cache_dir,
+            store=store,
+            cache_max_bytes=args.cache_max_bytes,
+        )
+    finally:
+        if store is not None:
+            store.close()
     if args.output:
         pathlib.Path(args.output).write_text(text)
         print(f"report written to {args.output}")
     else:
         print(text)
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serving.app import serve
+
+    return serve(
+        store_path=args.store,
+        cache_dir=args.cache_dir,
+        host=args.host,
+        port=args.port,
+        sim_workers=args.workers,
+        queue_capacity=args.queue_capacity,
+        cache_max_bytes=args.cache_max_bytes,
+        cache_max_age=args.cache_max_age_days * 86400
+        if args.cache_max_age_days is not None
+        else None,
+        log=lambda msg: print(f"[serve] {msg}", file=sys.stderr),
+    )
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -221,7 +252,37 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="persist the result cache to this directory "
                              "(shared across report runs; CI keys it on the "
                              "source tree)")
+    report.add_argument("--store", default=None,
+                        help="register every experiment + simulation as a run "
+                             "in this SQLite run store (see 'repro serve')")
+    report.add_argument("--cache-max-bytes", type=int, default=None,
+                        help="LRU-prune the on-disk result cache to this many "
+                             "bytes after the report")
     report.set_defaults(func=_cmd_report)
+
+    srv = sub.add_parser(
+        "serve",
+        help="serve the run store + dashboard over HTTP",
+    )
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=8734)
+    srv.add_argument("--store", default="runs.sqlite",
+                     help="SQLite run index (created if missing)")
+    srv.add_argument("--cache-dir", default=".report-cache",
+                     help="content-addressed result blob directory")
+    srv.add_argument("--workers", type=int, default=0,
+                     help="simulation worker processes per submitted job "
+                          "(0 = simulate in the server's job thread)")
+    srv.add_argument("--queue-capacity", type=int, default=8,
+                     help="max queued-but-not-started submitted jobs "
+                          "(further submissions get HTTP 503)")
+    srv.add_argument("--cache-max-bytes", type=int, default=None,
+                     help="LRU-prune the result cache to this many bytes on "
+                          "startup")
+    srv.add_argument("--cache-max-age-days", type=float, default=None,
+                     help="drop cache blobs untouched for this many days on "
+                          "startup")
+    srv.set_defaults(func=_cmd_serve)
 
     trace = sub.add_parser("trace", help="print the fabric timeline")
     add_sim_args(trace)

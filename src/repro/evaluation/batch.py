@@ -33,7 +33,12 @@ content-keyed caching sound.
 from __future__ import annotations
 
 import hashlib
+import json
+import multiprocessing
+import os
 import pickle
+import threading
+import time
 from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field, fields
@@ -268,6 +273,58 @@ def _init_worker(programs: dict[str, Program]) -> None:
     _WORKER_PROGRAMS.update(programs)
 
 
+def _shm_pack(programs: dict[str, Program]):
+    """Place the pickled program registry in a shared-memory block.
+
+    Spawn-start platforms pickle the pool initializer's arguments once
+    per worker; with the registry in shared memory every worker instead
+    attaches to one block and the per-worker cost drops to the block
+    *name*.  Returns ``(block, payload_size)``, or ``None`` when shared
+    memory is unavailable (the caller falls back to shipping the dict).
+    """
+    try:
+        from multiprocessing import shared_memory
+    except ImportError:  # pragma: no cover - stdlib module, but gate anyway
+        return None
+    payload = pickle.dumps(programs)
+    try:
+        block = shared_memory.SharedMemory(create=True, size=max(1, len(payload)))
+    except (OSError, ValueError):  # pragma: no cover - platform without shm
+        return None
+    block.buf[: len(payload)] = payload
+    return block, len(payload)
+
+
+def _shm_unregister(block) -> None:
+    """Detach a block from this process's resource tracker.
+
+    On Python < 3.13 merely *attaching* registers the segment with the
+    worker's resource tracker, which would unlink it behind the parent's
+    back at worker exit; the parent owns cleanup, so undo the
+    registration.
+    """
+    try:  # pragma: no cover - tracker layout is an implementation detail
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(
+            getattr(block, "_name", block.name), "shared_memory"
+        )
+    except Exception:
+        pass
+
+
+def _init_worker_shm(name: str, size: int) -> None:
+    """Pool initializer (spawn path): read the registry out of shared memory."""
+    from multiprocessing import shared_memory
+
+    block = shared_memory.SharedMemory(name=name)
+    try:
+        _WORKER_PROGRAMS.update(pickle.loads(bytes(block.buf[:size])))
+    finally:
+        block.close()
+        _shm_unregister(block)
+
+
 @dataclass
 class _ShippedJob:
     """The per-job payload crossing the process boundary.
@@ -331,47 +388,188 @@ def _prepare_shipment(
 
 
 # ------------------------------------------------------------- result cache
+def _atomic_write_bytes(path: Path, data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically (tmp file + :func:`os.replace`).
+
+    A killed worker or a concurrent reader never observes a truncated
+    file: the final name appears only after the full payload is on disk.
+    The tmp name carries pid + thread id so concurrent writers of the
+    same key never collide with each other.
+    """
+    tmp = path.with_name(
+        f"{path.name}.{os.getpid()}.{threading.get_ident()}.tmp"
+    )
+    try:
+        tmp.write_bytes(data)
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+
+
 class ResultCache:
     """Content-addressed result store: memory first, optionally disk.
 
     With a ``directory`` every stored result is also pickled to
     ``<directory>/<key>.pkl``, so caches survive across processes and
     report invocations; without one the cache lives for the object's
-    lifetime only.
+    lifetime only.  Blob writes are atomic (tmp file + ``os.replace``),
+    and every get/put refreshes the key's entry in an LRU touch-time
+    index (``_touch.json`` in the directory) that :meth:`prune` uses to
+    evict least-recently-used blobs first.
+
+    An optional ``store`` (:class:`repro.serving.store.RunStore` or any
+    object with a ``record_result(key, result, job=...)`` method) is
+    notified on every :meth:`put`, so batch runs register their results
+    as queryable runs without the callers changing.
     """
 
-    def __init__(self, directory: str | Path | None = None) -> None:
+    #: name of the LRU touch-time index file inside the cache directory.
+    INDEX_NAME = "_touch.json"
+
+    def __init__(
+        self,
+        directory: str | Path | None = None,
+        store: Any | None = None,
+    ) -> None:
         self._memory: dict[str, Any] = {}
         self.directory = Path(directory) if directory is not None else None
+        self.store = store
+        self._touch: dict[str, float] = {}
         if self.directory is not None:
             self.directory.mkdir(parents=True, exist_ok=True)
+            self._touch = self._load_index()
         self.hits = 0
         self.misses = 0
 
     def _path(self, key: str) -> Path:
         return self.directory / f"{key}.pkl"
 
+    # ------------------------------------------------ LRU touch-time index
+    def _index_path(self) -> Path:
+        return self.directory / self.INDEX_NAME
+
+    def _load_index(self) -> dict[str, float]:
+        try:
+            raw = json.loads(self._index_path().read_text())
+            return {str(k): float(v) for k, v in raw.items()}
+        except (OSError, ValueError, TypeError, AttributeError):
+            return {}
+
+    def _save_index(self) -> None:
+        _atomic_write_bytes(
+            self._index_path(), json.dumps(self._touch).encode()
+        )
+
+    # ------------------------------------------------------------ get / put
     def get(self, key: str) -> Any | None:
         if key in self._memory:
             self.hits += 1
+            if self.directory is not None:
+                self._touch[key] = time.time()
             return self._memory[key]
         if self.directory is not None:
             path = self._path(key)
             if path.exists():
                 result = pickle.loads(path.read_bytes())
                 self._memory[key] = result
+                self._touch[key] = time.time()
                 self.hits += 1
                 return result
         self.misses += 1
         return None
 
-    def put(self, key: str, result: Any) -> None:
+    def put(self, key: str, result: Any, job: SimJob | None = None) -> None:
         self._memory[key] = result
         if self.directory is not None:
-            self._path(key).write_bytes(pickle.dumps(result))
+            _atomic_write_bytes(self._path(key), pickle.dumps(result))
+            self._touch[key] = time.time()
+            self._save_index()
+        if self.store is not None:
+            self.store.record_result(key, result, job=job)
+
+    def has(self, key: str) -> bool:
+        """Whether ``key`` is answerable (memory or disk), without loading."""
+        if key in self._memory:
+            return True
+        return self.directory is not None and self._path(key).exists()
 
     def __len__(self) -> int:
         return len(self._memory)
+
+    # -------------------------------------------------------- GC / stats
+    def prune(
+        self,
+        max_bytes: int | None = None,
+        max_age: float | None = None,
+        now: float | None = None,
+    ) -> dict[str, int]:
+        """Evict disk blobs so the cache stops growing without bound.
+
+        ``max_age`` (seconds) drops every blob whose last touch — get or
+        put, via the LRU index, falling back to file mtime — is older;
+        ``max_bytes`` then evicts least-recently-used blobs until the
+        directory total fits.  Stale ``*.tmp`` files from killed writers
+        (older than an hour) are removed as well.  Returns eviction
+        statistics; a memory-only cache is a no-op.
+        """
+        stats = {"removed": 0, "kept": 0, "bytes_freed": 0, "bytes_kept": 0}
+        if self.directory is None:
+            stats["kept"] = len(self._memory)
+            return stats
+        now = time.time() if now is None else now
+        for tmp in self.directory.glob("*.tmp"):
+            try:
+                if now - tmp.stat().st_mtime > 3600:
+                    tmp.unlink(missing_ok=True)
+            except OSError:
+                pass
+        blobs: list[tuple[float, int, str, Path]] = []
+        for path in self.directory.glob("*.pkl"):
+            try:
+                stat = path.stat()
+            except OSError:  # racing concurrent eviction
+                continue
+            key = path.stem
+            blobs.append(
+                (self._touch.get(key, stat.st_mtime), stat.st_size, key, path)
+            )
+        blobs.sort()  # oldest touch first = LRU eviction order
+        total = sum(size for _, size, _, _ in blobs)
+        freed = 0
+        for touched, size, key, path in blobs:
+            too_old = max_age is not None and now - touched > max_age
+            over_budget = max_bytes is not None and total - freed > max_bytes
+            if too_old or over_budget:
+                path.unlink(missing_ok=True)
+                self._memory.pop(key, None)
+                self._touch.pop(key, None)
+                stats["removed"] += 1
+                freed += size
+            else:
+                stats["kept"] += 1
+        stats["bytes_freed"] = freed
+        stats["bytes_kept"] = total - freed
+        self._save_index()
+        return stats
+
+    def stats(self) -> dict[str, int]:
+        """Occupancy counters for health endpoints and logs."""
+        disk_blobs = disk_bytes = 0
+        if self.directory is not None:
+            for path in self.directory.glob("*.pkl"):
+                try:
+                    disk_bytes += path.stat().st_size
+                except OSError:
+                    continue
+                disk_blobs += 1
+        return {
+            "memory_entries": len(self._memory),
+            "disk_blobs": disk_blobs,
+            "disk_bytes": disk_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+        }
 
 
 # -------------------------------------------------------------- batch runner
@@ -380,6 +578,7 @@ def run_many(
     workers: int = 0,
     cache: ResultCache | None = None,
     progress: Callable[[int, int, SimJob], None] | None = None,
+    mp_context: str | None = None,
 ) -> list[Any]:
     """Execute a batch of jobs; results come back in submission order.
 
@@ -389,6 +588,13 @@ def run_many(
     identical content keys are simulated once per batch, and a ``cache``
     answers repeats across batches.  ``progress(done, total, job)`` is
     invoked as each job resolves (cache hits included).
+
+    ``mp_context`` forces a multiprocessing start method ("fork",
+    "spawn", "forkserver"); the default is the platform's.  On non-fork
+    start methods the program registry travels to the workers through
+    one :mod:`multiprocessing.shared_memory` block instead of being
+    pickled once per worker, falling back to per-worker pickling when
+    shared memory is unavailable.
     """
     jobs = list(jobs)
     total = len(jobs)
@@ -415,7 +621,7 @@ def run_many(
 
     def settle(key: str, result: Any) -> None:
         if cache is not None:
-            cache.put(key, result)
+            cache.put(key, result, job=jobs[pending[key][0]])
         for i in pending[key]:
             resolved(i, result)
 
@@ -429,18 +635,39 @@ def run_many(
     # not once per job: payloads carry only the program's content hash.
     programs, shipped = _prepare_shipment(unique)
 
-    with ProcessPoolExecutor(
-        max_workers=workers,
-        initializer=_init_worker,
-        initargs=(programs,),
-    ) as pool:
-        futures = {
-            pool.submit(_execute_shipped, payload): key
-            for key, payload in shipped
-        }
-        remaining = set(futures)
-        while remaining:
-            finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
-            for fut in finished:
-                settle(futures[fut], fut.result())
+    ctx = multiprocessing.get_context(mp_context) if mp_context else None
+    start_method = (ctx or multiprocessing).get_start_method()
+    initializer: Callable[..., None] = _init_worker
+    initargs: tuple[Any, ...] = (programs,)
+    block = None
+    if start_method != "fork":
+        packed = _shm_pack(programs)
+        if packed is not None:
+            block, payload_size = packed
+            initializer, initargs = _init_worker_shm, (block.name, payload_size)
+    try:
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=ctx,
+            initializer=initializer,
+            initargs=initargs,
+        ) as pool:
+            futures = {
+                pool.submit(_execute_shipped, payload): key
+                for key, payload in shipped
+            }
+            remaining = set(futures)
+            while remaining:
+                finished, remaining = wait(
+                    remaining, return_when=FIRST_COMPLETED
+                )
+                for fut in finished:
+                    settle(futures[fut], fut.result())
+    finally:
+        if block is not None:
+            block.close()
+            try:
+                block.unlink()
+            except FileNotFoundError:  # pragma: no cover
+                pass
     return results

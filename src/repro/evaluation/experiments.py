@@ -41,6 +41,9 @@ __all__ = [
     "run_frontend_ablation",
     "run_orthogonality_study",
     "run_circuit_cost_report",
+    "latency_sweep_metrics",
+    "queue_depth_metrics",
+    "cem_metrics",
 ]
 
 _DEFAULT_PARAMS = ProcessorParams(reconfig_latency=8)
@@ -75,6 +78,14 @@ class IpcComparison:
         return render_table(
             ["workload"] + self.policies, rows, title="E-IPC: IPC by policy"
         )
+
+    def metrics(self) -> dict[str, float]:
+        """Flat scalar view for the run store (mean IPC per policy)."""
+        out = {f"mean_ipc_{p}": self.mean_ipc(p) for p in self.policies}
+        out["steering_wins"] = sum(
+            1 for w in self.workloads if self.winner(w) == "steering"
+        )
+        return out
 
 
 def run_ipc_comparison(
@@ -167,6 +178,19 @@ def run_reconfig_latency_sweep(
     return out
 
 
+def latency_sweep_metrics(
+    rows: list[tuple[int, float, float, int]],
+) -> dict[str, float]:
+    """Flatten E-RL rows for the run store."""
+    out: dict[str, float] = {}
+    for latency, steering_ipc, ffu_ipc, reconfigs in rows:
+        out[f"steering_ipc_lat{latency}"] = steering_ipc
+        out[f"reconfigs_lat{latency}"] = reconfigs
+    if rows:
+        out["ffu_ipc"] = rows[0][2]
+    return out
+
+
 # ------------------------------------------------------------------- E-PH
 @dataclass
 class PhaseAdaptation:
@@ -190,6 +214,17 @@ class PhaseAdaptation:
             if run == window:
                 out.append(i - window + 1)
         return out
+
+    def metrics(self) -> dict[str, float]:
+        """Flat scalar view for the run store."""
+        settles = self.settle_points()
+        return {
+            "ipc": self.result.ipc,
+            "reconfigurations": self.result.reconfigurations,
+            "kept_fraction": self.kept_fraction,
+            "loads": len(self.load_cycles),
+            "first_settle": settles[0] if settles else -1,
+        }
 
 
 def run_phase_adaptation(
@@ -254,6 +289,11 @@ def run_queue_depth_sweep(
     return [(depth, result.ipc) for depth, result in zip(depths, results)]
 
 
+def queue_depth_metrics(rows: list[tuple[int, float]]) -> dict[str, float]:
+    """Flatten E-Q rows for the run store."""
+    return {f"ipc_depth{depth}": ipc for depth, ipc in rows}
+
+
 # ------------------------------------------------------------------ E-CEM
 def run_cem_ablation(
     workloads: list[tuple[str, Program]] | None = None,
@@ -292,6 +332,17 @@ def run_cem_ablation(
     ]
 
 
+def cem_metrics(rows: list[tuple[str, float, float]]) -> dict[str, float]:
+    """Flatten E-CEM rows for the run store (mean IPCs + worst gap)."""
+    if not rows:
+        return {}
+    return {
+        "mean_approx_ipc": sum(r[1] for r in rows) / len(rows),
+        "mean_exact_ipc": sum(r[2] for r in rows) / len(rows),
+        "max_abs_ipc_gap": max(abs(r[1] - r[2]) for r in rows),
+    }
+
+
 # ---------------------------------------------------------------- E-FRONT
 @dataclass
 class FrontendAblation:
@@ -321,6 +372,18 @@ class FrontendAblation:
             title="E-FRONT: machine width sweep",
         )
         return variants + "\n\n" + widths
+
+    def metrics(self) -> dict[str, float]:
+        """Flat scalar view for the run store."""
+        _, loopy, branchy, accuracy = self.variant_rows[0]
+        out = {
+            "baseline_loopy_ipc": loopy,
+            "baseline_branchy_ipc": branchy,
+            "baseline_branch_accuracy": accuracy,
+        }
+        for width, ipc in self.width_rows:
+            out[f"ipc_width{width}"] = ipc
+        return out
 
 
 #: the E-FRONT parameter variants (baseline first).

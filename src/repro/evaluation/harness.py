@@ -8,12 +8,17 @@ command line as ``python -m repro report``.
 
 from __future__ import annotations
 
+import hashlib
 from collections.abc import Callable
+from typing import Any
 
 from repro.core.params import ProcessorParams
 from repro.evaluation import artifacts
 from repro.evaluation.batch import ResultCache
 from repro.evaluation.experiments import (
+    cem_metrics,
+    latency_sweep_metrics,
+    queue_depth_metrics,
     run_cem_ablation,
     run_circuit_cost_report,
     run_frontend_ablation,
@@ -38,6 +43,8 @@ def generate_report(
     workers: int = 0,
     use_cache: bool = True,
     cache_dir: str | None = None,
+    store: Any | None = None,
+    cache_max_bytes: int | None = None,
 ) -> str:
     """Regenerate everything.  ``fast`` shrinks the experiment workloads so
     the whole report completes in tens of seconds.
@@ -49,13 +56,33 @@ def generate_report(
     additionally spills the cache to disk, so identical simulations are
     answered from previous report runs (the CI persists this directory
     across workflow runs).
+
+    ``store`` (a :class:`repro.serving.store.RunStore`) registers every
+    experiment's summary metrics — and, through the cache hook, every
+    individual simulation — as queryable runs for ``repro serve``.
+    ``cache_max_bytes`` LRU-prunes the on-disk cache after the report so
+    ``.report-cache`` stays bounded.
     """
 
     def note(msg: str) -> None:
         if progress is not None:
             progress(msg)
 
-    cache = ResultCache(cache_dir) if (use_cache or cache_dir) else None
+    def record(experiment: str, metrics: dict[str, float]) -> None:
+        """Register an experiment-level summary run in the store."""
+        if store is not None:
+            question = hashlib.sha256(
+                f"{experiment}|fast={fast}".encode()
+            ).hexdigest()
+            store.record_run(
+                experiment, question, metrics, label="fast" if fast else "full"
+            )
+
+    cache = (
+        ResultCache(cache_dir, store=store)
+        if (use_cache or cache_dir)
+        else None
+    )
 
     parts = ["# Reproduction report (generated)\n"]
 
@@ -96,6 +123,7 @@ def generate_report(
         workloads=workloads, params=params, workers=workers, cache=cache
     )
     parts.append(_section("E-IPC — policy comparison", comparison.render()))
+    record("E-IPC", comparison.metrics())
 
     note("experiment: E-RL")
     rl = run_reconfig_latency_sweep(
@@ -111,6 +139,7 @@ def generate_report(
             ),
         )
     )
+    record("E-RL", latency_sweep_metrics(rl))
 
     note("experiment: E-PH")
     adaptation = run_phase_adaptation(params=params, workers=workers, cache=cache)
@@ -123,6 +152,7 @@ def generate_report(
             f"settle points {adaptation.settle_points()[:6]}",
         )
     )
+    record("E-PH", adaptation.metrics())
 
     note("experiment: E-Q")
     qd = run_queue_depth_sweep(
@@ -131,6 +161,7 @@ def generate_report(
     parts.append(
         _section("E-Q — queue depth", render_table(["depth", "IPC"], qd))
     )
+    record("E-Q", queue_depth_metrics(qd))
 
     note("experiment: E-CEM")
     cem = run_cem_ablation(
@@ -142,14 +173,23 @@ def generate_report(
             render_table(["workload", "approx IPC", "exact IPC"], cem),
         )
     )
+    record("E-CEM", cem_metrics(cem))
 
     note("experiment: E-FRONT")
     front = run_frontend_ablation(
         max_cycles=100_000 if fast else 400_000, workers=workers, cache=cache
     )
     parts.append(_section("E-FRONT — front-end ablations", front.render()))
+    record("E-FRONT", front.metrics())
 
     note("experiment: E-COST")
     parts.append(_section("E-COST — circuit cost", run_circuit_cost_report([7])))
+
+    if cache is not None and cache.directory is not None and cache_max_bytes:
+        pruned = cache.prune(max_bytes=cache_max_bytes)
+        note(
+            f"cache GC: removed {pruned['removed']} blobs "
+            f"({pruned['bytes_freed']} bytes)"
+        )
 
     return "\n".join(parts)

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
-__all__ = ["render_table", "format_value"]
+__all__ = ["render_table", "render_kv", "format_value"]
 
 
 def format_value(value) -> str:
@@ -13,6 +13,19 @@ def format_value(value) -> str:
     if isinstance(value, float):
         return f"{value:.3f}"
     return str(value)
+
+
+def render_kv(mapping: dict, title: str | None = None) -> str:
+    """Render a flat mapping as an aligned two-column block.
+
+    The curl-friendly sibling of :func:`render_table` for single-record
+    views (a run's metrics, a health snapshot).
+    """
+    return render_table(
+        ["field", "value"],
+        [(k, format_value(v)) for k, v in mapping.items()],
+        title=title,
+    )
 
 
 def render_table(

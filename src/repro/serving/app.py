@@ -1,0 +1,395 @@
+"""Threaded HTTP JSON API over the run store, plus the dashboard page.
+
+The request logic lives in :class:`ServingApp.handle`, a pure function
+from ``(method, path, query, headers, body)`` to ``(status, headers,
+payload)`` — unit-testable without sockets — and a thin
+:class:`http.server.BaseHTTPRequestHandler` adapter plugs it into a
+:class:`~http.server.ThreadingHTTPServer` for real traffic
+(``python -m repro serve``).
+
+Endpoints::
+
+    GET  /                   dashboard (self-contained HTML)
+    GET  /api/health         service + store + cache counters
+    GET  /api/runs           run list   (?experiment=&limit=&offset=)
+    GET  /api/runs/<id>      one run    (?format=text for a curl view)
+    GET  /api/runs/<id>/artifact   full result payload from the blob cache
+    GET  /api/experiments    distinct experiments with counts
+    GET  /api/diff?a=&b=     metric-by-metric diff of two runs
+    GET  /api/jobs           submitted-job records
+    GET  /api/jobs/<id>      one submitted job
+    POST /api/jobs           submit a simulation job spec (202 / 200 cached)
+
+Run and diff responses carry an ``ETag`` derived from the run's content
+hash (``If-None-Match`` revalidates to 304) and a ``Cache-Control``
+matched to the resource's mutability: artifacts are content-addressed
+and therefore immutable; run rows can be upserted and get a short TTL.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import time
+from typing import Any
+from urllib.parse import parse_qs, urlsplit
+
+from repro.errors import ReproError
+from repro.evaluation.batch import ResultCache
+from repro.evaluation.report import render_kv
+from repro.serving.dashboard import DASHBOARD_HTML
+from repro.serving.jobs import JobQueue, JobQueueFull
+from repro.serving.store import RunStore
+
+__all__ = ["ServingApp", "make_server", "serve"]
+
+_RUN_PATH = re.compile(r"/api/runs/([0-9a-f]{8,64})")
+_ARTIFACT_PATH = re.compile(r"/api/runs/([0-9a-f]{8,64})/artifact")
+_JOB_PATH = re.compile(r"/api/jobs/([\w-]+)")
+
+#: Cache-Control values by resource mutability.
+_CC_IMMUTABLE = "public, max-age=31536000, immutable"
+_CC_RUN = "public, max-age=60"
+_CC_NONE = "no-cache"
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort conversion of a result payload to JSON-safe values."""
+    to_dict = getattr(value, "to_dict", None)
+    if callable(to_dict):
+        return _jsonable(to_dict())
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return repr(value)
+
+
+class ServingApp:
+    """The HTTP-facing façade over store + cache + job queue."""
+
+    def __init__(
+        self,
+        store: RunStore,
+        cache: ResultCache | None = None,
+        jobs: JobQueue | None = None,
+    ) -> None:
+        self.store = store
+        self.cache = cache
+        self.jobs = jobs
+        self.started = time.time()
+
+    # -------------------------------------------------------- entry point
+    def handle(
+        self,
+        method: str,
+        path: str,
+        query: dict[str, str] | None = None,
+        headers: dict[str, str] | None = None,
+        body: bytes = b"",
+    ) -> tuple[int, dict[str, str], bytes]:
+        query = query or {}
+        headers = {k.lower(): v for k, v in (headers or {}).items()}
+        try:
+            return self._route(method, path, query, headers, body)
+        except ReproError as exc:
+            return self._error(400, str(exc))
+        except KeyError as exc:
+            return self._error(404, f"no such run: {exc.args[0]}")
+
+    def _route(self, method, path, query, headers, body):
+        if method in ("GET", "HEAD"):
+            if path in ("/", "/index.html"):
+                return (
+                    200,
+                    {
+                        "Content-Type": "text/html; charset=utf-8",
+                        "Cache-Control": _CC_NONE,
+                    },
+                    DASHBOARD_HTML.encode(),
+                )
+            if path == "/api/health":
+                return self._health()
+            if path == "/api/runs":
+                return self._runs(query)
+            if path == "/api/experiments":
+                return self._experiments()
+            if path == "/api/diff":
+                return self._diff(query, headers)
+            match = _ARTIFACT_PATH.fullmatch(path)
+            if match:
+                return self._artifact(match.group(1), headers)
+            match = _RUN_PATH.fullmatch(path)
+            if match:
+                return self._run(match.group(1), query, headers)
+            if path == "/api/jobs":
+                return self._jobs_list()
+            match = _JOB_PATH.fullmatch(path)
+            if match:
+                return self._job(match.group(1))
+        elif method == "POST":
+            if path == "/api/jobs":
+                return self._submit(body)
+            return self._error(405, f"POST not supported on {path}")
+        else:
+            return self._error(405, f"method {method} not supported")
+        return self._error(404, f"no such resource: {path}")
+
+    # ----------------------------------------------------------- responses
+    @staticmethod
+    def _json(
+        status: int,
+        payload: Any,
+        etag: str | None = None,
+        cache_control: str | None = None,
+        extra: dict[str, str] | None = None,
+    ) -> tuple[int, dict[str, str], bytes]:
+        headers = {"Content-Type": "application/json; charset=utf-8"}
+        if etag is not None:
+            headers["ETag"] = etag
+        if cache_control is not None:
+            headers["Cache-Control"] = cache_control
+        if extra:
+            headers.update(extra)
+        body = json.dumps(payload, indent=1, sort_keys=True).encode()
+        return status, headers, body + b"\n"
+
+    @classmethod
+    def _error(cls, status: int, message: str):
+        return cls._json(status, {"error": message, "status": status})
+
+    @staticmethod
+    def _etag_matches(headers: dict[str, str], etag: str) -> bool:
+        got = headers.get("if-none-match", "")
+        return got == "*" or etag in [t.strip() for t in got.split(",")]
+
+    @staticmethod
+    def _run_etag(run: dict[str, Any]) -> str:
+        return f'"{run["config_hash"][:24]}.{int(run["created"])}"'
+
+    def _not_modified(self, etag: str, cache_control: str):
+        return 304, {"ETag": etag, "Cache-Control": cache_control}, b""
+
+    # ------------------------------------------------------------- handlers
+    def _health(self):
+        payload = {
+            "status": "ok",
+            "uptime_seconds": round(time.time() - self.started, 1),
+            "runs": self.store.count(),
+            "experiments": len(self.store.experiments()),
+            "cache": self.cache.stats() if self.cache is not None else None,
+            "jobs_pending": self.jobs.depth() if self.jobs is not None else 0,
+        }
+        return self._json(200, payload, cache_control=_CC_NONE)
+
+    def _runs(self, query):
+        try:
+            limit = int(query.get("limit", 100))
+            offset = int(query.get("offset", 0))
+        except ValueError:
+            return self._error(400, "limit/offset must be integers")
+        runs = self.store.list_runs(
+            experiment=query.get("experiment"), limit=limit, offset=offset
+        )
+        return self._json(
+            200,
+            {"runs": runs, "count": len(runs)},
+            cache_control=_CC_NONE,
+        )
+
+    def _experiments(self):
+        return self._json(
+            200, {"experiments": self.store.experiments()}, cache_control=_CC_NONE
+        )
+
+    def _run(self, run_id, query, headers):
+        run = self.store.get_run(run_id)
+        if run is None:
+            return self._error(404, f"no such run: {run_id}")
+        etag = self._run_etag(run)
+        if self._etag_matches(headers, etag):
+            return self._not_modified(etag, _CC_RUN)
+        run["artifact"] = (
+            self.cache is not None and self.cache.has(run["config_hash"])
+        )
+        if query.get("format") == "text":
+            flat = {k: v for k, v in run.items() if k != "metrics"}
+            text = (
+                render_kv(flat, title=f"run {run_id}")
+                + "\n\n"
+                + render_kv(run["metrics"], title="metrics")
+                + "\n"
+            )
+            return (
+                200,
+                {
+                    "Content-Type": "text/plain; charset=utf-8",
+                    "ETag": etag,
+                    "Cache-Control": _CC_RUN,
+                },
+                text.encode(),
+            )
+        return self._json(200, run, etag=etag, cache_control=_CC_RUN)
+
+    def _artifact(self, run_id, headers):
+        run = self.store.get_run(run_id)
+        if run is None:
+            return self._error(404, f"no such run: {run_id}")
+        key = run["config_hash"]
+        etag = f'"{key}"'
+        if self._etag_matches(headers, etag):
+            return self._not_modified(etag, _CC_IMMUTABLE)
+        result = self.cache.get(key) if self.cache is not None else None
+        if result is None:
+            return self._error(
+                404, f"run {run_id} has no cached artifact (key {key[:12]}…)"
+            )
+        return self._json(
+            200,
+            {"run_id": run_id, "key": key, "artifact": _jsonable(result)},
+            etag=etag,
+            cache_control=_CC_IMMUTABLE,
+        )
+
+    def _diff(self, query, headers):
+        a, b = query.get("a"), query.get("b")
+        if not a or not b:
+            return self._error(400, "diff needs ?a=<run_id>&b=<run_id>")
+        diff = self.store.diff(a, b)  # KeyError -> 404 via handle()
+        etag = (
+            f'"{diff["a"]["config_hash"][:16]}'
+            f'.{diff["b"]["config_hash"][:16]}"'
+        )
+        if self._etag_matches(headers, etag):
+            return self._not_modified(etag, _CC_RUN)
+        return self._json(200, diff, etag=etag, cache_control=_CC_RUN)
+
+    def _jobs_list(self):
+        if self.jobs is None:
+            return self._error(404, "no job queue on this server")
+        return self._json(
+            200,
+            {"jobs": [r.to_dict() for r in self.jobs.list()]},
+            cache_control=_CC_NONE,
+        )
+
+    def _job(self, job_id):
+        if self.jobs is None:
+            return self._error(404, "no job queue on this server")
+        record = self.jobs.get(job_id)
+        if record is None:
+            return self._error(404, f"no such job: {job_id}")
+        return self._json(200, record.to_dict(), cache_control=_CC_NONE)
+
+    def _submit(self, body):
+        if self.jobs is None:
+            return self._error(503, "job submission disabled on this server")
+        try:
+            spec = json.loads(body or b"")
+        except json.JSONDecodeError as exc:
+            return self._error(400, f"body is not valid JSON: {exc}")
+        try:
+            record = self.jobs.submit(spec)
+        except JobQueueFull as exc:
+            return self._json(
+                503,
+                {"error": str(exc), "status": 503},
+                extra={"Retry-After": "1"},
+            )
+        # cached submissions are already complete; fresh ones are accepted
+        status = 200 if record.cached else 202
+        return self._json(status, record.to_dict(), cache_control=_CC_NONE)
+
+
+# ----------------------------------------------------------- socket layer
+def make_server(app: ServingApp, host: str = "127.0.0.1", port: int = 8734):
+    """Build a ThreadingHTTPServer around ``app`` (port 0 = ephemeral)."""
+    from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+    class Handler(BaseHTTPRequestHandler):
+        server_version = "repro-serving/1.0"
+        protocol_version = "HTTP/1.1"
+
+        def _dispatch(self, method: str) -> None:
+            parts = urlsplit(self.path)
+            query = {
+                k: v[-1] for k, v in parse_qs(parts.query).items()
+            }
+            length = int(self.headers.get("Content-Length") or 0)
+            body = self.rfile.read(length) if length else b""
+            status, headers, payload = self.server.app.handle(
+                method, parts.path, query, dict(self.headers), body
+            )
+            self.send_response(status)
+            for name, value in headers.items():
+                self.send_header(name, value)
+            self.send_header("Content-Length", str(len(payload)))
+            self.end_headers()
+            if method != "HEAD" and status != 304:
+                self.wfile.write(payload)
+
+        def do_GET(self):
+            self._dispatch("GET")
+
+        def do_HEAD(self):
+            self._dispatch("HEAD")
+
+        def do_POST(self):
+            self._dispatch("POST")
+
+        def log_message(self, fmt, *args):  # quiet by default
+            pass
+
+    server = ThreadingHTTPServer((host, port), Handler)
+    server.daemon_threads = True
+    server.app = app
+    return server
+
+
+def serve(
+    store_path: str,
+    cache_dir: str | None = None,
+    host: str = "127.0.0.1",
+    port: int = 8734,
+    sim_workers: int = 0,
+    queue_capacity: int = 8,
+    cache_max_bytes: int | None = None,
+    cache_max_age: float | None = None,
+    log=None,
+):
+    """Wire up store + cache + job queue and serve until interrupted.
+
+    Prunes the on-disk result cache on startup (LRU, per the given
+    limits — with no limits only stale tmp files are cleared), so a
+    long-running server keeps ``.report-cache`` bounded.
+    """
+    def note(msg: str) -> None:
+        if log is not None:
+            log(msg)
+
+    store = RunStore(store_path)
+    cache = ResultCache(cache_dir) if cache_dir is not None else ResultCache()
+    if cache.directory is not None:
+        pruned = cache.prune(max_bytes=cache_max_bytes, max_age=cache_max_age)
+        note(
+            f"cache GC: removed {pruned['removed']} blobs "
+            f"({pruned['bytes_freed']} bytes), kept {pruned['kept']}"
+        )
+    jobs = JobQueue(
+        cache, store=store, sim_workers=sim_workers, capacity=queue_capacity
+    )
+    jobs.start()
+    app = ServingApp(store, cache=cache, jobs=jobs)
+    server = make_server(app, host, port)
+    note(f"serving on http://{host}:{server.server_address[1]}/")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        note("shutting down")
+    finally:
+        server.server_close()
+        jobs.stop()
+        store.close()
+    return 0

@@ -1,0 +1,314 @@
+"""Bounded job queue: HTTP-submitted simulations through the batch engine.
+
+The API accepts a *job spec* — plain JSON naming a factory, a workload
+target and parameter overrides — which :func:`build_job` turns into a
+:class:`~repro.evaluation.batch.SimJob`.  Submissions whose content key
+is already answerable from the result cache complete immediately without
+simulating; everything else goes through a bounded queue drained by one
+background thread that executes via :func:`run_many` (so submitted jobs
+share the dedup/cache/shipping machinery with the report pipeline).
+A full queue rejects the submission — backpressure surfaces as HTTP 503
+rather than unbounded memory growth.
+
+Job specs (all fields except ``target`` optional)::
+
+    {
+      "factory": "steering",          # any FACTORY_NAMES entry
+      "target": "checksum",           # kernel name, "mix:int:40:7", "phased:3"
+      "params": {"reconfig_latency": 8, "window_size": 7},
+      "max_cycles": 400000,
+      "kwargs": {"use_exact_metric": true},
+      "label": "my sweep point"
+    }
+
+Targets resolve only to built-in kernels and seeded synthetic programs —
+never to filesystem paths (the server must not read arbitrary files).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass, field, fields
+from typing import Any
+
+from repro.core.params import ProcessorParams
+from repro.errors import ConfigurationError, WorkloadError
+from repro.evaluation.batch import ResultCache, SimJob, job_key, run_many
+from repro.isa.program import Program
+
+__all__ = [
+    "JobQueue",
+    "JobQueueFull",
+    "JobRecord",
+    "build_job",
+    "resolve_program",
+]
+
+#: upper bound on a submitted job's cycle budget (DoS guard).
+MAX_SUBMITTED_CYCLES = 2_000_000
+
+_PARAM_FIELDS = {f.name for f in fields(ProcessorParams)}
+
+
+class JobQueueFull(ConfigurationError):
+    """The bounded submission queue is at capacity (HTTP 503)."""
+
+
+def resolve_program(target: str) -> Program:
+    """Resolve a job-spec target to a program.
+
+    Supports kernel names (``checksum``), synthetic mixes
+    (``mix:<int|mem|fp|balanced>[:iterations[:seed]]``) and phased
+    workloads (``phased[:seed]``).  Unlike the CLI loader this never
+    touches the filesystem.
+    """
+    if target.startswith("mix:"):
+        from repro.workloads.synthetic import (
+            BALANCED_MIX, FP_MIX, INT_MIX, MEM_MIX, synthetic_program,
+        )
+
+        parts = target.split(":")
+        mixes = {"int": INT_MIX, "mem": MEM_MIX, "fp": FP_MIX,
+                 "balanced": BALANCED_MIX}
+        mix = mixes.get(parts[1] if len(parts) > 1 else "")
+        if mix is None:
+            raise WorkloadError(
+                f"unknown mix in {target!r}; choose from {sorted(mixes)}"
+            )
+        try:
+            iterations = int(parts[2]) if len(parts) > 2 else 50
+            seed = int(parts[3]) if len(parts) > 3 else 0
+        except ValueError as exc:
+            raise WorkloadError(f"bad mix spec {target!r}: {exc}") from exc
+        return synthetic_program(mix, iterations=iterations, seed=seed)
+    if target.startswith("phased"):
+        from repro.workloads.phases import phased_program
+        from repro.workloads.synthetic import FP_MIX, INT_MIX, MEM_MIX
+
+        parts = target.split(":")
+        try:
+            seed = int(parts[1]) if len(parts) > 1 else 0
+        except ValueError as exc:
+            raise WorkloadError(f"bad phased spec {target!r}: {exc}") from exc
+        return phased_program(
+            [(INT_MIX, 50), (MEM_MIX, 50), (FP_MIX, 50)], seed=seed
+        )
+    from repro.workloads.kernels import kernel_by_name
+
+    return kernel_by_name(target).program
+
+
+def build_job(spec: Any) -> SimJob:
+    """Validate a JSON job spec and build the SimJob it describes.
+
+    Raises :class:`ConfigurationError` / :class:`WorkloadError` on any
+    malformed field (the API layer maps those to HTTP 400).
+    """
+    if not isinstance(spec, dict):
+        raise ConfigurationError("job spec must be a JSON object")
+    target = spec.get("target")
+    if not isinstance(target, str) or not target:
+        raise ConfigurationError("job spec needs a 'target' workload name")
+    factory = spec.get("factory", "steering")
+    if not isinstance(factory, str):
+        raise ConfigurationError("'factory' must be a string")
+
+    params_spec = spec.get("params") or {}
+    if not isinstance(params_spec, dict):
+        raise ConfigurationError("'params' must be an object")
+    unknown = set(params_spec) - _PARAM_FIELDS
+    if unknown:
+        raise ConfigurationError(
+            f"unknown processor parameters: {', '.join(sorted(unknown))}"
+        )
+    params = ProcessorParams(**params_spec)
+
+    try:
+        max_cycles = int(spec.get("max_cycles", 400_000))
+    except (TypeError, ValueError) as exc:
+        raise ConfigurationError(f"bad 'max_cycles': {exc}") from exc
+    if not 1 <= max_cycles <= MAX_SUBMITTED_CYCLES:
+        raise ConfigurationError(
+            f"'max_cycles' must be in [1, {MAX_SUBMITTED_CYCLES}]"
+        )
+
+    kwargs = spec.get("kwargs") or {}
+    if not isinstance(kwargs, dict) or not all(
+        isinstance(k, str) and isinstance(v, (bool, int, float, str))
+        for k, v in kwargs.items()
+    ):
+        raise ConfigurationError(
+            "'kwargs' must map strings to JSON primitives"
+        )
+
+    label = spec.get("label", "")
+    if not isinstance(label, str):
+        raise ConfigurationError("'label' must be a string")
+
+    return SimJob(
+        factory,
+        resolve_program(target),
+        params,
+        max_cycles=max_cycles,
+        kwargs=dict(kwargs),
+        label=(label or target)[:200],
+    )
+
+
+@dataclass
+class JobRecord:
+    """Lifecycle of one submitted job (what the API reports back)."""
+
+    job_id: str
+    key: str
+    spec: dict
+    state: str = "queued"  # queued | running | done | failed
+    cached: bool = False
+    submitted: float = field(default_factory=time.time)
+    finished: float | None = None
+    error: str | None = None
+    #: run-store id once the result is registered.
+    run_id: str | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "job_id": self.job_id,
+            "key": self.key,
+            "state": self.state,
+            "cached": self.cached,
+            "submitted": self.submitted,
+            "finished": self.finished,
+            "error": self.error,
+            "run_id": self.run_id,
+            "spec": self.spec,
+        }
+
+
+class JobQueue:
+    """Bounded background executor for submitted jobs.
+
+    One daemon thread drains the queue serially; ``capacity`` bounds the
+    queued-but-not-started backlog, and :meth:`submit` raises
+    :class:`JobQueueFull` instead of blocking when it is reached.
+    ``sim_workers`` is forwarded to :func:`run_many` (0 = simulate in the
+    drain thread; >1 = process pool per job, for heavyweight sweeps).
+    """
+
+    def __init__(
+        self,
+        cache: ResultCache | None = None,
+        store: Any | None = None,
+        sim_workers: int = 0,
+        capacity: int = 8,
+    ) -> None:
+        self.cache = cache if cache is not None else ResultCache()
+        self.store = store
+        self.sim_workers = sim_workers
+        self.capacity = capacity
+        self._pending: queue.Queue[str | None] = queue.Queue(maxsize=capacity)
+        self._records: dict[str, JobRecord] = {}
+        self._jobs: dict[str, SimJob] = {}
+        self._lock = threading.Lock()
+        self._thread: threading.Thread | None = None
+        #: simulations actually dispatched (cache answers excluded).
+        self.executed = 0
+
+    # ----------------------------------------------------------- lifecycle
+    def start(self) -> None:
+        if self._thread is None or not self._thread.is_alive():
+            self._thread = threading.Thread(
+                target=self._drain, daemon=True, name="repro-job-queue"
+            )
+            self._thread.start()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        if self._thread is not None and self._thread.is_alive():
+            self._pending.put(None)
+            self._thread.join(timeout)
+
+    # ---------------------------------------------------------- submission
+    def submit(self, spec: dict) -> JobRecord:
+        """Validate, answer from cache, or enqueue; never blocks."""
+        job = build_job(spec)
+        key = job_key(job)
+        with self._lock:
+            job_id = f"job-{len(self._records) + 1:04d}"
+            record = JobRecord(job_id=job_id, key=key, spec=spec)
+            self._records[job_id] = record
+
+        cached = self.cache.get(key)
+        if cached is not None:
+            record.state = "done"
+            record.cached = True
+            record.finished = time.time()
+            if self.store is not None:
+                record.run_id = self.store.record_result(
+                    key, cached, job=job, experiment=f"job/{job.factory}"
+                )
+            return record
+
+        with self._lock:
+            self._jobs[job_id] = job
+        try:
+            self._pending.put_nowait(job_id)
+        except queue.Full:
+            with self._lock:
+                self._records.pop(job_id, None)
+                self._jobs.pop(job_id, None)
+            raise JobQueueFull(
+                f"job queue full ({self.capacity} pending); retry later"
+            ) from None
+        self.start()
+        return record
+
+    def _drain(self) -> None:
+        while True:
+            job_id = self._pending.get()
+            if job_id is None:
+                return
+            with self._lock:
+                record = self._records[job_id]
+                job = self._jobs.pop(job_id)
+            record.state = "running"
+            try:
+                result = run_many(
+                    [job], workers=self.sim_workers, cache=self.cache
+                )[0]
+                self.executed += 1
+                if self.store is not None:
+                    record.run_id = self.store.record_result(
+                        record.key, result, job=job,
+                        experiment=f"job/{job.factory}",
+                    )
+                record.state = "done"
+            except Exception as exc:  # surface, don't kill the drain thread
+                record.error = f"{type(exc).__name__}: {exc}"
+                record.state = "failed"
+            record.finished = time.time()
+
+    # ------------------------------------------------------------- queries
+    def get(self, job_id: str) -> JobRecord | None:
+        with self._lock:
+            return self._records.get(job_id)
+
+    def list(self) -> list[JobRecord]:
+        with self._lock:
+            return sorted(self._records.values(), key=lambda r: r.job_id)
+
+    def depth(self) -> int:
+        """Jobs queued but not yet started."""
+        return self._pending.qsize()
+
+    def wait(self, job_id: str, timeout: float = 30.0) -> JobRecord:
+        """Block until a job settles (tests and smoke scripts)."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            record = self.get(job_id)
+            if record is None:
+                raise KeyError(job_id)
+            if record.state in ("done", "failed"):
+                return record
+            time.sleep(0.01)
+        raise TimeoutError(f"job {job_id} still {self.get(job_id).state}")

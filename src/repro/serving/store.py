@@ -1,0 +1,285 @@
+"""Persistent run store: a SQLite index over experiment results.
+
+The serving subsystem splits result storage in two.  Heavyweight
+artifacts (pickled :class:`~repro.core.stats.SimulationResult` payloads)
+stay in the content-addressed ``.report-cache`` blobs managed by
+:class:`~repro.evaluation.batch.ResultCache`; this module keeps the
+*index* — one row per run with its experiment name, content hash, git
+revision, timestamp and a flat JSON metrics document — in a single
+SQLite file the HTTP API can query cheaply and CI can upload whole as an
+artifact.
+
+Runs are identified by a deterministic 16-hex id derived from
+``(experiment, config_hash, git_rev)``: re-registering the same question
+at the same revision upserts the row instead of growing the table, while
+a new revision (or a changed question) starts a new trend point.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sqlite3
+import subprocess
+import threading
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "RunStore",
+    "SCHEMA_VERSION",
+    "metrics_of",
+    "current_git_rev",
+]
+
+#: current on-disk schema version (``PRAGMA user_version``).
+SCHEMA_VERSION = 2
+
+#: full version-2 schema, applied to fresh databases.
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS runs (
+    run_id      TEXT PRIMARY KEY,
+    experiment  TEXT NOT NULL,
+    config_hash TEXT NOT NULL,
+    created     REAL NOT NULL,
+    metrics     TEXT NOT NULL,
+    label       TEXT NOT NULL DEFAULT '',
+    git_rev     TEXT NOT NULL DEFAULT ''
+);
+CREATE INDEX IF NOT EXISTS runs_experiment ON runs (experiment, created);
+"""
+
+_git_rev_cache: str | None = None
+
+
+def current_git_rev() -> str:
+    """Short git revision of the working tree ('' outside a checkout)."""
+    global _git_rev_cache
+    if _git_rev_cache is None:
+        try:
+            _git_rev_cache = subprocess.run(
+                ["git", "rev-parse", "--short", "HEAD"],
+                capture_output=True,
+                text=True,
+                timeout=5,
+                check=True,
+            ).stdout.strip()
+        except (OSError, subprocess.SubprocessError):
+            _git_rev_cache = ""
+    return _git_rev_cache
+
+
+def metrics_of(result: Any) -> dict[str, float]:
+    """Flatten any batch-engine result into numeric scalar metrics.
+
+    Handles :class:`SimulationResult` (via ``to_dict``), the
+    ``steering-traced`` factory's dict payload, and plain dicts; anything
+    else (e.g. a functional reference trace) yields no metrics — the run
+    row still records that the simulation happened.
+    """
+    if isinstance(result, dict) and "result" in result:
+        metrics = metrics_of(result["result"])
+        if "kept_fraction" in result:
+            metrics["kept_fraction"] = float(result["kept_fraction"])
+        if "load_cycles" in result:
+            metrics["load_count"] = len(result["load_cycles"])
+        return metrics
+    to_dict = getattr(result, "to_dict", None)
+    raw = to_dict() if callable(to_dict) else result
+    if not isinstance(raw, dict):
+        return {}
+    out: dict[str, float] = {}
+    for name, value in raw.items():
+        if isinstance(value, bool):
+            out[name] = int(value)
+        elif isinstance(value, (int, float)):
+            out[name] = value
+    return out
+
+
+class RunStore:
+    """SQLite-backed index of experiment runs.
+
+    Thread-safe (one connection guarded by a lock — the serving API is a
+    threaded server).  ``path`` may be ``":memory:"`` for tests.
+    """
+
+    def __init__(self, path: str | Path = ":memory:") -> None:
+        self.path = str(path)
+        self._conn = sqlite3.connect(self.path, check_same_thread=False)
+        self._conn.row_factory = sqlite3.Row
+        self._lock = threading.Lock()
+        with self._lock:
+            self._migrate()
+
+    # ------------------------------------------------------------- schema
+    def _migrate(self) -> None:
+        version = self._conn.execute("PRAGMA user_version").fetchone()[0]
+        if version > SCHEMA_VERSION:
+            raise ConfigurationError(
+                f"run store {self.path} has schema version {version}; "
+                f"this build understands up to {SCHEMA_VERSION}"
+            )
+        if version == 0:
+            self._conn.executescript(_SCHEMA)
+        elif version == 1:
+            # v1 predates the label / git_rev columns and the experiment
+            # index; rows keep their data, new columns default to ''.
+            self._conn.execute(
+                "ALTER TABLE runs ADD COLUMN label TEXT NOT NULL DEFAULT ''"
+            )
+            self._conn.execute(
+                "ALTER TABLE runs ADD COLUMN git_rev TEXT NOT NULL DEFAULT ''"
+            )
+            self._conn.execute(
+                "CREATE INDEX IF NOT EXISTS runs_experiment "
+                "ON runs (experiment, created)"
+            )
+        self._conn.execute(f"PRAGMA user_version = {SCHEMA_VERSION}")
+        self._conn.commit()
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+    def __enter__(self) -> RunStore:
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------ writing
+    def record_run(
+        self,
+        experiment: str,
+        config_hash: str,
+        metrics: dict[str, float],
+        label: str = "",
+        git_rev: str | None = None,
+        run_id: str | None = None,
+        created: float | None = None,
+    ) -> str:
+        """Insert or upsert one run; returns its id."""
+        git_rev = current_git_rev() if git_rev is None else git_rev
+        created = time.time() if created is None else created
+        if run_id is None:
+            run_id = hashlib.sha256(
+                f"{experiment}|{config_hash}|{git_rev}".encode()
+            ).hexdigest()[:16]
+        with self._lock:
+            self._conn.execute(
+                "INSERT INTO runs "
+                "(run_id, experiment, config_hash, created, metrics, label, git_rev) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?) "
+                "ON CONFLICT(run_id) DO UPDATE SET "
+                "created = excluded.created, metrics = excluded.metrics, "
+                "label = excluded.label",
+                (
+                    run_id,
+                    experiment,
+                    config_hash,
+                    created,
+                    json.dumps(metrics, sort_keys=True),
+                    label,
+                    git_rev,
+                ),
+            )
+            self._conn.commit()
+        return run_id
+
+    def record_result(
+        self,
+        key: str,
+        result: Any,
+        job: Any | None = None,
+        experiment: str | None = None,
+    ) -> str:
+        """Register one batch-engine result (the ``ResultCache.put`` hook).
+
+        ``key`` is the job's content key (:func:`~repro.evaluation.batch.job_key`);
+        the experiment name defaults to ``sim/<factory>`` so individual
+        simulations are distinguishable from experiment-level summaries.
+        """
+        if experiment is None:
+            factory = getattr(job, "factory", None)
+            experiment = f"sim/{factory}" if factory else "sim"
+        label = getattr(job, "label", "") or ""
+        return self.record_run(
+            experiment, key, metrics_of(result), label=label
+        )
+
+    # ------------------------------------------------------------ reading
+    @staticmethod
+    def _row_to_dict(row: sqlite3.Row) -> dict[str, Any]:
+        out = dict(row)
+        out["metrics"] = json.loads(out["metrics"])
+        return out
+
+    def get_run(self, run_id: str) -> dict[str, Any] | None:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT * FROM runs WHERE run_id = ?", (run_id,)
+            ).fetchone()
+        return self._row_to_dict(row) if row is not None else None
+
+    def list_runs(
+        self,
+        experiment: str | None = None,
+        limit: int = 100,
+        offset: int = 0,
+    ) -> list[dict[str, Any]]:
+        """Most recent runs first, optionally restricted to one experiment."""
+        sql = "SELECT * FROM runs"
+        args: list[Any] = []
+        if experiment is not None:
+            sql += " WHERE experiment = ?"
+            args.append(experiment)
+        sql += " ORDER BY created DESC, run_id LIMIT ? OFFSET ?"
+        args += [max(0, int(limit)), max(0, int(offset))]
+        with self._lock:
+            rows = self._conn.execute(sql, args).fetchall()
+        return [self._row_to_dict(r) for r in rows]
+
+    def experiments(self) -> list[dict[str, Any]]:
+        """Distinct experiment names with run counts and recency."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT experiment, COUNT(*) AS runs, MAX(created) AS last_created "
+                "FROM runs GROUP BY experiment ORDER BY experiment"
+            ).fetchall()
+        return [dict(r) for r in rows]
+
+    def count(self) -> int:
+        with self._lock:
+            return self._conn.execute("SELECT COUNT(*) FROM runs").fetchone()[0]
+
+    # ------------------------------------------------------------- diffing
+    def diff(self, run_a: str, run_b: str) -> dict[str, Any]:
+        """Metric-by-metric comparison of two runs.
+
+        Raises :class:`KeyError` naming the missing id when either run is
+        absent (the API layer maps that to a 404).
+        """
+        a, b = self.get_run(run_a), self.get_run(run_b)
+        if a is None:
+            raise KeyError(run_a)
+        if b is None:
+            raise KeyError(run_b)
+        metrics: dict[str, dict[str, Any]] = {}
+        for name in sorted(set(a["metrics"]) | set(b["metrics"])):
+            va, vb = a["metrics"].get(name), b["metrics"].get(name)
+            entry: dict[str, Any] = {"a": va, "b": vb}
+            if isinstance(va, (int, float)) and isinstance(vb, (int, float)):
+                entry["delta"] = vb - va
+                if va:
+                    entry["ratio"] = vb / va
+            metrics[name] = entry
+        strip = ("metrics",)
+        return {
+            "a": {k: v for k, v in a.items() if k not in strip},
+            "b": {k: v for k, v in b.items() if k not in strip},
+            "metrics": metrics,
+        }

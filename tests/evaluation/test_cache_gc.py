@@ -1,0 +1,123 @@
+"""Tests for result-cache GC (LRU prune) and atomic blob writes."""
+
+import os
+import time
+
+import pytest
+
+from repro.evaluation.batch import ResultCache, _atomic_write_bytes
+
+
+def _fill(cache, n, size=100, t0=1000.0):
+    """Seed ``n`` blobs with strictly increasing touch times."""
+    for i in range(n):
+        cache.put(f"{i:064x}", b"x" * size)
+        cache._touch[f"{i:064x}"] = t0 + i
+    cache._save_index()
+
+
+# ------------------------------------------------------------------ pruning
+def test_prune_respects_max_bytes_evicting_lru_first(tmp_path):
+    cache = ResultCache(tmp_path)
+    _fill(cache, 5)
+    blob = os.path.getsize(tmp_path / ("0" * 63 + "0.pkl"))
+    stats = cache.prune(max_bytes=2 * blob, now=2000.0)
+    assert stats["removed"] == 3
+    assert stats["kept"] == 2
+    assert stats["bytes_kept"] <= 2 * blob
+    # the two most recently touched keys survive
+    assert cache.has(f"{3:064x}")
+    assert cache.has(f"{4:064x}")
+    assert not cache.has(f"{0:064x}")
+
+
+def test_prune_respects_max_age(tmp_path):
+    cache = ResultCache(tmp_path)
+    _fill(cache, 4, t0=1000.0)  # touches 1000..1003
+    stats = cache.prune(max_age=50.0, now=1052.0)
+    assert stats["removed"] == 2  # 1000 and 1001 are > 50s old
+    assert cache.has(f"{2:064x}") and cache.has(f"{3:064x}")
+
+
+def test_prune_survives_restart_through_index_file(tmp_path):
+    first = ResultCache(tmp_path)
+    _fill(first, 3)
+    # a new cache object reloads the touch-time index from disk
+    second = ResultCache(tmp_path)
+    stats = second.prune(max_age=1.5, now=1002.0)
+    assert stats["removed"] == 1  # only the oldest touch (1000.0) is too old
+    assert not second.has(f"{0:064x}")
+
+
+def test_get_refreshes_lru_position(tmp_path):
+    cache = ResultCache(tmp_path)
+    _fill(cache, 3)
+    cache._touch[f"{0:064x}"] = 5000.0  # as if key 0 was just read
+    blob = os.path.getsize(tmp_path / ("0" * 63 + "0.pkl"))
+    cache.prune(max_bytes=blob, now=5001.0)
+    assert cache.has(f"{0:064x}")
+    assert not cache.has(f"{1:064x}")
+
+
+def test_prune_removes_stale_tmp_files(tmp_path):
+    cache = ResultCache(tmp_path)
+    stale = tmp_path / "dead.pkl.123.456.tmp"
+    stale.write_bytes(b"partial")
+    old = time.time() - 7200
+    os.utime(stale, (old, old))
+    fresh = tmp_path / "live.pkl.789.012.tmp"
+    fresh.write_bytes(b"in flight")
+    cache.prune()
+    assert not stale.exists()
+    assert fresh.exists()  # a concurrent writer's file is left alone
+
+
+def test_prune_memory_only_cache_is_noop():
+    cache = ResultCache()
+    cache.put("a" * 64, {"x": 1})
+    stats = cache.prune(max_bytes=0)
+    assert stats == {"removed": 0, "kept": 1, "bytes_freed": 0, "bytes_kept": 0}
+    assert cache.get("a" * 64) == {"x": 1}
+
+
+def test_stats_counters(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put("b" * 64, b"payload")
+    cache.get("b" * 64)
+    cache.get("c" * 64)
+    stats = cache.stats()
+    assert stats["memory_entries"] == 1
+    assert stats["disk_blobs"] == 1
+    assert stats["disk_bytes"] > 0
+    assert stats["hits"] == 1 and stats["misses"] == 1
+
+
+# ------------------------------------------------------------- atomic writes
+def test_atomic_write_leaves_no_tmp_on_success(tmp_path):
+    target = tmp_path / "blob.pkl"
+    _atomic_write_bytes(target, b"hello")
+    assert target.read_bytes() == b"hello"
+    assert list(tmp_path.glob("*.tmp")) == []
+
+
+def test_atomic_write_cleans_up_on_failure(tmp_path, monkeypatch):
+    target = tmp_path / "blob.pkl"
+    target.write_bytes(b"original")
+
+    def failing_replace(src, dst):
+        raise OSError("disk detached")
+
+    monkeypatch.setattr(os, "replace", failing_replace)
+    with pytest.raises(OSError):
+        _atomic_write_bytes(target, b"new payload")
+    # the original is untouched and no tmp litter remains
+    assert target.read_bytes() == b"original"
+    assert list(tmp_path.glob("*.tmp")) == []
+
+
+def test_put_is_atomic_on_disk(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put("d" * 64, {"ipc": 1.0})
+    # only the blob and the touch index exist — no tmp files
+    names = sorted(p.name for p in tmp_path.iterdir())
+    assert names == [ResultCache.INDEX_NAME, "d" * 64 + ".pkl"]

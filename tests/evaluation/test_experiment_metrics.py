@@ -1,0 +1,30 @@
+"""Tests for the experiment summary-metric extractors (run-store feed)."""
+
+from repro.evaluation.experiments import (
+    cem_metrics,
+    latency_sweep_metrics,
+    queue_depth_metrics,
+)
+
+
+def test_latency_sweep_metrics():
+    rows = [(1, 2.0, 1.5, 3), (16, 1.8, 1.5, 2)]
+    metrics = latency_sweep_metrics(rows)
+    assert metrics["steering_ipc_lat1"] == 2.0
+    assert metrics["steering_ipc_lat16"] == 1.8
+    assert metrics["reconfigs_lat16"] == 2
+    assert metrics["ffu_ipc"] == 1.5
+
+
+def test_queue_depth_metrics():
+    assert queue_depth_metrics([(3, 1.1), (7, 1.4)]) == {
+        "ipc_depth3": 1.1, "ipc_depth7": 1.4,
+    }
+
+
+def test_cem_metrics():
+    rows = [("checksum", 1.0, 1.2), ("saxpy", 2.0, 1.9)]
+    metrics = cem_metrics(rows)
+    assert metrics["mean_approx_ipc"] == 1.5
+    assert abs(metrics["mean_exact_ipc"] - 1.55) < 1e-12
+    assert abs(metrics["max_abs_ipc_gap"] - 0.2) < 1e-12

@@ -1,0 +1,77 @@
+"""Tests for the shared-memory program registry (spawn-start shipping)."""
+
+import pickle
+
+import pytest
+
+from repro.core.params import ProcessorParams
+from repro.evaluation import batch
+from repro.evaluation.batch import (
+    SimJob,
+    _init_worker_shm,
+    _shm_pack,
+    program_key,
+    run_many,
+)
+from repro.workloads.kernels import checksum
+
+_PARAMS = ProcessorParams(reconfig_latency=8)
+
+
+def test_shm_pack_and_attach_round_trip():
+    program = checksum(iterations=10).program
+    registry = {program_key(program): program}
+    packed = _shm_pack(registry)
+    if packed is None:
+        pytest.skip("platform without multiprocessing.shared_memory")
+    block, size = packed
+    try:
+        assert size == len(pickle.dumps(registry))
+        saved = dict(batch._WORKER_PROGRAMS)
+        batch._WORKER_PROGRAMS.clear()
+        try:
+            # what every spawned worker does on startup
+            _init_worker_shm(block.name, size)
+            restored = batch._WORKER_PROGRAMS[program_key(program)]
+            assert restored.to_binary() == program.to_binary()
+        finally:
+            batch._WORKER_PROGRAMS.clear()
+            batch._WORKER_PROGRAMS.update(saved)
+    finally:
+        block.close()
+        try:
+            block.unlink()
+        except FileNotFoundError:
+            pass
+
+
+def test_shm_block_outlives_worker_attach():
+    """Attaching + closing in a 'worker' must not unlink the parent's block."""
+    from multiprocessing import shared_memory
+
+    registry = {"k": checksum(iterations=5).program}
+    block, size = _shm_pack(registry)
+    try:
+        saved = dict(batch._WORKER_PROGRAMS)
+        _init_worker_shm(block.name, size)
+        batch._WORKER_PROGRAMS.clear()
+        batch._WORKER_PROGRAMS.update(saved)
+        # the parent can still attach: the segment was not unlinked
+        again = shared_memory.SharedMemory(name=block.name)
+        batch._shm_unregister(again)
+        again.close()
+    finally:
+        block.close()
+        block.unlink()
+
+
+def test_run_many_spawn_matches_sequential():
+    """The spawn path (shared-memory registry) gives identical results."""
+    program = checksum(iterations=15).program
+    jobs = [
+        SimJob("steering", program, _PARAMS, max_cycles=50_000),
+        SimJob("ffu-only", program, _PARAMS, max_cycles=50_000),
+    ]
+    sequential = run_many(jobs)
+    spawned = run_many(jobs, workers=2, mp_context="spawn")
+    assert [r.to_dict() for r in spawned] == [r.to_dict() for r in sequential]

@@ -1,0 +1,58 @@
+"""Smoke test: the threaded HTTP server under concurrent clients."""
+
+import json
+import threading
+import urllib.request
+
+from repro.serving.app import ServingApp, make_server
+from repro.serving.store import RunStore
+
+CLIENTS = 32
+REQUESTS_PER_CLIENT = 4
+
+
+def test_threaded_server_under_concurrent_clients():
+    store = RunStore()
+    run_ids = [
+        store.record_run(f"E-{i % 4}", format(i, "064x"), {"ipc": 1.0 + i})
+        for i in range(8)
+    ]
+    app = ServingApp(store)
+    server = make_server(app, port=0)
+    port = server.server_address[1]
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+
+    paths = [
+        "/api/health",
+        "/api/runs",
+        "/api/experiments",
+        f"/api/runs/{run_ids[0]}",
+        f"/api/diff?a={run_ids[0]}&b={run_ids[1]}",
+    ]
+    errors = []
+
+    def client(worker: int) -> None:
+        try:
+            for i in range(REQUESTS_PER_CLIENT):
+                path = paths[(worker + i) % len(paths)]
+                with urllib.request.urlopen(
+                    f"http://127.0.0.1:{port}{path}", timeout=10
+                ) as response:
+                    assert response.status == 200
+                    payload = json.loads(response.read())
+                    assert payload  # well-formed, non-empty JSON
+        except Exception as exc:  # collected, not raised across threads
+            errors.append(f"client {worker}: {exc!r}")
+
+    threads = [
+        threading.Thread(target=client, args=(w,)) for w in range(CLIENTS)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=30)
+    server.shutdown()
+    server.server_close()
+    store.close()
+    assert not errors, errors

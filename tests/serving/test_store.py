@@ -1,0 +1,170 @@
+"""Tests for the persistent run store (SQLite index)."""
+
+import sqlite3
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serving.store import SCHEMA_VERSION, RunStore, metrics_of
+
+
+# ---------------------------------------------------------------- round-trip
+def test_record_and_get_run():
+    with RunStore() as store:
+        run_id = store.record_run(
+            "E-IPC", "a" * 64, {"mean_ipc": 1.5, "wins": 3},
+            label="fast", git_rev="abc1234",
+        )
+        run = store.get_run(run_id)
+    assert run["experiment"] == "E-IPC"
+    assert run["config_hash"] == "a" * 64
+    assert run["metrics"] == {"mean_ipc": 1.5, "wins": 3}
+    assert run["label"] == "fast"
+    assert run["git_rev"] == "abc1234"
+
+
+def test_run_id_is_deterministic_and_upserts():
+    with RunStore() as store:
+        first = store.record_run("E", "c" * 64, {"x": 1}, git_rev="r1")
+        again = store.record_run("E", "c" * 64, {"x": 2}, git_rev="r1")
+        other = store.record_run("E", "c" * 64, {"x": 1}, git_rev="r2")
+        assert first == again
+        assert other != first
+        assert store.count() == 2
+        assert store.get_run(first)["metrics"] == {"x": 2}
+
+
+def test_list_runs_most_recent_first_and_filters():
+    with RunStore() as store:
+        store.record_run("A", "1" * 64, {}, created=100.0)
+        store.record_run("B", "2" * 64, {}, created=200.0)
+        store.record_run("A", "3" * 64, {}, created=300.0)
+        runs = store.list_runs()
+        assert [r["created"] for r in runs] == [300.0, 200.0, 100.0]
+        only_a = store.list_runs(experiment="A")
+        assert {r["experiment"] for r in only_a} == {"A"}
+        assert len(store.list_runs(limit=1)) == 1
+        assert store.list_runs(limit=1, offset=1)[0]["created"] == 200.0
+
+
+def test_experiments_summary():
+    with RunStore() as store:
+        store.record_run("A", "1" * 64, {}, created=10.0)
+        store.record_run("A", "2" * 64, {}, created=20.0)
+        store.record_run("B", "3" * 64, {}, created=30.0)
+        summary = {e["experiment"]: e for e in store.experiments()}
+    assert summary["A"]["runs"] == 2
+    assert summary["A"]["last_created"] == 20.0
+    assert summary["B"]["runs"] == 1
+
+
+def test_persists_to_disk(tmp_path):
+    db = tmp_path / "runs.sqlite"
+    with RunStore(db) as store:
+        run_id = store.record_run("E", "d" * 64, {"ipc": 2.0})
+    with RunStore(db) as store:
+        assert store.get_run(run_id)["metrics"] == {"ipc": 2.0}
+
+
+# ------------------------------------------------------------------ diffing
+def test_diff_metrics():
+    with RunStore() as store:
+        a = store.record_run("E", "a" * 64, {"ipc": 2.0, "only_a": 1.0})
+        b = store.record_run("E", "b" * 64, {"ipc": 3.0, "only_b": 4.0})
+        diff = store.diff(a, b)
+    assert diff["a"]["run_id"] == a
+    assert diff["metrics"]["ipc"] == {
+        "a": 2.0, "b": 3.0, "delta": 1.0, "ratio": 1.5,
+    }
+    assert diff["metrics"]["only_a"] == {"a": 1.0, "b": None}
+    assert diff["metrics"]["only_b"] == {"a": None, "b": 4.0}
+
+
+def test_diff_missing_run_raises_keyerror():
+    with RunStore() as store:
+        a = store.record_run("E", "a" * 64, {})
+        with pytest.raises(KeyError, match="ffff"):
+            store.diff(a, "f" * 16)
+
+
+# ---------------------------------------------------------------- migration
+def _make_v1_db(path):
+    """A database as the (hypothetical) v1 code would have left it."""
+    conn = sqlite3.connect(path)
+    conn.executescript(
+        """
+        CREATE TABLE runs (
+            run_id      TEXT PRIMARY KEY,
+            experiment  TEXT NOT NULL,
+            config_hash TEXT NOT NULL,
+            created     REAL NOT NULL,
+            metrics     TEXT NOT NULL
+        );
+        """
+    )
+    conn.execute(
+        "INSERT INTO runs VALUES (?, ?, ?, ?, ?)",
+        ("0123456789abcdef", "E-OLD", "e" * 64, 123.0, '{"ipc": 1.25}'),
+    )
+    conn.execute("PRAGMA user_version = 1")
+    conn.commit()
+    conn.close()
+
+
+def test_migrates_v1_schema(tmp_path):
+    db = tmp_path / "v1.sqlite"
+    _make_v1_db(db)
+    with RunStore(db) as store:
+        run = store.get_run("0123456789abcdef")
+        assert run["metrics"] == {"ipc": 1.25}
+        assert run["label"] == ""
+        assert run["git_rev"] == ""
+        # new writes use the new columns
+        store.record_run("E-NEW", "f" * 64, {}, label="l", git_rev="r")
+    version = sqlite3.connect(db).execute("PRAGMA user_version").fetchone()[0]
+    assert version == SCHEMA_VERSION
+
+
+def test_rejects_future_schema(tmp_path):
+    db = tmp_path / "future.sqlite"
+    conn = sqlite3.connect(db)
+    conn.execute(f"PRAGMA user_version = {SCHEMA_VERSION + 1}")
+    conn.commit()
+    conn.close()
+    with pytest.raises(ConfigurationError, match="schema version"):
+        RunStore(db)
+
+
+# --------------------------------------------------------------- metrics_of
+def test_metrics_of_plain_dict_keeps_numbers_only():
+    assert metrics_of({"ipc": 1.5, "halted": True, "name": "x"}) == {
+        "ipc": 1.5, "halted": 1,
+    }
+
+
+def test_metrics_of_to_dict_object():
+    class FakeResult:
+        def to_dict(self):
+            return {"cycles": 100, "ipc": 2.0, "policy": "steering"}
+
+    assert metrics_of(FakeResult()) == {"cycles": 100, "ipc": 2.0}
+
+
+def test_metrics_of_traced_payload():
+    class FakeResult:
+        def to_dict(self):
+            return {"ipc": 2.0}
+
+    payload = {
+        "result": FakeResult(),
+        "kept_fraction": 0.75,
+        "load_cycles": [1, 2, 3],
+        "selections": ["cfg"],
+    }
+    assert metrics_of(payload) == {
+        "ipc": 2.0, "kept_fraction": 0.75, "load_count": 3,
+    }
+
+
+def test_metrics_of_opaque_result_is_empty():
+    assert metrics_of(["not", "a", "dict"]) == {}
