@@ -10,10 +10,16 @@ run's artifact: any policy whose cycles-per-second dropped by more than
 ``--max-regression`` (default 20%) fails the run with exit code 1.  A
 missing or unreadable baseline is tolerated (first run, cold cache).
 
+``--max-telemetry-overhead`` additionally A/Bs the cycle loop with an
+attached-but-disabled telemetry object against no telemetry at all and
+fails when the delta exceeds the given fraction; ``--trace-out`` writes
+a Chrome/Perfetto trace JSON from a short instrumented run.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/record_throughput.py [-o out.json] \
-        [--baseline previous.json] [--max-regression 0.20]
+        [--baseline previous.json] [--max-regression 0.20] \
+        [--max-telemetry-overhead 0.02] [--trace-out trace.json]
 """
 
 from __future__ import annotations
@@ -45,6 +51,61 @@ def _throughput(factory, program, repeats: int = 3) -> dict:
         cycles = result.cycles
         best = max(best, result.cycles / elapsed)
     return {"cycles": cycles, "cycles_per_second": round(best, 1)}
+
+
+def _telemetry_overhead(program, repeats: int = 3) -> dict:
+    """A/B the cycle loop with telemetry disabled vs absent.
+
+    An attached-but-disabled :class:`ProcessorTelemetry` must normalise to
+    ``None`` inside the processor, so the instrumented build pays exactly
+    one truthiness check per cycle — the measured delta is noise.  The
+    ``enabled`` number (full registry + series + spans) is recorded for
+    the docs but never gated.
+    """
+    from repro.telemetry import ProcessorTelemetry, SpanTracer
+
+    def timed(telemetry_factory):
+        best = 0.0
+        for _ in range(repeats):
+            proc = steering_processor(program, _PARAMS)
+            tel = telemetry_factory()
+            if tel is not None:
+                proc.attach_telemetry(tel)
+            start = time.perf_counter()
+            result = proc.run(max_cycles=100_000)
+            elapsed = time.perf_counter() - start
+            assert result.halted
+            best = max(best, result.cycles / elapsed)
+        return best
+
+    without = timed(lambda: None)
+    disabled = timed(ProcessorTelemetry.disabled)
+    enabled = timed(lambda: ProcessorTelemetry(tracer=SpanTracer()))
+    return {
+        "without_cps": round(without, 1),
+        "disabled_cps": round(disabled, 1),
+        "enabled_cps": round(enabled, 1),
+        "disabled_overhead": round(max(0.0, 1.0 - disabled / without), 4),
+        "enabled_overhead": round(max(0.0, 1.0 - enabled / without), 4),
+    }
+
+
+def _write_trace(program, path: str) -> dict:
+    """Short instrumented steering run -> Chrome/Perfetto trace JSON."""
+    from repro.telemetry import ProcessorTelemetry, SpanTracer
+
+    tracer = SpanTracer()
+    tel = ProcessorTelemetry(tracer=tracer, profile_stages=True)
+    proc = steering_processor(program, _PARAMS)
+    proc.attach_telemetry(tel)
+    result = proc.run(max_cycles=100_000)
+    tracer.write(path)
+    return {
+        "path": path,
+        "events": len(tracer),
+        "dropped": tracer.dropped,
+        "cycles": result.cycles,
+    }
 
 
 def _batch_smoke(program) -> dict:
@@ -114,6 +175,17 @@ def main(argv: list[str] | None = None) -> int:
         help="also register the throughput numbers as a run in this "
              "SQLite run store (see 'repro serve')",
     )
+    parser.add_argument(
+        "--max-telemetry-overhead", type=float, default=None,
+        help="fail when an attached-but-disabled telemetry object slows "
+             "the cycle loop by more than this fraction (the ISSUE gate "
+             "is 0.02); also records the enabled-telemetry overhead",
+    )
+    parser.add_argument(
+        "--trace-out", default=None,
+        help="write a Chrome/Perfetto trace JSON from a short "
+             "instrumented steering run to this path",
+    )
     args = parser.parse_args(argv)
 
     program = checksum(iterations=150).program
@@ -126,6 +198,10 @@ def main(argv: list[str] | None = None) -> int:
         "ffu_only": _throughput(fixed_superscalar, program),
         "batch_engine": _batch_smoke(program),
     }
+    if args.max_telemetry_overhead is not None:
+        record["telemetry"] = _telemetry_overhead(program)
+    if args.trace_out:
+        record["trace"] = _write_trace(program, args.trace_out)
     path = pathlib.Path(args.output)
     path.write_text(json.dumps(record, indent=2) + "\n")
     print(json.dumps(record, indent=2))
@@ -150,6 +226,20 @@ def main(argv: list[str] | None = None) -> int:
                 label=record["workload"],
             )
         print(f"registered run {run_id} in {args.store}")
+
+    if args.max_telemetry_overhead is not None:
+        overhead = record["telemetry"]["disabled_overhead"]
+        if overhead > args.max_telemetry_overhead:
+            print(
+                f"REGRESSION disabled-telemetry overhead {overhead:.1%} "
+                f"exceeds {args.max_telemetry_overhead:.0%}"
+            )
+            return 1
+        print(
+            f"disabled-telemetry overhead {overhead:.1%} within "
+            f"{args.max_telemetry_overhead:.0%} "
+            f"(enabled: {record['telemetry']['enabled_overhead']:.1%})"
+        )
 
     if args.baseline:
         baseline_path = pathlib.Path(args.baseline)

@@ -114,13 +114,42 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"unknown policy {args.policy!r}; choose from "
               f"{', '.join(sorted(catalogue))}", file=sys.stderr)
         return 2
-    result = catalogue[args.policy](program, params).run(max_cycles=args.max_cycles)
+    telemetry = None
+    if args.telemetry or args.telemetry_out:
+        from repro.telemetry import ProcessorTelemetry, SpanTracer
+
+        telemetry = ProcessorTelemetry(
+            tracer=SpanTracer(), profile_stages=args.profile_stages
+        )
+    proc = catalogue[args.policy](program, params)
+    if telemetry is not None:
+        proc.attach_telemetry(telemetry)
+    result = proc.run(max_cycles=args.max_cycles)
     if args.json:
         import json
 
-        print(json.dumps(result.to_dict(), indent=2))
+        record = result.to_dict()
+        if telemetry is not None:
+            record["telemetry"] = telemetry.snapshot()
+        print(json.dumps(record, indent=2))
     else:
         print(result.summary())
+        if telemetry is not None:
+            for line in telemetry.summary_lines():
+                print(f"  {line}")
+    if args.telemetry_out:
+        import json
+
+        prefix = pathlib.Path(args.telemetry_out)
+        trace_path = prefix.with_name(prefix.name + ".trace.json")
+        series_path = prefix.with_name(prefix.name + ".series.json")
+        telemetry.tracer.write(str(trace_path))
+        series_path.write_text(json.dumps(telemetry.snapshot(), indent=2))
+        print(
+            f"telemetry written to {trace_path} (load in ui.perfetto.dev) "
+            f"and {series_path}",
+            file=sys.stderr,
+        )
     return 0 if result.halted else 1
 
 
@@ -163,6 +192,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
             cache_dir=args.cache_dir,
             store=store,
             cache_max_bytes=args.cache_max_bytes,
+            telemetry=args.telemetry,
         )
     finally:
         if store is not None:
@@ -189,6 +219,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_max_age=args.cache_max_age_days * 86400
         if args.cache_max_age_days is not None
         else None,
+        verbose=args.verbose,
         log=lambda msg: print(f"[serve] {msg}", file=sys.stderr),
     )
 
@@ -231,6 +262,15 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="emit the result record as JSON")
     run.add_argument("--compare", action="store_true",
                      help="run every policy and print an IPC table")
+    run.add_argument("--telemetry", action="store_true",
+                     help="collect metrics/time-series/trace spans during "
+                          "the run and print a telemetry summary")
+    run.add_argument("--telemetry-out", default=None, metavar="PREFIX",
+                     help="write PREFIX.trace.json (Chrome/Perfetto trace) "
+                          "and PREFIX.series.json (implies --telemetry)")
+    run.add_argument("--profile-stages", action="store_true",
+                     help="wall-clock each pipeline stage (implies the "
+                          "slower instrumented cycle loop)")
     run.set_defaults(func=_cmd_run)
 
     disasm = sub.add_parser("disasm", help="print binary + disassembly")
@@ -258,6 +298,10 @@ def _build_parser() -> argparse.ArgumentParser:
     report.add_argument("--cache-max-bytes", type=int, default=None,
                         help="LRU-prune the on-disk result cache to this many "
                              "bytes after the report")
+    report.add_argument("--telemetry", action="store_true",
+                        help="add an E-TEL section: one instrumented steering "
+                             "run whose time-series persist into the cache/"
+                             "store (powers the dashboard telemetry panel)")
     report.set_defaults(func=_cmd_report)
 
     srv = sub.add_parser(
@@ -282,6 +326,9 @@ def _build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--cache-max-age-days", type=float, default=None,
                      help="drop cache blobs untouched for this many days on "
                           "startup")
+    srv.add_argument("--verbose", action="store_true",
+                     help="log one structured line per HTTP request "
+                          "(method, path, status, latency)")
     srv.set_defaults(func=_cmd_serve)
 
     trace = sub.add_parser("trace", help="print the fabric timeline")

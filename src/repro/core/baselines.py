@@ -30,10 +30,14 @@ __all__ = [
 
 
 def fixed_superscalar(
-    program: Program, params: ProcessorParams | None = None
+    program: Program,
+    params: ProcessorParams | None = None,
+    telemetry=None,
 ) -> Processor:
     """The legacy baseline: fixed functional units only, RFU slots unused."""
-    return Processor(program, params=params, policy=NoSteering())
+    return Processor(
+        program, params=params, policy=NoSteering(), telemetry=telemetry
+    )
 
 
 def steering_processor(
@@ -42,6 +46,7 @@ def steering_processor(
     use_exact_metric: bool = False,
     record_trace: bool = False,
     trace_limit: int | None = None,
+    telemetry=None,
 ) -> Processor:
     """The paper's processor: CEM-based configuration steering."""
     params = params if params is not None else ProcessorParams()
@@ -51,7 +56,7 @@ def steering_processor(
         record_trace=record_trace,
         trace_limit=trace_limit,
     )
-    return Processor(program, params=params, policy=policy)
+    return Processor(program, params=params, policy=policy, telemetry=telemetry)
 
 
 def static_processor(

@@ -46,6 +46,7 @@ class Processor:
         policy: SteeringPolicy | None = None,
         entry: str = "main",
         record_events: bool = False,
+        telemetry=None,
     ) -> None:
         self.params = params if params is not None else ProcessorParams()
         self.policy = policy if policy is not None else PaperSteering()
@@ -112,10 +113,36 @@ class Processor:
         self._frontend_empty_cycles = 0
         self._resource_blocked_cycles = 0
         self._contention_cycles = 0
+        #: per-cycle telemetry hook (``repro.telemetry.ProcessorTelemetry``).
+        #: Inactive telemetry is normalised to None so the disabled hot
+        #: loop pays exactly one truthiness check per cycle.
+        self._telemetry = None
+        if telemetry is not None:
+            self.attach_telemetry(telemetry)
+
+    def attach_telemetry(self, telemetry):
+        """Attach (or with ``None`` detach) a per-cycle telemetry probe.
+
+        A telemetry object whose ``active`` flag is false — null registry,
+        no series bank, no tracer, no stage profiling — is normalised to
+        ``None``: the simulation then runs the exact uninstrumented loop.
+        Returns the normalised value.
+        """
+        if telemetry is not None and not telemetry.active:
+            telemetry = None
+        self._telemetry = telemetry
+        return telemetry
+
+    @property
+    def telemetry(self):
+        return self._telemetry
 
     # --------------------------------------------------------------- cycle
     def step(self) -> None:
         """Simulate one clock cycle."""
+        tel = self._telemetry
+        if tel is not None and tel.profile_stages:
+            return self._step_profiled(tel)
         # 1. retire
         retired = self.ruu.retire()
         for entry in retired:
@@ -180,6 +207,94 @@ class Processor:
         self._accumulate_utilisation()
         self.fabric.tick()
         self.ruu.tick()
+        if tel is not None:
+            tel.on_cycle(self, len(issued_seqs), len(retired), flushed)
+        self.cycle_count += 1
+
+    def _step_profiled(self, tel) -> None:
+        """Stage-timed mirror of :meth:`step` (telemetry profiling mode).
+
+        Keep in lockstep with :meth:`step` — the equivalence test in
+        ``tests/telemetry/test_probes.py`` pins identical results.  The
+        per-stage ``perf_counter`` pairs are the only difference.
+        """
+        from time import perf_counter
+
+        t0 = perf_counter()
+        # 1. retire
+        retired = self.ruu.retire()
+        for entry in retired:
+            self._retired_per_type[entry.fu_type] += 1
+        t1 = perf_counter()
+        tel.stage_seconds("retire", t1 - t0)
+
+        # 2. issue / execute / branch repair
+        issued_seqs: tuple[int, ...] = ()
+        flushed = 0
+        if not self.ruu.halted:
+            if self.ruu.empty:
+                self._frontend_empty_cycles += 1
+            flushed_before = self.ruu.flushed
+            report = self.ruu.issue_and_execute(self.cycle_count)
+            issued_seqs = tuple(report.issued)
+            self._handle_resolutions(report.resolutions)
+            flushed = self.ruu.flushed - flushed_before
+            self._resource_blocked_cycles += report.resource_blocked
+            self._contention_cycles += max(
+                0, report.requests - len(report.granted) - report.memory_stalls
+            )
+        t2 = perf_counter()
+        tel.stage_seconds("wakeup_select_execute", t2 - t1)
+
+        # 3. dispatch
+        dispatched: list[int] = []
+        if not self.ruu.halted:
+            room = self.ruu.wakeup.free_count()
+            for fetched in self.decode.pop(limit=room):
+                dispatched.append(self.ruu.dispatch(fetched).seq)
+        t3 = perf_counter()
+        tel.stage_seconds("dispatch", t3 - t2)
+
+        # 4. fetch into decode
+        fetched_pcs: tuple[int, ...] = ()
+        if not self.ruu.halted and self.decode.can_accept(self.params.fetch_width):
+            packet = self.fetch.fetch_packet()
+            if packet:
+                self.decode.push(packet)
+                fetched_pcs = tuple(f.pc for f in packet)
+        t4 = perf_counter()
+        tel.stage_seconds("fetch", t4 - t3)
+
+        # 5. steering policy
+        self.policy.cycle(self.ruu.ready_unscheduled(), self.ruu.retired)
+        t5 = perf_counter()
+        tel.stage_seconds("steer", t5 - t4)
+
+        # 6. record + advance time
+        if self._record_events:
+            self._last_events = CycleEvents(
+                cycle=self.cycle_count,
+                fetched=fetched_pcs,
+                dispatched=tuple(dispatched),
+                issued=issued_seqs,
+                retired=tuple(e.seq for e in retired),
+                flushed=flushed,
+                slots=slot_glyphs(self.fabric),
+                selection=self._current_selection(),
+            )
+            self.events.append(self._last_events)
+        else:
+            self._last_fetched = fetched_pcs
+            self._last_dispatched = dispatched
+            self._last_issued = issued_seqs
+            self._last_retired = retired
+            self._last_flushed = flushed
+        self._last_cycle = self.cycle_count
+        self._accumulate_utilisation()
+        self.fabric.tick()
+        self.ruu.tick()
+        tel.stage_seconds("tick", perf_counter() - t5)
+        tel.on_cycle(self, len(issued_seqs), len(retired), flushed)
         self.cycle_count += 1
 
     def _current_selection(self) -> int | None:

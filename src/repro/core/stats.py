@@ -92,9 +92,12 @@ class SimulationResult:
             "contention_cycles": self.contention_cycles,
             "reconfigurations": self.reconfigurations,
             "reconfig_bus_cycles": self.reconfig_bus_cycles,
+            "fetch_packets": self.fetch_packets,
+            "fetched": self.fetched,
             "trace_cache_hits": self.trace_cache_hits,
             "trace_cache_misses": self.trace_cache_misses,
             "steering_selections": dict(self.steering_selections),
+            "steering_mean_error": self.steering_mean_error,
             "steering_kept_fraction": self.steering_kept_fraction,
         }
 

@@ -77,7 +77,17 @@ def render_fabric_timeline(
     shown = 0
     for i in range(0, len(events), stride):
         if shown >= max_rows:
-            lines.append(f"... ({len(events) - i} more cycles)")
+            # With stride > 1 only every stride-th cycle would have become
+            # a row, so report both counts: rows suppressed and the raw
+            # cycles (sampled or not) the truncation hides.
+            remaining = len(events) - i
+            if stride > 1:
+                rows_left = (remaining + stride - 1) // stride
+                lines.append(
+                    f"... ({rows_left} more rows, {remaining} more cycles)"
+                )
+            else:
+                lines.append(f"... ({remaining} more cycles)")
             break
         e = events[i]
         sel = "-" if e.selection is None else str(e.selection)

@@ -102,6 +102,35 @@ def _make_steering_traced(program, params, max_cycles, **kw):
     }
 
 
+def _make_steering_telemetry(program, params, max_cycles, **kw):
+    """Steering run with full telemetry: per-cycle series + Chrome trace.
+
+    Returns a picklable dict: ``metrics_of``/the run store read the
+    ``result`` key unchanged, the serving layer exposes ``timeseries``
+    (``GET /api/runs/<id>/timeseries``) and ``trace`` (Perfetto JSON).
+    """
+    from repro.telemetry import ProcessorTelemetry, SpanTracer
+
+    tracer = SpanTracer(max_events=kw.get("max_span_events", 8192))
+    tel = ProcessorTelemetry(
+        series_capacity=kw.get("series_capacity", 2048),
+        sample_interval=kw.get("sample_interval", 32),
+        tracer=tracer,
+    )
+    proc = steering_processor(
+        program,
+        params,
+        use_exact_metric=kw.get("use_exact_metric", False),
+        telemetry=tel,
+    )
+    result = proc.run(max_cycles=max_cycles)
+    return {
+        "result": result,
+        "timeseries": tel.snapshot(),
+        "trace": tracer.to_chrome_trace(),
+    }
+
+
 def _make_steering_basis(program, params, max_cycles, **kw):
     from repro.core.policies import PaperSteering
     from repro.core.processor import Processor
@@ -153,6 +182,7 @@ def _make_reference(program, params, max_cycles, **kw):
 _FACTORIES: dict[str, Callable[..., Any]] = {
     "ffu-only": _make_ffu_only,
     "steering": _make_steering,
+    "steering-telemetry": _make_steering_telemetry,
     "steering-traced": _make_steering_traced,
     "steering-basis": _make_steering_basis,
     "static": _make_static,
@@ -362,6 +392,17 @@ def _execute_shipped(payload: _ShippedJob) -> Any:
     return _FACTORIES[payload.factory](
         program, payload.params, payload.max_cycles, **payload.kwargs
     )
+
+
+def _execute_shipped_timed(payload: _ShippedJob) -> tuple[float, Any]:
+    """Timed worker entry point (batch telemetry): (run_seconds, result).
+
+    The worker reports its own execution wall time; the parent subtracts
+    it from the submit→completion round trip to estimate queue wait.
+    """
+    start = time.perf_counter()
+    result = _execute_shipped(payload)
+    return time.perf_counter() - start, result
 
 
 def _prepare_shipment(
@@ -579,6 +620,7 @@ def run_many(
     cache: ResultCache | None = None,
     progress: Callable[[int, int, SimJob], None] | None = None,
     mp_context: str | None = None,
+    telemetry: Any | None = None,
 ) -> list[Any]:
     """Execute a batch of jobs; results come back in submission order.
 
@@ -595,6 +637,10 @@ def run_many(
     one :mod:`multiprocessing.shared_memory` block instead of being
     pickled once per worker, falling back to per-worker pickling when
     shared memory is unavailable.
+
+    ``telemetry`` (a :class:`repro.telemetry.BatchTelemetry`) records job
+    outcomes, per-job queue-wait and run wall-time, and worker heartbeats
+    on the engine's existing completion path; scheduling is unchanged.
     """
     jobs = list(jobs)
     total = len(jobs)
@@ -615,9 +661,15 @@ def run_many(
         if cache is not None:
             hit = cache.get(key)
             if hit is not None:
+                if telemetry is not None:
+                    telemetry.cache_hit()
                 resolved(i, hit)
                 continue
         pending.setdefault(key, []).append(i)
+    if telemetry is not None:
+        telemetry.deduped(
+            sum(len(indices) - 1 for indices in pending.values())
+        )
 
     def settle(key: str, result: Any) -> None:
         if cache is not None:
@@ -628,7 +680,18 @@ def run_many(
     unique = [(key, jobs[indices[0]]) for key, indices in pending.items()]
     if workers <= 1:
         for key, job in unique:
-            settle(key, execute_job(job))
+            if telemetry is not None:
+                telemetry.submitted()
+                start = time.perf_counter()
+                result = execute_job(job)
+                telemetry.finished(
+                    job.label or job.factory,
+                    run_seconds=time.perf_counter() - start,
+                    queue_wait=0.0,
+                )
+            else:
+                result = execute_job(job)
+            settle(key, result)
         return results
 
     # Ship each distinct program once per worker (via the pool initializer),
@@ -652,17 +715,40 @@ def run_many(
             initializer=initializer,
             initargs=initargs,
         ) as pool:
-            futures = {
-                pool.submit(_execute_shipped, payload): key
-                for key, payload in shipped
-            }
+            run_fn = (
+                _execute_shipped_timed if telemetry is not None
+                else _execute_shipped
+            )
+            label_of = {key: (job.label or job.factory) for key, job in unique}
+            futures: dict[Any, str] = {}
+            submitted_at: dict[Any, float] = {}
+            for key, payload in shipped:
+                fut = pool.submit(run_fn, payload)
+                futures[fut] = key
+                submitted_at[fut] = time.perf_counter()
+                if telemetry is not None:
+                    telemetry.submitted()
             remaining = set(futures)
             while remaining:
                 finished, remaining = wait(
                     remaining, return_when=FIRST_COMPLETED
                 )
                 for fut in finished:
-                    settle(futures[fut], fut.result())
+                    key = futures[fut]
+                    outcome = fut.result()
+                    if telemetry is not None:
+                        run_seconds, result = outcome
+                        round_trip = (
+                            time.perf_counter() - submitted_at[fut]
+                        )
+                        telemetry.finished(
+                            label_of[key],
+                            run_seconds=run_seconds,
+                            queue_wait=max(0.0, round_trip - run_seconds),
+                        )
+                    else:
+                        result = outcome
+                    settle(key, result)
     finally:
         if block is not None:
             block.close()

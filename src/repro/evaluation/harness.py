@@ -14,7 +14,7 @@ from typing import Any
 
 from repro.core.params import ProcessorParams
 from repro.evaluation import artifacts
-from repro.evaluation.batch import ResultCache
+from repro.evaluation.batch import ResultCache, SimJob, run_many
 from repro.evaluation.experiments import (
     cem_metrics,
     latency_sweep_metrics,
@@ -45,6 +45,7 @@ def generate_report(
     cache_dir: str | None = None,
     store: Any | None = None,
     cache_max_bytes: int | None = None,
+    telemetry: bool = False,
 ) -> str:
     """Regenerate everything.  ``fast`` shrinks the experiment workloads so
     the whole report completes in tens of seconds.
@@ -62,6 +63,12 @@ def generate_report(
     individual simulation — as queryable runs for ``repro serve``.
     ``cache_max_bytes`` LRU-prunes the on-disk cache after the report so
     ``.report-cache`` stays bounded.
+
+    ``telemetry`` adds an E-TEL section: one instrumented steering run
+    (the ``steering-telemetry`` batch factory) whose per-cycle
+    time-series and trace spans persist into the cache/store, so
+    ``repro serve`` can answer ``/api/runs/<id>/timeseries`` for it and
+    the dashboard telemetry panel has something to draw.
     """
 
     def note(msg: str) -> None:
@@ -184,6 +191,49 @@ def generate_report(
 
     note("experiment: E-COST")
     parts.append(_section("E-COST — circuit cost", run_circuit_cost_report([7])))
+
+    if telemetry:
+        note("experiment: E-TEL")
+        from repro.workloads.phases import phased_program
+        from repro.workloads.synthetic import FP_MIX, INT_MIX, MEM_MIX
+
+        tel_job = SimJob(
+            "steering-telemetry",
+            phased_program(
+                [(INT_MIX, 40 * scale), (MEM_MIX, 40 * scale), (FP_MIX, 40 * scale)],
+                seed=0,
+            ),
+            params,
+            max_cycles=100_000 if fast else 400_000,
+            label="E-TEL phased steering",
+        )
+        payload = run_many([tel_job], workers=workers, cache=cache)[0]
+        result = payload["result"]
+        snapshot = payload["timeseries"]
+        trace = payload["trace"]
+        series = snapshot.get("series", {})
+        n_points = sum(len(s.get("x", ())) for s in series.values())
+        parts.append(
+            _section(
+                "E-TEL — instrumented steering run",
+                f"IPC {result.ipc:.3f}, {result.cycles} cycles, "
+                f"{result.reconfigurations} reconfigurations\n"
+                f"{len(series)} time-series ({n_points} samples, "
+                f"interval {snapshot.get('sample_interval')}), "
+                f"{len(trace.get('traceEvents', ()))} trace events",
+            )
+        )
+        record(
+            "E-TEL",
+            {
+                "ipc": result.ipc,
+                "cycles": float(result.cycles),
+                "reconfigurations": float(result.reconfigurations),
+                "series": float(len(series)),
+                "series_samples": float(n_points),
+                "trace_events": float(len(trace.get("traceEvents", ()))),
+            },
+        )
 
     if cache is not None and cache.directory is not None and cache_max_bytes:
         pruned = cache.prune(max_bytes=cache_max_bytes)

@@ -10,15 +10,23 @@ payload)`` — unit-testable without sockets — and a thin
 Endpoints::
 
     GET  /                   dashboard (self-contained HTML)
+    GET  /metrics            Prometheus text exposition (always on)
     GET  /api/health         service + store + cache counters
     GET  /api/runs           run list   (?experiment=&limit=&offset=)
     GET  /api/runs/<id>      one run    (?format=text for a curl view)
-    GET  /api/runs/<id>/artifact   full result payload from the blob cache
+    GET  /api/runs/<id>/artifact     full result payload from the blob cache
+    GET  /api/runs/<id>/timeseries   per-cycle telemetry series of the run
     GET  /api/experiments    distinct experiments with counts
     GET  /api/diff?a=&b=     metric-by-metric diff of two runs
     GET  /api/jobs           submitted-job records
     GET  /api/jobs/<id>      one submitted job
     POST /api/jobs           submit a simulation job spec (202 / 200 cached)
+
+Every request is counted and timed into a
+:class:`~repro.telemetry.MetricsRegistry` (labels are the route
+*template*, never the raw path, so cardinality stays bounded); an
+optional ``access_log`` callable receives one structured record per
+request (``repro serve --verbose``).
 
 Run and diff responses carry an ``ETag`` derived from the run's content
 hash (``If-None-Match`` revalidates to 304) and a ``Cache-Control``
@@ -40,12 +48,19 @@ from repro.evaluation.report import render_kv
 from repro.serving.dashboard import DASHBOARD_HTML
 from repro.serving.jobs import JobQueue, JobQueueFull
 from repro.serving.store import RunStore
+from repro.telemetry import MetricsRegistry
 
 __all__ = ["ServingApp", "make_server", "serve"]
 
 _RUN_PATH = re.compile(r"/api/runs/([0-9a-f]{8,64})")
 _ARTIFACT_PATH = re.compile(r"/api/runs/([0-9a-f]{8,64})/artifact")
+_TIMESERIES_PATH = re.compile(r"/api/runs/([0-9a-f]{8,64})/timeseries")
 _JOB_PATH = re.compile(r"/api/jobs/([\w-]+)")
+
+#: last-run metrics surfaced as gauges on /metrics.
+_LAST_RUN_METRICS = (
+    "ipc", "cycles", "retired", "reconfigurations", "steering_mean_error",
+)
 
 #: Cache-Control values by resource mutability.
 _CC_IMMUTABLE = "public, max-age=31536000, immutable"
@@ -75,11 +90,26 @@ class ServingApp:
         store: RunStore,
         cache: ResultCache | None = None,
         jobs: JobQueue | None = None,
+        registry: MetricsRegistry | None = None,
+        access_log=None,
     ) -> None:
         self.store = store
         self.cache = cache
         self.jobs = jobs
+        self.registry = MetricsRegistry() if registry is None else registry
+        #: optional callable receiving one dict per handled request.
+        self.access_log = access_log
         self.started = time.time()
+        self._requests = self.registry.counter(
+            "repro_http_requests_total",
+            "HTTP requests handled, by method/route/status.",
+            ("method", "route", "status"),
+        )
+        self._latency = self.registry.histogram(
+            "repro_http_request_seconds",
+            "Request handling latency in seconds.",
+            ("route",),
+        )
 
     # -------------------------------------------------------- entry point
     def handle(
@@ -92,12 +122,51 @@ class ServingApp:
     ) -> tuple[int, dict[str, str], bytes]:
         query = query or {}
         headers = {k.lower(): v for k, v in (headers or {}).items()}
+        start = time.perf_counter()
         try:
-            return self._route(method, path, query, headers, body)
+            response = self._route(method, path, query, headers, body)
         except ReproError as exc:
-            return self._error(400, str(exc))
+            response = self._error(400, str(exc))
         except KeyError as exc:
-            return self._error(404, f"no such run: {exc.args[0]}")
+            response = self._error(404, f"no such run: {exc.args[0]}")
+        elapsed = time.perf_counter() - start
+        route = self._route_label(path)
+        self._requests.labels(method, route, str(response[0])).inc()
+        self._latency.labels(route).observe(elapsed)
+        if self.access_log is not None:
+            self.access_log(
+                {
+                    "method": method,
+                    "path": path,
+                    "status": response[0],
+                    "latency_ms": round(elapsed * 1000, 3),
+                }
+            )
+        return response
+
+    _KNOWN_ROUTES = frozenset(
+        {
+            "/", "/metrics", "/api/health", "/api/runs", "/api/experiments",
+            "/api/diff", "/api/jobs",
+        }
+    )
+
+    @classmethod
+    def _route_label(cls, path: str) -> str:
+        """Collapse a request path to its route template (bounded label set)."""
+        if path == "/index.html":
+            return "/"
+        if path in cls._KNOWN_ROUTES:
+            return path
+        if _TIMESERIES_PATH.fullmatch(path):
+            return "/api/runs/{id}/timeseries"
+        if _ARTIFACT_PATH.fullmatch(path):
+            return "/api/runs/{id}/artifact"
+        if _RUN_PATH.fullmatch(path):
+            return "/api/runs/{id}"
+        if _JOB_PATH.fullmatch(path):
+            return "/api/jobs/{id}"
+        return "(other)"
 
     def _route(self, method, path, query, headers, body):
         if method in ("GET", "HEAD"):
@@ -110,6 +179,8 @@ class ServingApp:
                     },
                     DASHBOARD_HTML.encode(),
                 )
+            if path == "/metrics":
+                return self._metrics()
             if path == "/api/health":
                 return self._health()
             if path == "/api/runs":
@@ -118,6 +189,9 @@ class ServingApp:
                 return self._experiments()
             if path == "/api/diff":
                 return self._diff(query, headers)
+            match = _TIMESERIES_PATH.fullmatch(path)
+            if match:
+                return self._timeseries(match.group(1), headers)
             match = _ARTIFACT_PATH.fullmatch(path)
             if match:
                 return self._artifact(match.group(1), headers)
@@ -173,6 +247,56 @@ class ServingApp:
         return 304, {"ETag": etag, "Cache-Control": cache_control}, b""
 
     # ------------------------------------------------------------- handlers
+    def _metrics(self):
+        """Prometheus text exposition: request metrics + live gauges."""
+        r = self.registry
+        r.gauge(
+            "repro_uptime_seconds", "Seconds since the server started."
+        ).set(time.time() - self.started)
+        r.gauge(
+            "repro_store_runs", "Runs indexed in the run store."
+        ).set(self.store.count())
+        r.gauge(
+            "repro_jobs_pending", "Submitted jobs queued but not started."
+        ).set(self.jobs.depth() if self.jobs is not None else 0)
+        if self.cache is not None:
+            stats = self.cache.stats()
+            r.gauge(
+                "repro_cache_memory_entries", "Result-cache in-memory entries."
+            ).set(stats["memory_entries"])
+            r.gauge(
+                "repro_cache_disk_blobs", "Result-cache blobs on disk."
+            ).set(stats["disk_blobs"])
+            r.gauge(
+                "repro_cache_disk_bytes", "Result-cache bytes on disk."
+            ).set(stats["disk_bytes"])
+            r.gauge(
+                "repro_cache_hits", "Result-cache hits over this process."
+            ).set(stats["hits"])
+            r.gauge(
+                "repro_cache_misses", "Result-cache misses over this process."
+            ).set(stats["misses"])
+        runs = self.store.list_runs(limit=1)
+        if runs:
+            metrics = runs[0].get("metrics") or {}
+            last = r.gauge(
+                "repro_last_run_metric",
+                "Simulator metrics of the most recently recorded run.",
+                ("metric",),
+            )
+            for name in _LAST_RUN_METRICS:
+                value = metrics.get(name)
+                if isinstance(value, (int, float)) and not isinstance(value, bool):
+                    last.labels(name).set(value)
+        return (
+            200,
+            {
+                "Content-Type": "text/plain; version=0.0.4; charset=utf-8",
+                "Cache-Control": _CC_NONE,
+            },
+            r.render().encode(),
+        )
+
     def _health(self):
         payload = {
             "status": "ok",
@@ -249,6 +373,36 @@ class ServingApp:
         return self._json(
             200,
             {"run_id": run_id, "key": key, "artifact": _jsonable(result)},
+            etag=etag,
+            cache_control=_CC_IMMUTABLE,
+        )
+
+    def _timeseries(self, run_id, headers):
+        """Per-cycle telemetry series of a stored run.
+
+        Served from the run's result-cache blob: only results produced
+        with telemetry attached (e.g. the ``steering-telemetry`` factory)
+        carry a ``timeseries`` payload; anything else is a 404, like a
+        missing artifact.  Content-addressed, hence immutable.
+        """
+        run = self.store.get_run(run_id)
+        if run is None:
+            return self._error(404, f"no such run: {run_id}")
+        key = run["config_hash"]
+        etag = f'"{key[:24]}.ts"'
+        if self._etag_matches(headers, etag):
+            return self._not_modified(etag, _CC_IMMUTABLE)
+        result = self.cache.get(key) if self.cache is not None else None
+        payload = result.get("timeseries") if isinstance(result, dict) else None
+        if payload is None:
+            return self._error(
+                404,
+                f"run {run_id} has no telemetry time series "
+                "(only telemetry-enabled runs carry one)",
+            )
+        return self._json(
+            200,
+            {"run_id": run_id, "key": key, "timeseries": _jsonable(payload)},
             etag=etag,
             cache_control=_CC_IMMUTABLE,
         )
@@ -357,13 +511,16 @@ def serve(
     queue_capacity: int = 8,
     cache_max_bytes: int | None = None,
     cache_max_age: float | None = None,
+    verbose: bool = False,
     log=None,
 ):
     """Wire up store + cache + job queue and serve until interrupted.
 
     Prunes the on-disk result cache on startup (LRU, per the given
     limits — with no limits only stale tmp files are cleared), so a
-    long-running server keeps ``.report-cache`` bounded.
+    long-running server keeps ``.report-cache`` bounded.  ``/metrics``
+    is always exposed; ``verbose`` additionally logs one structured
+    record per request through ``log``.
     """
     def note(msg: str) -> None:
         if log is not None:
@@ -377,11 +534,19 @@ def serve(
             f"cache GC: removed {pruned['removed']} blobs "
             f"({pruned['bytes_freed']} bytes), kept {pruned['kept']}"
         )
+    registry = MetricsRegistry()
     jobs = JobQueue(
-        cache, store=store, sim_workers=sim_workers, capacity=queue_capacity
+        cache, store=store, sim_workers=sim_workers,
+        capacity=queue_capacity, registry=registry,
     )
     jobs.start()
-    app = ServingApp(store, cache=cache, jobs=jobs)
+    access_log = None
+    if verbose:
+        def access_log(record: dict) -> None:
+            note("request " + json.dumps(record, sort_keys=True))
+    app = ServingApp(
+        store, cache=cache, jobs=jobs, registry=registry, access_log=access_log
+    )
     server = make_server(app, host, port)
     note(f"serving on http://{host}:{server.server_address[1]}/")
     try:

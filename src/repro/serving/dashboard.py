@@ -1,10 +1,13 @@
 """The dashboard: one self-contained HTML page served at ``/``.
 
 No build step, no external assets — the page talks to the JSON API with
-``fetch`` and renders three views: the run list, a per-experiment metric
-trend (inline SVG line chart with a crosshair tooltip), and a
-metric-by-metric diff of two selected runs (diverging delta bars).  All
-API-sourced strings enter the DOM via ``textContent``.
+``fetch`` and renders four views: the run list, a per-experiment metric
+trend (inline SVG line chart with a crosshair tooltip), a
+metric-by-metric diff of two selected runs (diverging delta bars), and a
+per-run telemetry panel plotting the downsampled per-cycle series
+(windowed IPC, slot occupancy, CEM error) from
+``/api/runs/<id>/timeseries`` with the same SVG/crosshair machinery.
+All API-sourced strings enter the DOM via ``textContent``.
 """
 
 from __future__ import annotations
@@ -29,7 +32,8 @@ DASHBOARD_HTML = """<!doctype html>
   --baseline: #c3c2b7;
   --border: rgba(11,11,11,0.10);
   --series-1: #2a78d6;   /* trend line + positive delta */
-  --diverge-neg: #e34948; /* negative delta pole */
+  --series-2: #d98227;   /* second telemetry series (occupancy) */
+  --diverge-neg: #e34948; /* negative delta pole + CEM error series */
 }
 @media (prefers-color-scheme: dark) {
   .viz-root {
@@ -43,6 +47,7 @@ DASHBOARD_HTML = """<!doctype html>
     --baseline: #383835;
     --border: rgba(255,255,255,0.10);
     --series-1: #3987e5;
+    --series-2: #e09a48;
     --diverge-neg: #e66767;
   }
 }
@@ -97,6 +102,22 @@ svg text { fill: var(--text-muted); font: 11px system-ui, sans-serif; }
 .delta-pos { color: var(--text-primary); }
 .delta-neg { color: var(--text-primary); }
 .error { color: var(--diverge-neg); }
+button.series-btn {
+  font: inherit; font-size: 12.5px; color: var(--text-primary);
+  background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 6px; padding: 2px 8px; cursor: pointer;
+}
+button.series-btn:hover { border-color: var(--series-1); }
+.series-chart { position: relative; margin-bottom: 8px; }
+.series-chart .series-label {
+  color: var(--text-secondary); font-size: 13px; margin: 8px 0 2px;
+}
+.series-tip {
+  position: absolute; display: none; pointer-events: none;
+  background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 6px; padding: 4px 8px; font-size: 12px;
+  box-shadow: 0 2px 8px rgba(0,0,0,0.12);
+}
 </style>
 </head>
 <body class="viz-root">
@@ -130,7 +151,7 @@ svg text { fill: var(--text-muted); font: 11px system-ui, sans-serif; }
   <table id="runs-table">
     <thead><tr>
       <th></th><th>run</th><th>experiment</th><th>label</th><th>rev</th>
-      <th>when</th><th class="num">ipc</th><th class="num">cycles</th>
+      <th>when</th><th class="num">ipc</th><th class="num">cycles</th><th></th>
     </tr></thead>
     <tbody></tbody>
   </table>
@@ -139,6 +160,11 @@ svg text { fill: var(--text-muted); font: 11px system-ui, sans-serif; }
 <div class="card" id="diff-card">
   <h2>Diff</h2>
   <div id="diff-body"><p class="hint">Select two runs above to compare them metric by metric.</p></div>
+</div>
+
+<div class="card" id="series-card">
+  <h2 id="series-title">Run telemetry</h2>
+  <div id="series-body"><p class="hint">Press “series” on a run to plot its per-cycle probes (telemetry-enabled runs only).</p></div>
 </div>
 
 <script>
@@ -232,8 +258,128 @@ function renderTable() {
     tr.append(el("td", "mono", when(run.created)));
     tr.append(el("td", "num", run.metrics.ipc !== undefined ? fmt(run.metrics.ipc) : "–"));
     tr.append(el("td", "num", run.metrics.cycles !== undefined ? fmt(run.metrics.cycles) : "–"));
+    const seriesCell = el("td");
+    const seriesBtn = el("button", "series-btn", "series");
+    seriesBtn.addEventListener("click", () => loadSeries(run));
+    seriesCell.append(seriesBtn);
+    tr.append(seriesCell);
     tbody.append(tr);
   }
+}
+
+/* ------------------------------------------------- per-run telemetry panel */
+async function loadSeries(run) {
+  const body = $("series-body");
+  $("series-title").textContent = "Run telemetry — " + run.run_id;
+  body.replaceChildren(el("p", "hint", "loading…"));
+  try {
+    const data = await fetchJSON("/api/runs/" + run.run_id + "/timeseries");
+    const series = (data.timeseries && data.timeseries.series) || {};
+    const panels = [
+      ["windowed_ipc", "windowed IPC", "--series-1"],
+      ["slot_occupancy", "slot occupancy (fraction of RFU slots)", "--series-2"],
+      ["cem_error", "CEM error of the winning configuration", "--diverge-neg"],
+    ];
+    body.replaceChildren();
+    let drawn = 0;
+    for (const [key, title, colorVar] of panels) {
+      const s = series[key];
+      if (!s || !s.x || s.x.length < 2) continue;
+      renderSeriesChart(body, title, s.x, s.v, cssVar(colorVar));
+      drawn++;
+    }
+    if (drawn === 0) {
+      body.append(el("p", "hint", "Run carries telemetry but none of the plottable series."));
+    } else {
+      const interval = data.timeseries.sample_interval;
+      body.append(el("p", "hint",
+        "x axis is the simulated cycle; one point per " + fmt(interval) +
+        "-cycle sample window (stride-downsampled)."));
+    }
+  } catch (err) {
+    body.replaceChildren(el("p", "hint",
+      "No telemetry series for this run — only telemetry-enabled runs " +
+      "(e.g. the steering-telemetry factory) record them."));
+  }
+}
+
+function renderSeriesChart(container, title, xs, vs, color) {
+  const W = 680, H = 150, m = { l: 56, r: 20, t: 10, b: 22 };
+  const iw = W - m.l - m.r, ih = H - m.t - m.b;
+  const wrap = el("div", "series-chart");
+  wrap.append(el("div", "series-label", title));
+  const svg = svgEl("svg", { width: W, height: H, role: "img" });
+  const tip = el("div", "series-tip");
+  container.append(wrap);
+  wrap.append(svg, tip);
+
+  const x0 = xs[0], x1 = xs[xs.length - 1] || x0 + 1;
+  let v0 = Math.min(...vs), v1 = Math.max(...vs);
+  if (v0 === v1) { v0 -= Math.abs(v0) * 0.1 + 0.5; v1 += Math.abs(v1) * 0.1 + 0.5; }
+  const pad = (v1 - v0) * 0.08;
+  v0 -= pad; v1 += pad;
+  const x = (t) => m.l + (x1 === x0 ? iw / 2 : ((t - x0) / (x1 - x0)) * iw);
+  const y = (v) => m.t + ih - ((v - v0) / (v1 - v0)) * ih;
+  const gridC = cssVar("--grid"), base = cssVar("--baseline"),
+        surface = cssVar("--surface-1");
+
+  for (let i = 0; i <= 2; i++) {
+    const gy = m.t + (ih * i) / 2;
+    svg.append(svgEl("line",
+      { x1: m.l, x2: W - m.r, y1: gy, y2: gy, stroke: gridC, "stroke-width": 1 }));
+    const label = svgEl("text", { x: m.l - 8, y: gy + 4, "text-anchor": "end" });
+    label.textContent = fmt(v1 - ((v1 - v0) * i) / 2);
+    svg.append(label);
+  }
+  const lx = svgEl("text", { x: m.l, y: H - 6 });
+  lx.textContent = "cycle " + fmt(x0);
+  svg.append(lx);
+  const rx = svgEl("text", { x: W - m.r, y: H - 6, "text-anchor": "end" });
+  rx.textContent = "cycle " + fmt(x1);
+  svg.append(rx);
+
+  const d = xs.map((t, i) =>
+    (i ? "L" : "M") + x(t).toFixed(1) + " " + y(vs[i]).toFixed(1)).join(" ");
+  svg.append(svgEl("path", { d, fill: "none", stroke: color,
+    "stroke-width": 1.5, "stroke-linejoin": "round", "stroke-linecap": "round" }));
+
+  /* crosshair + tooltip, same interaction as the trend chart */
+  const cross = svgEl("line", { y1: m.t, y2: m.t + ih, stroke: base,
+    "stroke-width": 1, visibility: "hidden" });
+  svg.append(cross);
+  const hover = svgEl("circle", { r: 4, fill: color, stroke: surface,
+    "stroke-width": 2, visibility: "hidden" });
+  svg.append(hover);
+  const hit = svgEl("rect", { x: m.l, y: m.t, width: iw, height: ih,
+    fill: "transparent" });
+  hit.addEventListener("pointermove", (ev) => {
+    const box = svg.getBoundingClientRect();
+    const px = ((ev.clientX - box.left) / box.width) * W;
+    let best = 0;
+    for (let i = 1; i < xs.length; i++)
+      if (Math.abs(x(xs[i]) - px) < Math.abs(x(xs[best]) - px)) best = i;
+    cross.setAttribute("x1", x(xs[best]));
+    cross.setAttribute("x2", x(xs[best]));
+    cross.setAttribute("visibility", "visible");
+    hover.setAttribute("cx", x(xs[best]));
+    hover.setAttribute("cy", y(vs[best]));
+    hover.setAttribute("visibility", "visible");
+    tip.replaceChildren(
+      el("div", "val", fmt(vs[best])),
+      el("div", "when", "cycle " + fmt(xs[best])));
+    tip.style.display = "block";
+    const wrapBox = wrap.getBoundingClientRect();
+    const tx = ((x(xs[best]) / W) * box.width) + 12;
+    tip.style.left = Math.min(tx, wrapBox.width - 140) + "px";
+    tip.style.top = (((y(vs[best]) / H) * box.height) +
+      (svg.getBoundingClientRect().top - wrapBox.top) - 10) + "px";
+  });
+  hit.addEventListener("pointerleave", () => {
+    tip.style.display = "none";
+    cross.setAttribute("visibility", "hidden");
+    hover.setAttribute("visibility", "hidden");
+  });
+  svg.append(hit);
 }
 
 function togglePick(runId, box) {

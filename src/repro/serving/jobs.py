@@ -37,6 +37,7 @@ from repro.core.params import ProcessorParams
 from repro.errors import ConfigurationError, WorkloadError
 from repro.evaluation.batch import ResultCache, SimJob, job_key, run_many
 from repro.isa.program import Program
+from repro.telemetry import NULL_REGISTRY, BatchTelemetry
 
 __all__ = [
     "JobQueue",
@@ -167,6 +168,8 @@ class JobRecord:
     state: str = "queued"  # queued | running | done | failed
     cached: bool = False
     submitted: float = field(default_factory=time.time)
+    #: when the drain thread picked the job up (None while queued/cached).
+    started: float | None = None
     finished: float | None = None
     error: str | None = None
     #: run-store id once the result is registered.
@@ -179,6 +182,7 @@ class JobRecord:
             "state": self.state,
             "cached": self.cached,
             "submitted": self.submitted,
+            "started": self.started,
             "finished": self.finished,
             "error": self.error,
             "run_id": self.run_id,
@@ -202,6 +206,7 @@ class JobQueue:
         store: Any | None = None,
         sim_workers: int = 0,
         capacity: int = 8,
+        registry: Any | None = None,
     ) -> None:
         self.cache = cache if cache is not None else ResultCache()
         self.store = store
@@ -214,6 +219,25 @@ class JobQueue:
         self._thread: threading.Thread | None = None
         #: simulations actually dispatched (cache answers excluded).
         self.executed = 0
+        # metrics (a null registry absorbs everything when none is given)
+        reg = registry if registry is not None else NULL_REGISTRY
+        self._submissions = reg.counter(
+            "repro_jobs_submitted_total",
+            "Job submissions, by outcome.",
+            ("outcome",),
+        )
+        self._queue_wait = reg.histogram(
+            "repro_job_queue_wait_seconds",
+            "Seconds a submitted job waited before the drain thread ran it.",
+        )
+        self._run_seconds = reg.histogram(
+            "repro_job_run_seconds",
+            "Wall-clock seconds executing one submitted job.",
+        )
+        #: batch-engine telemetry forwarded into run_many (shared registry).
+        self.batch_telemetry = (
+            BatchTelemetry(registry=registry) if registry is not None else None
+        )
 
     # ----------------------------------------------------------- lifecycle
     def start(self) -> None:
@@ -247,6 +271,7 @@ class JobQueue:
                 record.run_id = self.store.record_result(
                     key, cached, job=job, experiment=f"job/{job.factory}"
                 )
+            self._submissions.labels("cached").inc()
             return record
 
         with self._lock:
@@ -257,9 +282,11 @@ class JobQueue:
             with self._lock:
                 self._records.pop(job_id, None)
                 self._jobs.pop(job_id, None)
+            self._submissions.labels("rejected").inc()
             raise JobQueueFull(
                 f"job queue full ({self.capacity} pending); retry later"
             ) from None
+        self._submissions.labels("accepted").inc()
         self.start()
         return record
 
@@ -272,9 +299,12 @@ class JobQueue:
                 record = self._records[job_id]
                 job = self._jobs.pop(job_id)
             record.state = "running"
+            record.started = time.time()
+            self._queue_wait.observe(record.started - record.submitted)
             try:
                 result = run_many(
-                    [job], workers=self.sim_workers, cache=self.cache
+                    [job], workers=self.sim_workers, cache=self.cache,
+                    telemetry=self.batch_telemetry,
                 )[0]
                 self.executed += 1
                 if self.store is not None:
@@ -287,6 +317,7 @@ class JobQueue:
                 record.error = f"{type(exc).__name__}: {exc}"
                 record.state = "failed"
             record.finished = time.time()
+            self._run_seconds.observe(record.finished - record.started)
 
     # ------------------------------------------------------------- queries
     def get(self, job_id: str) -> JobRecord | None:

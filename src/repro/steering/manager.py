@@ -94,6 +94,11 @@ class ConfigurationManager:
         #: candidate index selected by the most recent cycle (0 = current);
         #: kept unconditionally so callers never touch the trace for it.
         self.last_selection: int | None = None
+        #: 6-bit CEM error of the winning candidate in the most recent cycle.
+        self.last_error: int = 0
+        #: most recent reconfiguration started by the loader.  Never cleared;
+        #: pair with ``stats.loads`` to detect a fresh one.
+        self.last_load: LoadPlan | None = None
 
     def cycle(self, ready_queue: Sequence[Instruction]) -> SelectionResult:
         """One clock of the manager.  ``ready_queue`` holds the unscheduled
@@ -104,6 +109,7 @@ class ConfigurationManager:
         plan = self.loader.step()
 
         self.last_selection = result.index
+        self.last_error = result.errors[result.index]
         self.stats.cycles += 1
         self.stats.selections[result.index] = (
             self.stats.selections.get(result.index, 0) + 1
@@ -111,6 +117,7 @@ class ConfigurationManager:
         self.stats.total_selected_error += result.errors[result.index]
         if plan is not None:
             self.stats.loads += 1
+            self.last_load = plan
         if self.trace is not None:
             self.trace.append(
                 TraceEntry(

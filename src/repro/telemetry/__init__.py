@@ -1,0 +1,44 @@
+"""Unified observability layer: metrics, time series, span tracing.
+
+Three cooperating pieces, all stdlib-only and near-zero-overhead when
+disabled:
+
+* :mod:`repro.telemetry.registry` — counters/gauges/histograms with a
+  Prometheus text renderer and a falsy null registry;
+* :mod:`repro.telemetry.timeseries` — bounded stride-downsampled series;
+* :mod:`repro.telemetry.spans` — Chrome trace-event spans (Perfetto);
+* :mod:`repro.telemetry.probes` — the per-cycle processor hook;
+* :mod:`repro.telemetry.batch` — ``run_many`` instrumentation.
+
+See ``docs/observability.md`` for the probe catalogue and usage.
+"""
+
+from repro.telemetry.batch import BatchTelemetry
+from repro.telemetry.probes import STAGES, ProcessorTelemetry
+from repro.telemetry.registry import (
+    DEFAULT_LATENCY_BUCKETS,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
+from repro.telemetry.spans import SpanTracer
+from repro.telemetry.timeseries import SeriesBank, StrideSeries
+
+__all__ = [
+    "BatchTelemetry",
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NullRegistry",
+    "ProcessorTelemetry",
+    "STAGES",
+    "SeriesBank",
+    "SpanTracer",
+    "StrideSeries",
+]

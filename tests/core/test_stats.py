@@ -41,6 +41,41 @@ class TestUtilisation:
         assert _result().utilisation(FUType.FP_MDU) == 0.0
 
 
+class TestToDict:
+    def test_covers_every_scalar_field(self):
+        """to_dict must round-trip every numeric/bool dataclass field.
+
+        Guards against the historical drift where fields added to the
+        dataclass (fetch_packets, fetched, steering_mean_error) never
+        made it into the serialised record.
+        """
+        from dataclasses import fields
+
+        r = _result(
+            mispredictions=1, branch_resolutions=9, flushes=2, squashed=3,
+            memory_stalls=4, scheduling_replays=5, frontend_empty_cycles=6,
+            resource_blocked_cycles=7, contention_cycles=8,
+            reconfigurations=9, reconfig_bus_cycles=10, fetch_packets=11,
+            fetched=12, trace_cache_hits=13, trace_cache_misses=14,
+            steering_mean_error=0.25, steering_kept_fraction=0.5,
+        )
+        d = r.to_dict()
+        for f in fields(SimulationResult):
+            value = getattr(r, f.name)
+            if isinstance(value, (bool, int, float)):
+                assert f.name in d, f"to_dict missing field {f.name!r}"
+                assert d[f.name] == value
+
+    def test_json_serialisable(self):
+        import json
+
+        r = _result(retired_per_type={FUType.INT_ALU: 10})
+        round_tripped = json.loads(json.dumps(r.to_dict()))
+        assert round_tripped["retired_per_type"] == {"IALU": 10}
+        assert round_tripped["fetch_packets"] == 0
+        assert round_tripped["steering_mean_error"] == 0.0
+
+
 class TestSummary:
     def test_contains_core_fields(self):
         text = _result().summary()

@@ -96,7 +96,16 @@ class TestTimelineRendering:
         text = render_fabric_timeline(events, stride=10)
         assert len(text.splitlines()) == 12
         capped = render_fabric_timeline(events, stride=1, max_rows=5)
-        assert "more cycles" in capped
+        # 5 rows shown, so exactly 95 cycles (= rows at stride 1) remain
+        assert "(95 more cycles)" in capped
+
+    def test_truncation_counts_rows_not_events_with_stride(self):
+        events = [CycleEvents(cycle=i, slots="." * 8) for i in range(100)]
+        capped = render_fabric_timeline(events, stride=3, max_rows=10)
+        # rows are cycles 0,3,...,27; truncation happens at i=30 with 70
+        # events left, which is ceil(70/3) = 24 suppressed rows.
+        assert "(24 more rows, 70 more cycles)" in capped
+        assert len(capped.splitlines()) == 2 + 10 + 1  # header+rule+rows+note
 
     def test_flush_marker(self):
         text = render_fabric_timeline([CycleEvents(cycle=0, slots=".", flushed=2)])

@@ -1,0 +1,179 @@
+"""Serving-layer observability: /metrics, /timeseries, access logs.
+
+All exercised through the pure handler (``ServingApp.handle``) — no
+sockets, matching the rest of the API suite.
+"""
+
+import json
+import re
+
+import pytest
+
+from repro.core.params import ProcessorParams
+from repro.evaluation.batch import ResultCache, SimJob, run_many
+from repro.serving.app import ServingApp
+from repro.serving.jobs import JobQueue
+from repro.serving.store import RunStore
+from repro.telemetry import MetricsRegistry
+from repro.workloads.kernels import checksum
+
+_PARAMS = ProcessorParams(reconfig_latency=8)
+
+_SAMPLE = re.compile(
+    r'^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? '
+    r'(-?\d+(\.\d+)?([eE][+-]?\d+)?|\+Inf|NaN)$'
+)
+
+
+@pytest.fixture()
+def warm():
+    """Store + cache seeded with one plain and one telemetry-bearing run."""
+    store = RunStore()
+    cache = ResultCache(store=store)
+    program = checksum(iterations=20).program
+    jobs = [
+        SimJob("steering", program, _PARAMS, max_cycles=50_000,
+               label="plain"),
+        SimJob("steering-telemetry", program, _PARAMS, max_cycles=50_000,
+               label="instrumented"),
+    ]
+    run_many(jobs, cache=cache)
+    registry = MetricsRegistry()
+    app = ServingApp(
+        store, cache=cache,
+        jobs=JobQueue(cache=cache, store=store, registry=registry),
+        registry=registry,
+    )
+    yield app, store, cache
+    store.close()
+
+
+def _run_id(store, experiment):
+    runs = store.list_runs(experiment=experiment)
+    assert runs, f"no run recorded under {experiment}"
+    return runs[0]["run_id"]
+
+
+class TestMetricsEndpoint:
+    def test_exposition_format(self, warm):
+        app, _, _ = warm
+        app.handle("GET", "/api/health")
+        status, headers, body = app.handle("GET", "/metrics")
+        assert status == 200
+        assert headers["Content-Type"] == (
+            "text/plain; version=0.0.4; charset=utf-8"
+        )
+        lines = body.decode().splitlines()
+        assert lines
+        for line in lines:
+            if line.startswith("#") or not line:
+                continue
+            assert _SAMPLE.match(line), line
+
+    def test_expected_families_present(self, warm):
+        app, _, _ = warm
+        app.handle("GET", "/api/health")
+        app.handle("GET", "/api/runs")
+        text = app.handle("GET", "/metrics")[2].decode()
+        for family in (
+            "repro_http_requests_total",
+            "repro_http_request_seconds_bucket",
+            "repro_store_runs",
+            "repro_cache_memory_entries",
+            "repro_jobs_pending",
+            "repro_last_run_metric",
+            "repro_uptime_seconds",
+        ):
+            assert family in text, f"missing {family}"
+        assert "repro_store_runs 2" in text
+
+    def test_request_counter_labels_use_route_templates(self, warm):
+        app, store, _ = warm
+        rid = _run_id(store, "sim/steering")
+        app.handle("GET", f"/api/runs/{rid}")
+        app.handle("GET", f"/api/runs/{rid}")
+        app.handle("GET", "/definitely/not/a/route")
+        text = app.handle("GET", "/metrics")[2].decode()
+        assert (
+            'repro_http_requests_total{method="GET",'
+            'route="/api/runs/{id}",status="200"} 2' in text
+        )
+        # unknown paths collapse into one label value: bounded cardinality
+        assert 'route="(other)",status="404"' in text
+        assert f"/api/runs/{rid}" not in text
+
+    def test_metrics_scrape_itself_is_counted(self, warm):
+        app, _, _ = warm
+        app.handle("GET", "/metrics")
+        text = app.handle("GET", "/metrics")[2].decode()
+        assert 'route="/metrics",status="200"' in text
+
+
+class TestTimeseriesEndpoint:
+    def test_served_for_instrumented_run(self, warm):
+        app, store, _ = warm
+        rid = _run_id(store, "sim/steering-telemetry")
+        status, headers, body = app.handle(
+            "GET", f"/api/runs/{rid}/timeseries"
+        )
+        assert status == 200
+        doc = json.loads(body)
+        assert doc["run_id"] == rid
+        series = doc["timeseries"]["series"]
+        assert "windowed_ipc" in series and "slot_occupancy" in series
+        assert len(series["windowed_ipc"]["x"]) >= 2
+        assert "immutable" in headers["Cache-Control"]
+
+    def test_etag_revalidation(self, warm):
+        app, store, _ = warm
+        rid = _run_id(store, "sim/steering-telemetry")
+        _, headers, _ = app.handle("GET", f"/api/runs/{rid}/timeseries")
+        etag = headers["ETag"]
+        status, _, body = app.handle(
+            "GET", f"/api/runs/{rid}/timeseries",
+            headers={"If-None-Match": etag},
+        )
+        assert status == 304 and body == b""
+
+    def test_404_for_run_without_series(self, warm):
+        app, store, _ = warm
+        rid = _run_id(store, "sim/steering")
+        status, _, _ = app.handle("GET", f"/api/runs/{rid}/timeseries")
+        assert status == 404
+
+    def test_404_for_unknown_run(self, warm):
+        app, _, _ = warm
+        status, _, _ = app.handle("GET", "/api/runs/deadbeefdeadbeef/timeseries")
+        assert status == 404
+
+
+class TestAccessLog:
+    def test_callback_receives_structured_records(self):
+        store = RunStore()
+        records = []
+        app = ServingApp(store, access_log=records.append)
+        app.handle("GET", "/api/health")
+        app.handle("GET", "/nope")
+        store.close()
+        assert [r["path"] for r in records] == ["/api/health", "/nope"]
+        assert [r["status"] for r in records] == [200, 404]
+        assert all(r["method"] == "GET" for r in records)
+        assert all(r["latency_ms"] >= 0 for r in records)
+
+    def test_no_callback_no_crash(self):
+        store = RunStore()
+        app = ServingApp(store)
+        status, _, _ = app.handle("GET", "/api/health")
+        store.close()
+        assert status == 200
+
+
+class TestMetricsWithoutRegistry:
+    def test_metrics_endpoint_still_answers(self):
+        """A ServingApp built without a shared registry creates its own."""
+        store = RunStore()
+        app = ServingApp(store)
+        status, headers, body = app.handle("GET", "/metrics")
+        store.close()
+        assert status == 200
+        assert b"repro_store_runs" in body

@@ -1,0 +1,72 @@
+"""Batch-engine telemetry: outcomes, wall times, spans — behaviour unchanged."""
+
+from repro.core.params import ProcessorParams
+from repro.evaluation.batch import ResultCache, SimJob, run_many
+from repro.telemetry import BatchTelemetry, MetricsRegistry, SpanTracer
+from repro.workloads.kernels import checksum
+
+_PARAMS = ProcessorParams(reconfig_latency=8)
+
+
+def _jobs(n=1):
+    # distinct iteration counts -> distinct content keys (the label is
+    # deliberately not part of job_key)
+    return [
+        SimJob("steering", checksum(iterations=20 + i).program, _PARAMS,
+               max_cycles=50_000, label=f"job-{i}")
+        for i in range(n)
+    ]
+
+
+class TestBatchTelemetry:
+    def test_executed_and_cache_hit_outcomes(self):
+        tel = BatchTelemetry(registry=MetricsRegistry())
+        cache = ResultCache()
+        jobs = _jobs(1)
+        first = run_many(jobs, cache=cache, telemetry=tel)
+        again = run_many(jobs, cache=cache, telemetry=tel)
+        assert first[0].to_dict() == again[0].to_dict()
+        outcomes = tel.jobs
+        assert outcomes.labels("executed").value == 1
+        assert outcomes.labels("cache_hit").value == 1
+        assert tel.run_wall.count == 1
+        assert tel.inflight.value == 0.0
+        assert tel.heartbeat.value > 0
+
+    def test_dedup_counted(self):
+        tel = BatchTelemetry(registry=MetricsRegistry())
+        jobs = _jobs(1) * 3  # identical content key three times
+        results = run_many(jobs, cache=ResultCache(), telemetry=tel)
+        assert len(results) == 3
+        assert tel.jobs.labels("executed").value == 1
+        assert tel.jobs.labels("deduped").value == 2
+
+    def test_results_identical_with_and_without_telemetry(self):
+        jobs = _jobs(2)
+        plain = run_many(jobs)
+        observed = run_many(
+            jobs, telemetry=BatchTelemetry(registry=MetricsRegistry())
+        )
+        assert [r.to_dict() for r in plain] == [r.to_dict() for r in observed]
+
+    def test_spans_on_batch_track(self):
+        tracer = SpanTracer()
+        tel = BatchTelemetry(registry=MetricsRegistry(), tracer=tracer)
+        run_many(_jobs(1), telemetry=tel)
+        doc = tracer.to_chrome_trace()
+        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(spans) == 1
+        assert spans[0]["name"] == "job-0"
+        tracks = {
+            e["args"]["name"] for e in doc["traceEvents"] if e["ph"] == "M"
+        }
+        assert tracks == {"batch"}
+
+    def test_parallel_path_reports_queue_wait(self):
+        tel = BatchTelemetry(registry=MetricsRegistry())
+        results = run_many(_jobs(2), workers=2, telemetry=tel)
+        assert all(r.halted for r in results)
+        assert tel.jobs.labels("executed").value == 2
+        assert tel.run_wall.count == 2
+        assert tel.queue_wait.count == 2
+        assert tel.inflight.value == 0.0
