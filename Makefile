@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench report examples lint-clean
+.PHONY: install test bench report examples lint lint-clean
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -18,3 +18,9 @@ report:
 
 examples:
 	for ex in examples/*.py; do echo "== $$ex =="; $(PYTHON) $$ex || exit 1; done
+
+lint:
+	PYTHONPATH=src $(PYTHON) -m repro lint
+
+lint-clean:
+	rm -rf .analysis-cache

@@ -1,0 +1,67 @@
+"""The committed findings baseline (``analysis/baseline.json``).
+
+The baseline grandfathers findings that predate the gate, so ``repro
+lint`` can land green and then ratchet *down*: a finding in the baseline
+is reported but does not fail the run; a finding not in the baseline
+fails it; a baseline entry that no longer fires is *stale* and should be
+dropped with ``repro lint --update-baseline``.  CI treats new findings
+as failures, which means the baseline can only shrink — growing it is a
+reviewed, deliberate act of editing a committed file.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+from repro.errors import ConfigurationError
+
+__all__ = ["load_baseline", "save_baseline", "partition"]
+
+_VERSION = 1
+
+
+def load_baseline(path: str | Path | None) -> list[Finding]:
+    """Read the baseline; a missing file is an empty baseline."""
+    if path is None:
+        return []
+    path = Path(path)
+    if not path.exists():
+        return []
+    try:
+        raw = json.loads(path.read_text())
+        entries = raw["findings"] if isinstance(raw, dict) else raw
+        return [Finding.from_dict(e) for e in entries]
+    except (ValueError, KeyError, TypeError) as exc:
+        raise ConfigurationError(f"corrupt baseline {path}: {exc}") from exc
+
+
+def save_baseline(path: str | Path, findings: list[Finding]) -> None:
+    """Write the baseline (sorted, versioned, one entry per line-ish)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    doc = {
+        "version": _VERSION,
+        "findings": [
+            f.to_dict() for f in sorted(findings, key=Finding.sort_key)
+        ],
+    }
+    path.write_text(json.dumps(doc, indent=2) + "\n")
+
+
+def partition(
+    findings: list[Finding], baseline: list[Finding]
+) -> tuple[list[Finding], list[Finding], list[Finding]]:
+    """Split findings into (new, baselined); third item is stale entries.
+
+    *new* findings are absent from the baseline (these fail the run),
+    *baselined* ones are matched by it, and *stale* baseline entries
+    matched nothing this run (the ratchet: regenerate to drop them).
+    """
+    known = {f.fingerprint() for f in baseline}
+    new = [f for f in findings if f.fingerprint() not in known]
+    baselined = [f for f in findings if f.fingerprint() in known]
+    seen = {f.fingerprint() for f in findings}
+    stale = [b for b in baseline if b.fingerprint() not in seen]
+    return new, baselined, stale

@@ -1,0 +1,182 @@
+"""The ``repro lint`` subcommand.
+
+Exit codes follow the convention of the other gates in this repo:
+
+* ``0`` — no *new* findings (baselined findings are reported, not fatal);
+* ``1`` — at least one finding outside the committed baseline;
+* ``2`` — configuration problem (missing/invalid layers.toml, bad rule
+  filter, unreadable paths).
+
+``--update-baseline`` rewrites ``analysis/baseline.json`` with exactly
+the findings of this run and exits 0 — the ratchet operation after
+fixing (or deliberately accepting) findings.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from repro.analysis.baseline import load_baseline, partition, save_baseline
+from repro.analysis.config import DEFAULT_CONFIG_PATH, load_config
+from repro.analysis.engine import AnalysisEngine
+from repro.analysis.report import LintResult, render_human, render_json
+from repro.analysis.rules import RULE_REGISTRY, all_rules
+from repro.errors import ConfigurationError
+
+__all__ = ["add_lint_arguments", "run_lint"]
+
+#: default cache location (ignored by git; ``make lint-clean`` removes it).
+DEFAULT_CACHE = pathlib.Path(".analysis-cache") / "findings.json"
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files/directories to analyse (default: src/repro)",
+    )
+    parser.add_argument(
+        "--config",
+        default=None,
+        help="layer/hot-zone table (default: analysis/layers.toml)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="committed baseline file (default: analysis/baseline.json; "
+             "'none' disables baselining)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="report format (json is what CI uploads)",
+    )
+    parser.add_argument(
+        "--output",
+        "-o",
+        default=None,
+        help="write the report to a file as well as stdout-on-failure",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        metavar="ID[,ID...]",
+        help="run only these rule ids (default: every registered rule)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline with this run's findings and exit 0",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore and do not write the per-file result cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help=f"cache directory (default: {DEFAULT_CACHE.parent})",
+    )
+    parser.add_argument(
+        "--root",
+        default=None,
+        help="package root directory module paths are relative to "
+             "(default: <repo>/src)",
+    )
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    repo_root = pathlib.Path.cwd()
+    root = pathlib.Path(args.root) if args.root else repo_root / "src"
+    config_path = (
+        pathlib.Path(args.config) if args.config else repo_root / DEFAULT_CONFIG_PATH
+    )
+    baseline_path: pathlib.Path | None
+    if args.baseline == "none":
+        baseline_path = None
+    elif args.baseline:
+        baseline_path = pathlib.Path(args.baseline)
+    else:
+        baseline_path = repo_root / "analysis" / "baseline.json"
+
+    try:
+        config = load_config(config_path)
+    except ConfigurationError as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+
+    rules = all_rules()
+    if args.rules:
+        wanted = [r.strip() for r in args.rules.split(",") if r.strip()]
+        unknown = [r for r in wanted if r not in RULE_REGISTRY]
+        if unknown:
+            print(
+                f"repro lint: unknown rule id(s) {', '.join(unknown)}; "
+                f"known: {', '.join(sorted(RULE_REGISTRY))}",
+                file=sys.stderr,
+            )
+            return 2
+        rules = [RULE_REGISTRY[r] for r in wanted]
+
+    paths = [pathlib.Path(p) for p in args.paths] or [root / config.package]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(
+            f"repro lint: no such path(s): {', '.join(map(str, missing))}",
+            file=sys.stderr,
+        )
+        return 2
+
+    cache_path = None
+    if not args.no_cache:
+        cache_dir = (
+            pathlib.Path(args.cache_dir)
+            if args.cache_dir
+            else repo_root / DEFAULT_CACHE.parent
+        )
+        cache_path = cache_dir / DEFAULT_CACHE.name
+
+    engine = AnalysisEngine(
+        config,
+        root=root,
+        repo_root=repo_root,
+        cache_path=cache_path,
+        rules=rules,
+    )
+    findings = engine.run(paths)
+
+    if args.update_baseline:
+        if baseline_path is None:
+            print("repro lint: --update-baseline needs a baseline path",
+                  file=sys.stderr)
+            return 2
+        save_baseline(baseline_path, findings)
+        print(
+            f"baseline rewritten: {len(findings)} finding(s) -> {baseline_path}"
+        )
+        return 0
+
+    try:
+        baseline = load_baseline(baseline_path)
+    except ConfigurationError as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+    new, baselined, stale = partition(findings, baseline)
+    result = LintResult(
+        findings=findings,
+        new=new,
+        baselined=baselined,
+        stale_baseline=stale,
+        files_checked=engine.files_checked,
+        cache_hits=engine.cache_hits,
+    )
+
+    text = render_json(result) if args.format == "json" else render_human(result)
+    print(text)
+    if args.output:
+        pathlib.Path(args.output).write_text(text + "\n")
+    return 0 if result.ok else 1

@@ -1,0 +1,192 @@
+"""The analysis engine: one process, whole tree, content-hash cached.
+
+For every ``.py`` file the engine parses the source once, hands the
+:class:`~repro.analysis.rules.FileContext` to every registered rule,
+filters the raw findings through the file's inline suppressions, and
+caches the surviving findings keyed by the file's SHA-256 — the same
+content-hash idiom :class:`repro.evaluation.batch.ResultCache` uses for
+simulation results.  A cache entry is valid only under the same *global
+fingerprint* (engine version, every rule's ``(id, version)`` pair, the
+raw config text), so changing a rule or the layer table re-analyses the
+tree while day-to-day runs only re-parse files that changed.
+
+A file that fails to parse yields one ``ENG001`` finding instead of
+crashing the run: a syntax error anywhere must not hide findings
+elsewhere.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+from pathlib import Path
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.findings import Finding
+from repro.analysis.rules import (
+    FileContext,
+    Rule,
+    all_rules,
+    registry_fingerprint,
+)
+from repro.analysis.suppressions import SuppressionIndex
+
+__all__ = ["AnalysisEngine", "analyze_paths", "ENGINE_VERSION"]
+
+#: bump on engine-behaviour changes to invalidate every cache entry.
+ENGINE_VERSION = 1
+
+#: rule id reserved for files the engine itself cannot analyse.
+PARSE_RULE_ID = "ENG001"
+
+
+class AnalysisEngine:
+    """Runs the registered rules over a file tree with result caching."""
+
+    def __init__(
+        self,
+        config: AnalysisConfig,
+        root: str | Path,
+        repo_root: str | Path | None = None,
+        cache_path: str | Path | None = None,
+        rules: list[Rule] | None = None,
+    ) -> None:
+        #: directory the package lives in (``src/``): module paths — what
+        #: hot zones, scopes and layers key on — are relative to it.
+        self.root = Path(root).resolve()
+        #: directory findings' display paths are relative to (repo root).
+        self.repo_root = (
+            Path(repo_root).resolve() if repo_root is not None else self.root
+        )
+        self.config = config
+        self.rules = rules if rules is not None else all_rules()
+        self.cache_path = Path(cache_path) if cache_path is not None else None
+        self._cache: dict[str, dict] = {}
+        self.cache_hits = 0
+        self.files_checked = 0
+        self._fingerprint = self._global_fingerprint()
+        if self.cache_path is not None:
+            self._cache = self._load_cache()
+
+    # ---------------------------------------------------------- fingerprint
+    def _global_fingerprint(self) -> str:
+        """SHA-256 over everything that can change a file's findings
+        besides the file itself (the :func:`job_key` idiom)."""
+        ruleset = tuple((r.id, r.version) for r in self.rules)
+        blob = repr((ENGINE_VERSION, ruleset, registry_fingerprint(),
+                     self.config.source_text))
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+    # ---------------------------------------------------------------- cache
+    def _load_cache(self) -> dict[str, dict]:
+        try:
+            raw = json.loads(self.cache_path.read_text())
+            if raw.get("fingerprint") != self._fingerprint:
+                return {}
+            files = raw.get("files", {})
+            return files if isinstance(files, dict) else {}
+        except (OSError, ValueError, AttributeError):
+            return {}
+
+    def save_cache(self) -> None:
+        if self.cache_path is None:
+            return
+        self.cache_path.parent.mkdir(parents=True, exist_ok=True)
+        doc = {"fingerprint": self._fingerprint, "files": self._cache}
+        self.cache_path.write_text(json.dumps(doc))
+
+    # ------------------------------------------------------------- analysis
+    def module_path_of(self, path: Path) -> str:
+        try:
+            return path.resolve().relative_to(self.root).as_posix()
+        except ValueError:
+            return path.as_posix()
+
+    def display_path_of(self, path: Path) -> str:
+        try:
+            return path.resolve().relative_to(self.repo_root).as_posix()
+        except ValueError:
+            return path.as_posix()
+
+    def analyze_file(self, path: Path) -> list[Finding]:
+        """Findings of one file, post-suppression (cached by content)."""
+        module_path = self.module_path_of(path)
+        display_path = self.display_path_of(path)
+        data = path.read_bytes()
+        digest = hashlib.sha256(data).hexdigest()
+        self.files_checked += 1
+        cached = self._cache.get(module_path)
+        if cached is not None and cached.get("sha256") == digest:
+            self.cache_hits += 1
+            return [Finding.from_dict(e) for e in cached["findings"]]
+
+        source = data.decode("utf-8", errors="replace")
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            findings = [
+                Finding(
+                    rule=PARSE_RULE_ID,
+                    path=display_path,
+                    line=exc.lineno or 1,
+                    col=exc.offset or 0,
+                    message=f"file does not parse: {exc.msg}",
+                )
+            ]
+            self._remember(module_path, digest, findings)
+            return findings
+
+        ctx = FileContext(
+            module_path=module_path,
+            display_path=display_path,
+            source=source,
+            tree=tree,
+            config=self.config,
+        )
+        suppressions = SuppressionIndex(source, tree)
+        findings = [
+            f
+            for rule in self.rules
+            for f in rule.check(ctx)
+            if not suppressions.is_suppressed(f.rule, f.line)
+        ]
+        findings.sort(key=Finding.sort_key)
+        self._remember(module_path, digest, findings)
+        return findings
+
+    def _remember(self, module_path: str, digest: str, findings: list[Finding]) -> None:
+        self._cache[module_path] = {
+            "sha256": digest,
+            "findings": [f.to_dict() for f in findings],
+        }
+
+    def run(self, paths: list[Path]) -> list[Finding]:
+        """Analyse files and directories; returns sorted findings."""
+        files: list[Path] = []
+        for path in paths:
+            if path.is_dir():
+                files.extend(sorted(path.rglob("*.py")))
+            else:
+                files.append(path)
+        findings: list[Finding] = []
+        for file in files:
+            findings.extend(self.analyze_file(file))
+        findings.sort(key=Finding.sort_key)
+        if self.cache_path is not None:
+            self.save_cache()
+        return findings
+
+
+def analyze_paths(
+    paths: list[str | Path],
+    config: AnalysisConfig,
+    root: str | Path,
+    repo_root: str | Path | None = None,
+    cache_path: str | Path | None = None,
+) -> list[Finding]:
+    """One-call convenience wrapper used by tests and the CLI."""
+    engine = AnalysisEngine(
+        config, root=root, repo_root=repo_root, cache_path=cache_path
+    )
+    return engine.run([Path(p) for p in paths])

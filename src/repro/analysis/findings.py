@@ -1,0 +1,47 @@
+"""The finding record shared by every rule, reporter and the baseline."""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One rule violation at one source location.
+
+    ``path`` is repository-relative with forward slashes, so findings
+    (and therefore baseline entries and cache blobs) are identical across
+    machines and operating systems.
+    """
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def fingerprint(self) -> str:
+        """Stable identity used for baseline matching.
+
+        Deliberately excludes the column: wrapping a line must not churn
+        the baseline.  The line number *is* included — the baseline is a
+        ratchet regenerated with ``repro lint --update-baseline``, not a
+        permanent suppression, so drift is expected to surface.
+        """
+        return f"{self.path}:{self.line}:{self.rule}:{self.message}"
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.col, self.rule)
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "Finding":
+        return cls(
+            rule=str(record["rule"]),
+            path=str(record["path"]),
+            line=int(record["line"]),
+            col=int(record.get("col", 0)),
+            message=str(record["message"]),
+        )

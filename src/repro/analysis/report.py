@@ -1,0 +1,93 @@
+"""Reporters for ``repro lint``: a human summary and a JSON document.
+
+The JSON document is the machine interface CI consumes (uploaded as the
+``lint-findings`` artifact) and the fixture tests assert against; the
+human format groups findings by file with ``path:line:col RULE message``
+lines that terminals and editors hyperlink.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import RULE_REGISTRY
+
+__all__ = ["LintResult", "render_human", "render_json"]
+
+#: JSON document schema version.
+REPORT_VERSION = 1
+
+
+@dataclass(slots=True)
+class LintResult:
+    """Everything one lint run produced."""
+
+    findings: list[Finding] = field(default_factory=list)
+    new: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    stale_baseline: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    cache_hits: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.new
+
+
+def render_human(result: LintResult) -> str:
+    lines: list[str] = []
+    baselined_fps = {f.fingerprint() for f in result.baselined}
+    by_path: dict[str, list[Finding]] = {}
+    for f in result.findings:
+        by_path.setdefault(f.path, []).append(f)
+    for path in sorted(by_path):
+        lines.append(path)
+        for f in sorted(by_path[path], key=Finding.sort_key):
+            tag = " [baseline]" if f.fingerprint() in baselined_fps else ""
+            lines.append(f"  {f.path}:{f.line}:{f.col}: {f.rule}{tag} {f.message}")
+        lines.append("")
+    lines.append(
+        f"{len(result.findings)} finding(s) in {result.files_checked} "
+        f"file(s) ({result.cache_hits} cached): {len(result.new)} new, "
+        f"{len(result.baselined)} baselined"
+    )
+    if result.stale_baseline:
+        lines.append(
+            f"note: {len(result.stale_baseline)} stale baseline entr"
+            f"{'y' if len(result.stale_baseline) == 1 else 'ies'} no longer "
+            "fire — ratchet down with 'repro lint --update-baseline'"
+        )
+    if result.new:
+        lines.append(
+            "new findings fail the run; fix them, suppress with "
+            "'# repro: allow[RULE]' + justification, or (deliberately) "
+            "extend analysis/baseline.json"
+        )
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    families = sorted({r.family for r in RULE_REGISTRY.values()})
+    per_rule: dict[str, int] = {}
+    for f in result.findings:
+        per_rule[f.rule] = per_rule.get(f.rule, 0) + 1
+    doc = {
+        "version": REPORT_VERSION,
+        "ok": result.ok,
+        "files_checked": result.files_checked,
+        "cache_hits": result.cache_hits,
+        "families": families,
+        "counts": {
+            "total": len(result.findings),
+            "new": len(result.new),
+            "baselined": len(result.baselined),
+            "stale_baseline": len(result.stale_baseline),
+            "by_rule": dict(sorted(per_rule.items())),
+        },
+        "new": [f.to_dict() for f in result.new],
+        "baselined": [f.to_dict() for f in result.baselined],
+        "stale_baseline": [f.to_dict() for f in result.stale_baseline],
+    }
+    return json.dumps(doc, indent=2)

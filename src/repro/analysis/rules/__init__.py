@@ -1,0 +1,179 @@
+"""Rule registry and the per-file context every rule checks against.
+
+A rule is a small stateless object with an ``id`` (``HOT002``), a
+``family`` (``hot-path``), a one-line ``summary`` for the catalog, and a
+``check(ctx)`` generator yielding :class:`Finding` records.  Importing
+this package registers the four built-in families; third parties (or
+tests) can register more with :func:`register`.
+
+Bumping a rule's ``version`` invalidates cached per-file results for the
+whole tree (the engine folds every ``(id, version)`` pair into its cache
+fingerprint), so a sharpened rule re-examines files whose content did
+not change.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.findings import Finding
+
+__all__ = [
+    "FileContext",
+    "Rule",
+    "RULE_REGISTRY",
+    "all_rules",
+    "iter_functions",
+    "register",
+]
+
+
+@dataclass(slots=True)
+class FileContext:
+    """Everything a rule may ask about one source file."""
+
+    #: path relative to the analysis root (``repro/sched/ruu.py``) —
+    #: what the config's hot zones, scopes and layers are keyed by.
+    module_path: str
+    #: repo-relative path used in findings (``src/repro/sched/ruu.py``).
+    display_path: str
+    source: str
+    tree: ast.Module
+    config: AnalysisConfig
+    _parents: dict[ast.AST, ast.AST] | None = field(default=None, repr=False)
+    _hot_nodes: tuple[ast.AST, ...] | None = field(default=None, repr=False)
+
+    # ------------------------------------------------------------ structure
+    def parent_map(self) -> dict[ast.AST, ast.AST]:
+        if self._parents is None:
+            parents: dict[ast.AST, ast.AST] = {}
+            for node in ast.walk(self.tree):
+                for child in ast.iter_child_nodes(node):
+                    parents[child] = node
+            self._parents = parents
+        return self._parents
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        parents = self.parent_map()
+        while node in parents:
+            node = parents[node]
+            yield node
+
+    # ------------------------------------------------------------ hot zones
+    def hot_function_nodes(self) -> tuple[ast.AST, ...]:
+        """Function definitions the config marks as per-cycle code."""
+        if self._hot_nodes is None:
+            spec = self.config.hot_functions(self.module_path)
+            if not spec:
+                self._hot_nodes = ()
+            elif "*" in spec:
+                self._hot_nodes = tuple(
+                    node for _, node in iter_functions(self.tree)
+                )
+            else:
+                wanted = set(spec)
+                self._hot_nodes = tuple(
+                    node
+                    for qualname, node in iter_functions(self.tree)
+                    if qualname in wanted
+                )
+        return self._hot_nodes
+
+    def in_hot_zone(self, node: ast.AST) -> bool:
+        hot = self.hot_function_nodes()
+        if not hot:
+            return False
+        hot_set = set(hot)
+        if node in hot_set:
+            return True
+        return any(a in hot_set for a in self.ancestors(node))
+
+    def in_raise(self, node: ast.AST) -> bool:
+        """Whether ``node`` sits inside a ``raise`` (error paths are cold)."""
+        return any(isinstance(a, ast.Raise) for a in self.ancestors(node))
+
+    # ------------------------------------------------------------- findings
+    def finding(self, rule_id: str, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule=rule_id,
+            path=self.display_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+def iter_functions(
+    tree: ast.Module,
+) -> Iterator[tuple[str, ast.FunctionDef | ast.AsyncFunctionDef]]:
+    """Yield every function with its class-qualified name.
+
+    ``Processor.step`` for methods, ``helper`` for module functions,
+    ``Outer.Inner.method`` for nesting; functions nested inside other
+    functions keep the enclosing function's prefix.
+    """
+
+    def visit(node: ast.AST, prefix: str) -> Iterator:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{prefix}{child.name}"
+                yield qualname, child
+                yield from visit(child, f"{qualname}.")
+            elif isinstance(child, ast.ClassDef):
+                yield from visit(child, f"{prefix}{child.name}.")
+            else:
+                yield from visit(child, prefix)
+
+    yield from visit(tree, "")
+
+
+class Rule:
+    """Base class: subclass, set the metadata, implement ``check``."""
+
+    id: str = ""
+    family: str = ""
+    summary: str = ""
+    #: bump to invalidate cached results after changing the rule's logic.
+    version: int = 1
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        raise NotImplementedError
+
+
+#: every registered rule, by id.
+RULE_REGISTRY: dict[str, Rule] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding one rule instance to the registry."""
+    rule = cls()
+    if not rule.id or not rule.family:
+        raise ValueError(f"rule {cls.__name__} must define id and family")
+    if rule.id in RULE_REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.id}")
+    RULE_REGISTRY[rule.id] = rule
+    return cls
+
+
+def all_rules() -> list[Rule]:
+    """Registered rules in id order (deterministic check order)."""
+    return [RULE_REGISTRY[rule_id] for rule_id in sorted(RULE_REGISTRY)]
+
+
+def registry_fingerprint() -> tuple[tuple[str, int], ...]:
+    """(id, version) pairs folded into the engine's cache fingerprint."""
+    return tuple((r.id, r.version) for r in all_rules())
+
+
+# populate the registry ----------------------------------------------------
+from repro.analysis.rules import (  # noqa: E402  (registration side effects)
+    concurrency,
+    determinism,
+    hotpath,
+    layering,
+)
+
+__all__ += ["registry_fingerprint"]

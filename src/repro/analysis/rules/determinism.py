@@ -1,0 +1,231 @@
+"""Determinism rules (``DET``): the core model must be a pure function.
+
+Content-keyed result caching (:func:`repro.evaluation.batch.job_key`)
+and the bit-identical disabled-telemetry guarantee are sound only
+because a simulation's outcome depends on nothing but its inputs.
+These rules police the packages the ``[scopes] determinism`` table
+names (the core model: ``core``, ``sched``, ``fabric``, ``steering``,
+``isa``) for the three classic leaks: wall-clock reads, process-global
+randomness, and hashing over unordered views.  Environment reads are
+additionally confined to the declared config modules.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import FileContext, Rule, register
+
+#: wall-clock functions of the ``time`` module.
+_CLOCKS = {
+    "time",
+    "time_ns",
+    "perf_counter",
+    "perf_counter_ns",
+    "monotonic",
+    "monotonic_ns",
+    "process_time",
+    "process_time_ns",
+}
+
+#: ``datetime`` constructors that read the wall clock.
+_DATETIME_NOW = {"now", "utcnow", "today"}
+
+#: module-level ``random`` functions sharing the hidden global RNG.
+_SEEDED_FACTORIES = {"Random", "SystemRandom"}
+
+_DICT_VIEWS = {"keys", "values", "items"}
+
+#: hashing entry points DET003 inspects the arguments of.
+_HASHLIB_ALGOS = {
+    "md5",
+    "sha1",
+    "sha224",
+    "sha256",
+    "sha384",
+    "sha512",
+    "blake2b",
+    "blake2s",
+    "new",
+}
+
+
+def _in_scope(ctx: FileContext) -> bool:
+    return ctx.config.in_scope(ctx.module_path, ctx.config.determinism_scope)
+
+
+def _from_imports(tree: ast.Module, module: str) -> set[str]:
+    """Names bound by ``from <module> import ...`` anywhere in the file."""
+    out: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == module:
+            out.update(alias.asname or alias.name for alias in node.names)
+    return out
+
+
+@register
+class WallClockRead(Rule):
+    id = "DET001"
+    family = "determinism"
+    summary = "wall-clock read in the deterministic core"
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        if not _in_scope(ctx):
+            return
+        time_names = _from_imports(ctx.tree, "time") & _CLOCKS
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            clocked = None
+            if isinstance(func, ast.Attribute):
+                recv = func.value
+                if isinstance(recv, ast.Name) and recv.id == "time" and func.attr in _CLOCKS:
+                    clocked = f"time.{func.attr}"
+                elif func.attr in _DATETIME_NOW and (
+                    (isinstance(recv, ast.Name) and recv.id == "datetime")
+                    or (isinstance(recv, ast.Attribute) and recv.attr == "datetime")
+                ):
+                    clocked = f"datetime.{func.attr}"
+            elif isinstance(func, ast.Name) and func.id in time_names:
+                clocked = func.id
+            if clocked is not None:
+                yield ctx.finding(
+                    self.id,
+                    node,
+                    f"{clocked}() makes results time-dependent; wall-clock "
+                    "belongs in the telemetry/spans layer, not the core "
+                    "model",
+                )
+
+
+@register
+class UnseededRandom(Rule):
+    id = "DET002"
+    family = "determinism"
+    summary = "process-global random used instead of a seeded instance"
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        if not _in_scope(ctx):
+            return
+        loose = _from_imports(ctx.tree, "random") - _SEEDED_FACTORIES
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            bad = None
+            if (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "random"
+                and func.attr not in _SEEDED_FACTORIES
+            ):
+                bad = f"random.{func.attr}"
+            elif isinstance(func, ast.Name) and func.id in loose:
+                bad = func.id
+            if bad is not None:
+                yield ctx.finding(
+                    self.id,
+                    node,
+                    f"{bad}() draws from the hidden process-global RNG; "
+                    "construct random.Random(seed) with an explicit seed "
+                    "parameter instead",
+                )
+
+
+def _contains_unsorted_view(tree: ast.expr) -> ast.AST | None:
+    """An unsorted ``.keys()/.values()/.items()`` call inside ``tree``."""
+
+    def visit(node: ast.AST, under_sorted: bool) -> ast.AST | None:
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in ("sorted", "frozenset", "set", "sum", "min", "max")
+        ):
+            under_sorted = True  # order-insensitive consumers launder the view
+        if (
+            not under_sorted
+            and isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _DICT_VIEWS
+            and not node.args
+        ):
+            return node
+        for child in ast.iter_child_nodes(node):
+            hit = visit(child, under_sorted)
+            if hit is not None:
+                return hit
+        return None
+
+    return visit(tree, False)
+
+
+@register
+class DictOrderHashing(Rule):
+    id = "DET003"
+    family = "determinism"
+    summary = "hashing over an unsorted dict view"
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        if not _in_scope(ctx):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            is_hash = isinstance(func, ast.Name) and func.id == "hash"
+            is_hashlib = (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "hashlib"
+                and func.attr in _HASHLIB_ALGOS
+            )
+            if not (is_hash or is_hashlib):
+                continue
+            for arg in node.args:
+                view = _contains_unsorted_view(arg)
+                if view is not None:
+                    yield ctx.finding(
+                        self.id,
+                        view,
+                        "hashing over an unsorted dict view bakes insertion "
+                        "order into the digest; wrap the view in sorted()",
+                    )
+
+
+@register
+class EnvRead(Rule):
+    id = "DET004"
+    family = "determinism"
+    summary = "os.environ read outside the config layer"
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        if not _in_scope(ctx) or ctx.config.is_config_module(ctx.module_path):
+            return
+        for node in ast.walk(ctx.tree):
+            hit = None
+            if (
+                isinstance(node, ast.Attribute)
+                and node.attr == "environ"
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "os"
+            ):
+                hit = "os.environ"
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "getenv"
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == "os"
+            ):
+                hit = "os.getenv"
+            if hit is not None:
+                yield ctx.finding(
+                    self.id,
+                    node,
+                    f"{hit} read in the core model hides an input from the "
+                    "content key; route it through the declared config "
+                    "modules (scopes.config_modules) instead",
+                )

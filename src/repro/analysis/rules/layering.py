@@ -1,0 +1,83 @@
+"""Layering rules (``LAY``): the import DAG stays a DAG.
+
+``analysis/layers.toml`` declares, per layer (top-level package or
+module under ``repro``), which layers it may import.  ``LAY001`` flags
+any import edge missing from the table — including function-local
+imports, which is where back-edges usually hide — and ``LAY002`` flags
+modules whose layer the table does not know about, so a new top-level
+package must be placed into the DAG before it can land.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import FileContext, Rule, register
+
+
+def _import_targets(node: ast.AST) -> list[str]:
+    if isinstance(node, ast.Import):
+        return [alias.name for alias in node.names]
+    if isinstance(node, ast.ImportFrom):
+        # relative imports stay inside the package -> same layer, allowed
+        if node.level and node.level > 0:
+            return []
+        return [node.module] if node.module else []
+    return []
+
+
+@register
+class IllegalImportEdge(Rule):
+    id = "LAY001"
+    family = "layering"
+    summary = "import edge not allowed by the layer DAG"
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        src_layer = ctx.config.layer_of(ctx.module_path)
+        if src_layer is None or src_layer not in ctx.config.layers:
+            return  # LAY002 reports the undeclared layer once
+        for node in ast.walk(ctx.tree):
+            for dotted in _import_targets(node):
+                dst_layer = ctx.config.layer_of_import(dotted)
+                if dst_layer is None:
+                    continue  # stdlib / external
+                if not ctx.config.edge_allowed(src_layer, dst_layer):
+                    detail = (
+                        "an undeclared layer"
+                        if dst_layer not in ctx.config.layers
+                        else f"not in {src_layer}'s allowed imports"
+                    )
+                    yield ctx.finding(
+                        self.id,
+                        node,
+                        f"layer {src_layer!r} imports {dotted} "
+                        f"({dst_layer!r} is {detail}); fix the dependency "
+                        "direction or declare the edge in "
+                        "analysis/layers.toml",
+                    )
+
+
+@register
+class UndeclaredLayer(Rule):
+    id = "LAY002"
+    family = "layering"
+    summary = "module outside every declared layer"
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        src_layer = ctx.config.layer_of(ctx.module_path)
+        if src_layer is None:
+            return  # not under the analysed package at all
+        if src_layer not in ctx.config.layers:
+            yield Finding(
+                rule=self.id,
+                path=ctx.display_path,
+                line=1,
+                col=0,
+                message=(
+                    f"layer {src_layer!r} is not declared in "
+                    "analysis/layers.toml; add it to the [layers] table "
+                    "with its allowed imports"
+                ),
+            )

@@ -1,0 +1,112 @@
+"""Inline suppression comments: ``# repro: allow[RULE-ID]``.
+
+A suppression names the rule(s) it silences — ``# repro: allow[HOT002]``
+or ``# repro: allow[HOT001,DET001]`` — and applies to:
+
+* the line it sits on (trailing-comment style), or — when the comment
+  has a line of its own — the line directly below it (comment-above
+  style; a *trailing* comment never leaks onto the next line);
+* the entire definition, when it sits on a ``def``/``class`` header, one
+  of its decorator lines, or anywhere in the contiguous comment block
+  directly above the header — the idiom for "every telemetry call in
+  this function is justified" without one comment per call, with room
+  for a multi-line justification.
+
+Blanket suppression is deliberately impossible: there is no bare
+``allow`` form and no ``allow[*]``; every silenced finding names the
+rule it silences, so ``grep 'repro: allow'`` is a complete audit.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+
+__all__ = ["SuppressionIndex", "collect_suppression_comments"]
+
+#: the comment grammar; ids are comma-separated rule names.
+_PATTERN = re.compile(r"#\s*repro:\s*allow\[([A-Za-z0-9_,\s-]+)\]")
+
+
+def collect_suppression_comments(
+    source: str,
+) -> tuple[dict[int, frozenset[str]], frozenset[int]]:
+    """Scan comments; returns (line -> suppressed rule ids, comment lines).
+
+    The second element holds every comment-*only* line (suppressing or
+    not): those are the lines whose suppressions apply one line down and
+    through which scoped lookup walks a contiguous justification block
+    above a definition header.  Trailing comments only ever cover their
+    own line.
+    """
+    out: dict[int, frozenset[str]] = {}
+    comment_lines: set[int] = set()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            line = tok.start[0]
+            if tok.line[: tok.start[1]].strip() == "":
+                comment_lines.add(line)
+            match = _PATTERN.search(tok.string)
+            if match is None:
+                continue
+            ids = frozenset(
+                part.strip() for part in match.group(1).split(",") if part.strip()
+            )
+            if ids:
+                out[line] = out.get(line, frozenset()) | ids
+    except (tokenize.TokenizeError, SyntaxError, IndentationError):
+        # the engine reports unparsable files through its own channel
+        pass
+    return out, frozenset(comment_lines)
+
+
+class SuppressionIndex:
+    """Answers "is rule R suppressed at line L?" for one file."""
+
+    __slots__ = ("_by_line", "_own_line", "_scoped")
+
+    def __init__(self, source: str, tree: ast.AST | None) -> None:
+        self._by_line, self._own_line = collect_suppression_comments(source)
+        comment_lines = self._own_line
+        #: (first line, last line, rule ids) per suppressed definition.
+        self._scoped: list[tuple[int, int, frozenset[str]]] = []
+        if tree is not None:
+            for node in ast.walk(tree):
+                if not isinstance(
+                    node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                ):
+                    continue
+                header_lines = [node.lineno]
+                header_lines.extend(d.lineno for d in node.decorator_list)
+                ids: frozenset[str] = frozenset()
+                for line in header_lines:
+                    ids |= self._by_line.get(line, frozenset())
+                # the contiguous comment block above the header (or above
+                # the first decorator) — multi-line justifications welcome
+                above = min(header_lines) - 1
+                while above in comment_lines:
+                    ids |= self._by_line.get(above, frozenset())
+                    above -= 1
+                if ids:
+                    start = min(header_lines)
+                    end = node.end_lineno or node.lineno
+                    self._scoped.append((start, end, ids))
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        direct = self._by_line.get(line, frozenset())
+        if line - 1 in self._own_line:  # comment-above, not trailing
+            direct = direct | self._by_line.get(line - 1, frozenset())
+        if rule in direct:
+            return True
+        return any(
+            start <= line <= end and rule in ids
+            for start, end, ids in self._scoped
+        )
+
+    def __bool__(self) -> bool:
+        return bool(self._by_line)

@@ -23,10 +23,10 @@ from repro.circuits.netlist import (
     build_popcount,
     build_ripple_adder,
 )
+from repro.circuits.shifters import SUM_WIDTH, hardwired_shifts
 from repro.errors import CircuitError
 from repro.fabric.configuration import FFU_COUNTS, PREDEFINED_CONFIGS, Configuration
 from repro.isa.futypes import FU_TYPES, NUM_FU_TYPES
-from repro.steering.error_metric import SUM_WIDTH, hardwired_shifts
 
 __all__ = ["build_selection_core", "build_requirement_encoders", "SelectionCore"]
 

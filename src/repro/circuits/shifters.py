@@ -19,9 +19,22 @@ selects divide-by-2.
 from __future__ import annotations
 
 from repro.errors import CircuitError
+from repro.fabric.configuration import FFU_COUNTS, Configuration
+from repro.isa.futypes import FU_TYPES
 from repro.utils.bitops import mask
 
-__all__ = ["barrel_shift_right", "cem_shift_control"]
+__all__ = [
+    "COUNT_WIDTH",
+    "SUM_WIDTH",
+    "barrel_shift_right",
+    "cem_shift_control",
+    "hardwired_shifts",
+]
+
+#: bit width of a per-type required count.
+COUNT_WIDTH = 3
+#: bit width of the summed error metric (five 3-bit terms <= 35).
+SUM_WIDTH = 6
 
 
 def barrel_shift_right(value: int, shift: int, width: int) -> int:
@@ -54,3 +67,20 @@ def cem_shift_control(available: int, width: int = 3) -> int:
     if next_lower:
         return 1
     return 0
+
+
+def hardwired_shifts(
+    config: Configuration, ffu_counts: dict | None = None
+) -> tuple[int, ...]:
+    """Shift amounts wired into a predefined configuration's CEM generator.
+
+    The available count of each type is the configuration's unit count plus
+    the fixed units; the shifter divides by that count rounded down to a
+    power of two (max 4).
+    """
+    ffus = FFU_COUNTS if ffu_counts is None else ffu_counts
+    shifts = []
+    for t in FU_TYPES:
+        avail = config.count(t) + ffus.get(t, 0)
+        shifts.append(cem_shift_control(min(avail, 7)))
+    return tuple(shifts)

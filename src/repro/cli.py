@@ -15,6 +15,9 @@ Commands
     Run with event recording and print the fabric-occupancy timeline.
 ``serve [--port N] [--store runs.sqlite] [--cache-dir .report-cache]``
     Serve the run store + dashboard over HTTP (see docs/serving.md).
+``lint [--format json] [--update-baseline]``
+    Static analysis of the simulator's performance/determinism/
+    concurrency/layering invariants (see docs/static-analysis.md).
 """
 
 from __future__ import annotations
@@ -224,6 +227,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.cli import run_lint
+
+    return run_lint(args)
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     program = _load_program(args.target)
     proc = Processor(
@@ -330,6 +339,16 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="log one structured line per HTTP request "
                           "(method, path, status, latency)")
     srv.set_defaults(func=_cmd_serve)
+
+    lint = sub.add_parser(
+        "lint",
+        help="check the tree against the performance/determinism/"
+             "concurrency/layering invariants",
+    )
+    from repro.analysis.cli import add_lint_arguments
+
+    add_lint_arguments(lint)
+    lint.set_defaults(func=_cmd_lint)
 
     trace = sub.add_parser("trace", help="print the fabric timeline")
     add_sim_args(trace)

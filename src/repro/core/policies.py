@@ -188,14 +188,20 @@ class DemandSteering(SteeringPolicy):
         self.loader: ConfigurationLoader | None = None
         #: synthesized targets adopted over the run (for tracing/tests).
         self.retargets: list[Configuration] = []
+        #: per-cycle scratch for the decoded window (the encoder only
+        #: iterates it), so cycle() allocates nothing.
+        self._scratch_onehots: list[int] = []
 
     def bind(self, fabric: Fabric) -> None:
         super().bind(fabric)
         self.loader = ConfigurationLoader(fabric)
 
     def cycle(self, ready: Sequence[Instruction], retired: int) -> None:
-        window = list(ready)[: self.queue_size]
-        required = self._encoder([self._decoder(i) for i in window])
+        onehots = self._scratch_onehots
+        onehots.clear()
+        for k in range(min(len(ready), self.queue_size)):
+            onehots.append(self._decoder(ready[k]))
+        required = self._encoder(onehots)
         self.synthesizer.observe(required)
         target = self.synthesizer.synthesize()
         if self.synthesizer.should_retarget(target, self.loader.current_counts()):

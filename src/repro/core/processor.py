@@ -17,6 +17,8 @@ discipline so a value never traverses two stages in one cycle):
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 from repro.core.params import ProcessorParams
 from repro.core.policies import PaperSteering, SteeringPolicy
 from repro.core.stats import SimulationResult
@@ -97,7 +99,9 @@ class Processor:
         # as the tuples/lists the step already produced, so the fast path
         # never builds a CycleEvents or renders slot glyphs.
         self._last_cycle: int | None = None
-        self._last_fetched: tuple[int, ...] = ()
+        #: the raw fetch packet of the last cycle; pcs are materialised only
+        #: when snapshot_events() asks, never in the per-cycle loop.
+        self._last_packet: Sequence = ()
         self._last_dispatched: list[int] = []
         self._last_issued: tuple[int, ...] = ()
         self._last_retired: list = []
@@ -172,33 +176,23 @@ class Processor:
                 dispatched.append(self.ruu.dispatch(fetched).seq)
 
         # 4. fetch into decode
-        fetched_pcs: tuple[int, ...] = ()
+        packet: Sequence = ()
         if not self.ruu.halted and self.decode.can_accept(self.params.fetch_width):
-            packet = self.fetch.fetch_packet()
-            if packet:
-                self.decode.push(packet)
-                fetched_pcs = tuple(f.pc for f in packet)
+            fetched_packet = self.fetch.fetch_packet()
+            if fetched_packet:
+                self.decode.push(fetched_packet)
+                packet = fetched_packet
 
         # 5. steering policy
         self.policy.cycle(self.ruu.ready_unscheduled(), self.ruu.retired)
 
         # 6. record + advance time
         if self._record_events:
-            self._last_events = CycleEvents(
-                cycle=self.cycle_count,
-                fetched=fetched_pcs,
-                dispatched=tuple(dispatched),
-                issued=issued_seqs,
-                retired=tuple(e.seq for e in retired),
-                flushed=flushed,
-                slots=slot_glyphs(self.fabric),
-                selection=self._current_selection(),
-            )
-            self.events.append(self._last_events)
+            self._record_cycle(packet, dispatched, issued_seqs, retired, flushed)
         else:
             # fast path: stash the raw facts; snapshot_events() materialises
             # a CycleEvents on demand
-            self._last_fetched = fetched_pcs
+            self._last_packet = packet
             self._last_dispatched = dispatched
             self._last_issued = issued_seqs
             self._last_retired = retired
@@ -211,6 +205,8 @@ class Processor:
             tel.on_cycle(self, len(issued_seqs), len(retired), flushed)
         self.cycle_count += 1
 
+    # repro: allow[DET001] -- stage profiling *is* the telemetry layer:
+    # wall-clock readings feed tel.stage_seconds only, never the results
     def _step_profiled(self, tel) -> None:
         """Stage-timed mirror of :meth:`step` (telemetry profiling mode).
 
@@ -256,12 +252,12 @@ class Processor:
         tel.stage_seconds("dispatch", t3 - t2)
 
         # 4. fetch into decode
-        fetched_pcs: tuple[int, ...] = ()
+        packet: Sequence = ()
         if not self.ruu.halted and self.decode.can_accept(self.params.fetch_width):
-            packet = self.fetch.fetch_packet()
-            if packet:
-                self.decode.push(packet)
-                fetched_pcs = tuple(f.pc for f in packet)
+            fetched_packet = self.fetch.fetch_packet()
+            if fetched_packet:
+                self.decode.push(fetched_packet)
+                packet = fetched_packet
         t4 = perf_counter()
         tel.stage_seconds("fetch", t4 - t3)
 
@@ -272,19 +268,9 @@ class Processor:
 
         # 6. record + advance time
         if self._record_events:
-            self._last_events = CycleEvents(
-                cycle=self.cycle_count,
-                fetched=fetched_pcs,
-                dispatched=tuple(dispatched),
-                issued=issued_seqs,
-                retired=tuple(e.seq for e in retired),
-                flushed=flushed,
-                slots=slot_glyphs(self.fabric),
-                selection=self._current_selection(),
-            )
-            self.events.append(self._last_events)
+            self._record_cycle(packet, dispatched, issued_seqs, retired, flushed)
         else:
-            self._last_fetched = fetched_pcs
+            self._last_packet = packet
             self._last_dispatched = dispatched
             self._last_issued = issued_seqs
             self._last_retired = retired
@@ -296,6 +282,24 @@ class Processor:
         tel.stage_seconds("tick", perf_counter() - t5)
         tel.on_cycle(self, len(issued_seqs), len(retired), flushed)
         self.cycle_count += 1
+
+    def _record_cycle(
+        self, packet, dispatched, issued_seqs, retired, flushed
+    ) -> None:
+        """Recording-mode tail of a step: materialise and store the cycle's
+        events.  Cold by construction — only runs when per-cycle recording
+        was requested, so its allocations never tax the fast path."""
+        self._last_events = CycleEvents(
+            cycle=self.cycle_count,
+            fetched=tuple(f.pc for f in packet),
+            dispatched=tuple(dispatched),
+            issued=issued_seqs,
+            retired=tuple(e.seq for e in retired),
+            flushed=flushed,
+            slots=slot_glyphs(self.fabric),
+            selection=self._current_selection(),
+        )
+        self.events.append(self._last_events)
 
     def _current_selection(self) -> int | None:
         """The steering selection of the most recent manager cycle (only
@@ -329,7 +333,7 @@ class Processor:
             return None
         return CycleEvents(
             cycle=self._last_cycle,
-            fetched=self._last_fetched,
+            fetched=tuple(f.pc for f in self._last_packet),
             dispatched=tuple(self._last_dispatched),
             issued=self._last_issued,
             retired=tuple(e.seq for e in self._last_retired),

@@ -292,6 +292,8 @@ def program_key(program: Program) -> str:
 _WORKER_PROGRAMS: dict[str, Program] = {}
 
 
+# repro: allow[CON002] -- worker-process-local state: each pool worker owns
+# its copy of _WORKER_PROGRAMS; no threads share it
 def _init_worker(programs: dict[str, Program]) -> None:
     """Pool initializer: install the batch's distinct programs.
 
@@ -343,6 +345,7 @@ def _shm_unregister(block) -> None:
         pass
 
 
+# repro: allow[CON002] -- worker-process-local state, as in _init_worker
 def _init_worker_shm(name: str, size: int) -> None:
     """Pool initializer (spawn path): read the registry out of shared memory."""
     from multiprocessing import shared_memory

@@ -30,21 +30,18 @@ path is pinned to the rescan it replaced.
 
 from __future__ import annotations
 
-import os
 from collections.abc import Sequence
 
 from repro.errors import FabricError
 from repro.fabric.allocation import EMPTY_ENCODING, SPAN_ENCODING
 from repro.fabric.units import FunctionalUnit
 from repro.isa.futypes import FU_TYPES, FUType
+from repro.utils.env import env_flag
 
 __all__ = ["available", "availability_report", "AvailabilityCache"]
 
 #: default for the per-query rescan cross-check (debug mode).
-_CROSSCHECK_DEFAULT = os.environ.get("REPRO_AVAILABILITY_CROSSCHECK", "") not in (
-    "",
-    "0",
-)
+_CROSSCHECK_DEFAULT = env_flag("REPRO_AVAILABILITY_CROSSCHECK")
 
 
 def available(

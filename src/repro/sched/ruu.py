@@ -39,7 +39,7 @@ from repro.sched.wakeup import WakeupArray
 __all__ = ["BranchResolution", "IssueReport", "RegisterUpdateUnit"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BranchResolution:
     """A control instruction resolved this cycle."""
 
@@ -111,6 +111,10 @@ class RegisterUpdateUnit:
         #: youngest in-flight writer of each register: (class, idx) -> seq.
         self._rename: dict[tuple[str, int], int] = {}
         self._next_seq = 0
+        #: per-cycle scratch containers, reused so the issue/dispatch hot
+        #: paths allocate nothing (HOT001/HOT002 discipline).
+        self._scratch_remaining: dict[FUType, int] = {}
+        self._scratch_dep_rows: set[int] = set()
         self.halted = False
         # statistics ------------------------------------------------------
         self.dispatched = 0
@@ -135,6 +139,8 @@ class RegisterUpdateUnit:
         """In-flight entries oldest first."""
         return list(self._order)
 
+    # repro: allow[HOT001] -- interface contract: callers receive a fresh
+    # list they may keep across cycles (steering policies slice and store it)
     def ready_unscheduled(self) -> list[Instruction]:
         """The instructions the configuration manager inspects: queue
         entries that have not yet been granted execution."""
@@ -156,7 +162,9 @@ class RegisterUpdateUnit:
         spec = instr.spec
 
         bindings: list[SourceBinding | None] = []
-        dep_rows: set[int] = set()
+        # reused scratch: WakeupArray.insert only iterates it, never keeps it
+        dep_rows = self._scratch_dep_rows
+        dep_rows.clear()
         for cls, idx in (
             (spec.src1, instr.rs1),
             (spec.src2, instr.rs2),
@@ -281,7 +289,10 @@ class RegisterUpdateUnit:
         # the age-ordered window so no triple list is built or sorted)
         granted_rows: list[int] = []
         if req_mask:
-            remaining = dict(self.fabric.idle_counts())
+            # overwrite-in-place copy of the live counts (all five types are
+            # always keyed), so the grant loop can decrement freely
+            remaining = self._scratch_remaining
+            remaining.update(self.fabric.idle_counts())
             row_by_seq = self._row_by_seq
             for e in self._order:  # oldest first by construction
                 row = row_by_seq[e.seq]

@@ -53,23 +53,25 @@ CREATE INDEX IF NOT EXISTS runs_experiment ON runs (experiment, created);
 """
 
 _git_rev_cache: str | None = None
+_git_rev_lock = threading.Lock()
 
 
 def current_git_rev() -> str:
     """Short git revision of the working tree ('' outside a checkout)."""
     global _git_rev_cache
-    if _git_rev_cache is None:
-        try:
-            _git_rev_cache = subprocess.run(
-                ["git", "rev-parse", "--short", "HEAD"],
-                capture_output=True,
-                text=True,
-                timeout=5,
-                check=True,
-            ).stdout.strip()
-        except (OSError, subprocess.SubprocessError):
-            _git_rev_cache = ""
-    return _git_rev_cache
+    with _git_rev_lock:
+        if _git_rev_cache is None:
+            try:
+                _git_rev_cache = subprocess.run(
+                    ["git", "rev-parse", "--short", "HEAD"],
+                    capture_output=True,
+                    text=True,
+                    timeout=5,
+                    check=True,
+                ).stdout.strip()
+            except (OSError, subprocess.SubprocessError):
+                _git_rev_cache = ""
+        return _git_rev_cache
 
 
 def metrics_of(result: Any) -> dict[str, float]:
@@ -116,6 +118,7 @@ class RunStore:
             self._migrate()
 
     # ------------------------------------------------------------- schema
+    # repro: allow[CON001] -- only called from __init__, which holds _lock
     def _migrate(self) -> None:
         version = self._conn.execute("PRAGMA user_version").fetchone()[0]
         if version > SCHEMA_VERSION:

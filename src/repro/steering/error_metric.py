@@ -26,32 +26,28 @@ from __future__ import annotations
 from collections.abc import Sequence
 
 from repro.circuits.adders import multi_operand_add
-from repro.circuits.shifters import barrel_shift_right, cem_shift_control
+from repro.circuits.shifters import (
+    COUNT_WIDTH,
+    SUM_WIDTH,
+    barrel_shift_right,
+    cem_shift_control,
+    hardwired_shifts,
+)
 from repro.errors import ConfigurationError
 from repro.fabric.configuration import FFU_COUNTS, Configuration
 from repro.isa.futypes import FU_TYPES, NUM_FU_TYPES
 
-__all__ = ["hardwired_shifts", "cem_error", "exact_error", "ErrorMetricGenerator"]
-
-#: bit width of a per-type required count.
-COUNT_WIDTH = 3
-#: bit width of the summed error metric (five 3-bit terms <= 35).
-SUM_WIDTH = 6
-
-
-def hardwired_shifts(config: Configuration, ffu_counts: dict | None = None) -> tuple[int, ...]:
-    """Shift amounts wired into a predefined configuration's CEM generator.
-
-    The available count of each type is the configuration's unit count plus
-    the fixed units; the shifter divides by that count rounded down to a
-    power of two (max 4).
-    """
-    ffus = FFU_COUNTS if ffu_counts is None else ffu_counts
-    shifts = []
-    for t in FU_TYPES:
-        avail = config.count(t) + ffus.get(t, 0)
-        shifts.append(cem_shift_control(min(avail, 7)))
-    return tuple(shifts)
+# COUNT_WIDTH, SUM_WIDTH and hardwired_shifts live with the shifter
+# hardware in repro.circuits.shifters (steering sits above circuits in the
+# layer DAG); re-exported here because they are part of the CEM interface.
+__all__ = [
+    "COUNT_WIDTH",
+    "SUM_WIDTH",
+    "hardwired_shifts",
+    "cem_error",
+    "exact_error",
+    "ErrorMetricGenerator",
+]
 
 
 def cem_error(required: Sequence[int], shifts: Sequence[int]) -> int:

@@ -28,7 +28,7 @@ from repro.isa.futypes import FU_TYPES, FUType
 __all__ = ["LoadPlan", "ConfigurationLoader"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LoadPlan:
     """One reconfiguration the loader has initiated."""
 
@@ -38,7 +38,7 @@ class LoadPlan:
     latency: int
 
 
-@dataclass
+@dataclass(slots=True)
 class _RunCandidate:
     head: int
     evictions: int

@@ -28,7 +28,7 @@ from repro.steering.selection import ConfigurationSelectionUnit, SelectionResult
 __all__ = ["ManagerStats", "ConfigurationManager"]
 
 
-@dataclass
+@dataclass(slots=True)
 class ManagerStats:
     """Aggregate behaviour of the configuration manager."""
 

@@ -37,7 +37,7 @@ _DISTANCE_WIDTH = 6
 _MEMO_CAPACITY = 16384
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SelectionResult:
     """Outcome of one selection-unit evaluation."""
 
@@ -130,6 +130,9 @@ class ConfigurationSelectionUnit:
         return tuple(out)
 
     # ------------------------------------------------------------ end-to-end
+    # repro: allow[HOT001] -- the memo key must be a fresh tuple (it is
+    # stored in the memo), and everything past the memo hit is the miss
+    # path: those allocations are exactly what the memo amortises away
     def select(
         self,
         queue: Sequence[Instruction | int],
@@ -145,7 +148,7 @@ class ConfigurationSelectionUnit:
             raise ValueError(
                 f"current_counts needs {len(FU_TYPES)} entries, got {len(current_counts)}"
             )
-        window = list(queue)[: self.queue_size]
+        window = queue[: self.queue_size]
         memo_key = (
             tuple(
                 item.fu_type.bit_index

@@ -1,0 +1,122 @@
+"""Engine behaviour: caching by content hash, parse errors, determinism."""
+
+import json
+import textwrap
+
+from repro.analysis.engine import PARSE_RULE_ID, AnalysisEngine
+from tests.analysis.conftest import make_test_config
+
+HOT = textwrap.dedent("""
+    class Kernel:
+        def step(self):
+            return [x for x in self.window]
+""")
+
+CLEAN = "X = 1\n"
+
+
+def write_tree(tmp_path, files):
+    for rel, source in files.items():
+        target = tmp_path / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source)
+    return [tmp_path / rel for rel in sorted(files)]
+
+
+def make_engine(tmp_path, cache_path=None, config=None):
+    return AnalysisEngine(
+        config or make_test_config(),
+        root=tmp_path,
+        repo_root=tmp_path,
+        cache_path=cache_path,
+    )
+
+
+class TestCaching:
+    def test_second_run_hits_cache_with_identical_findings(self, tmp_path):
+        paths = write_tree(
+            tmp_path, {"repro/sched/hot.py": HOT, "repro/isa/ok.py": CLEAN}
+        )
+        cache = tmp_path / ".cache" / "findings.json"
+
+        first_engine = make_engine(tmp_path, cache)
+        first = first_engine.run(paths)
+        assert first_engine.cache_hits == 0
+
+        second_engine = make_engine(tmp_path, cache)
+        second = second_engine.run(paths)
+        assert second_engine.cache_hits == 2
+        assert [f.to_dict() for f in first] == [f.to_dict() for f in second]
+
+    def test_changed_file_reanalysed_others_cached(self, tmp_path):
+        paths = write_tree(
+            tmp_path, {"repro/sched/hot.py": HOT, "repro/isa/ok.py": CLEAN}
+        )
+        cache = tmp_path / ".cache" / "findings.json"
+        make_engine(tmp_path, cache).run(paths)
+
+        (tmp_path / "repro/sched/hot.py").write_text(
+            HOT.replace("step", "tick")
+        )
+        engine = make_engine(tmp_path, cache)
+        findings = engine.run(paths)
+        assert engine.cache_hits == 1
+        assert [f.rule for f in findings] == ["HOT001"]
+
+    def test_config_change_invalidates_whole_cache(self, tmp_path):
+        paths = write_tree(tmp_path, {"repro/isa/ok.py": CLEAN})
+        cache = tmp_path / ".cache" / "findings.json"
+        make_engine(tmp_path, cache).run(paths)
+
+        changed = make_test_config()
+        changed.source_text = "<different>"
+        engine = make_engine(tmp_path, cache, config=changed)
+        engine.run(paths)
+        assert engine.cache_hits == 0
+
+    def test_corrupt_cache_file_ignored(self, tmp_path):
+        paths = write_tree(tmp_path, {"repro/isa/ok.py": CLEAN})
+        cache = tmp_path / ".cache" / "findings.json"
+        cache.parent.mkdir(parents=True)
+        cache.write_text("{not json")
+        engine = make_engine(tmp_path, cache)
+        assert engine.run(paths) == []
+
+    def test_cache_document_shape(self, tmp_path):
+        paths = write_tree(tmp_path, {"repro/isa/ok.py": CLEAN})
+        cache = tmp_path / ".cache" / "findings.json"
+        make_engine(tmp_path, cache).run(paths)
+        doc = json.loads(cache.read_text())
+        assert set(doc) == {"fingerprint", "files"}
+        assert "repro/isa/ok.py" in doc["files"]
+        assert set(doc["files"]["repro/isa/ok.py"]) == {"sha256", "findings"}
+
+
+class TestParseErrors:
+    def test_syntax_error_becomes_finding_not_crash(self, tmp_path):
+        paths = write_tree(
+            tmp_path,
+            {
+                "repro/isa/broken.py": "def f(:\n",
+                "repro/sched/hot.py": HOT,
+            },
+        )
+        findings = make_engine(tmp_path).run(paths)
+        rules = [f.rule for f in findings]
+        assert PARSE_RULE_ID in rules  # the broken file is reported...
+        assert "HOT001" in rules  # ...and the rest is still analysed
+
+
+class TestDeterminism:
+    def test_findings_sorted_and_stable(self, tmp_path):
+        paths = write_tree(
+            tmp_path,
+            {
+                "repro/sched/hot.py": HOT,
+                "repro/sched/zz.py": "import repro.serving\n",
+            },
+        )
+        a = make_engine(tmp_path).run(paths)
+        b = make_engine(tmp_path).run(list(reversed(paths)))
+        assert [f.to_dict() for f in a] == [f.to_dict() for f in b]
+        assert a == sorted(a, key=lambda f: f.sort_key())

@@ -1,0 +1,144 @@
+"""CON rule family: the threaded serving layer's locking discipline."""
+
+import textwrap
+
+
+def src(body: str) -> str:
+    return textwrap.dedent(body)
+
+
+def ids(findings):
+    return [f.rule for f in findings]
+
+
+PATH = "repro/serving/store.py"
+
+
+class TestSqliteLocking:
+    def test_execute_outside_lock_flagged(self, lint_tree):
+        findings = lint_tree({PATH: src("""
+            class Store:
+                def list_runs(self):
+                    return self._conn.execute("SELECT 1").fetchall()
+        """)})
+        # fetchall's receiver is the execute() call, not a named connection,
+        # so only the execute itself is flagged
+        assert ids(findings) == ["CON001"]
+
+    def test_commit_outside_lock_flagged(self, lint_tree):
+        findings = lint_tree({PATH: src("""
+            class Store:
+                def save(self):
+                    self._conn.commit()
+        """)})
+        assert ids(findings) == ["CON001"]
+
+    def test_execute_under_lock_ok(self, lint_tree):
+        findings = lint_tree({PATH: src("""
+            class Store:
+                def list_runs(self):
+                    with self._lock:
+                        return self._conn.execute("SELECT 1").fetchall()
+        """)})
+        assert findings == []
+
+    def test_unrelated_execute_receiver_ok(self, lint_tree):
+        findings = lint_tree({PATH: src("""
+            class Runner:
+                def go(self):
+                    return self.pool.execute(job)
+        """)})
+        assert findings == []
+
+    def test_out_of_scope_file_ok(self, lint_tree):
+        findings = lint_tree({"repro/sched/cold.py": src("""
+            class Store:
+                def save(self):
+                    self._conn.commit()
+        """)})
+        assert findings == []
+
+
+class TestSharedModuleState:
+    def test_module_dict_mutated_in_function_flagged(self, lint_tree):
+        findings = lint_tree({PATH: src("""
+            _CACHE = {}
+
+            def remember(key, value):
+                _CACHE[key] = value
+        """)})
+        assert ids(findings) == ["CON002"]
+
+    def test_global_reassignment_flagged(self, lint_tree):
+        findings = lint_tree({PATH: src("""
+            _rev = None
+
+            def current_rev():
+                global _rev
+                if _rev is None:
+                    _rev = compute()
+                return _rev
+        """)})
+        assert ids(findings) == ["CON002"]
+
+    def test_mutation_under_lock_ok(self, lint_tree):
+        findings = lint_tree({PATH: src("""
+            import threading
+
+            _CACHE = {}
+            _CACHE_LOCK = threading.Lock()
+
+            def remember(key, value):
+                with _CACHE_LOCK:
+                    _CACHE[key] = value
+        """)})
+        assert findings == []
+
+    def test_module_level_initialisation_ok(self, lint_tree):
+        findings = lint_tree({PATH: src("""
+            _CACHE = {}
+            _CACHE.update({"seed": 1})
+        """)})
+        assert findings == []
+
+
+class TestPerRequestPrimitives:
+    def test_lock_built_in_handler_flagged(self, lint_tree):
+        findings = lint_tree({PATH: src("""
+            import threading
+
+            class Handler:
+                def do_GET(self):
+                    lock = threading.Lock()
+                    with lock:
+                        return self.render()
+        """)})
+        assert ids(findings) == ["CON003"]
+
+    def test_event_built_in_function_flagged(self, lint_tree):
+        findings = lint_tree({PATH: src("""
+            import threading
+
+            def wait_for_result():
+                done = threading.Event()
+                return done
+        """)})
+        assert ids(findings) == ["CON003"]
+
+    def test_lock_in_init_ok(self, lint_tree):
+        findings = lint_tree({PATH: src("""
+            import threading
+
+            class Store:
+                def __init__(self):
+                    self._lock = threading.Lock()
+        """)})
+        assert findings == []
+
+    def test_module_level_lock_ok(self, lint_tree):
+        findings = lint_tree({PATH: src("""
+            import threading
+
+            _LOCK = threading.Lock()
+        """)})
+        assert findings == []

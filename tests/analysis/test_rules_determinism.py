@@ -1,0 +1,175 @@
+"""DET rule family: the core model stays a pure function of its inputs."""
+
+import textwrap
+
+
+def src(body: str) -> str:
+    return textwrap.dedent(body)
+
+
+def ids(findings):
+    return [f.rule for f in findings]
+
+
+class TestWallClock:
+    def test_time_module_call_flagged(self, lint_source):
+        findings = lint_source(src("""
+            import time
+
+            def stamp():
+                return time.time()
+        """))
+        assert ids(findings) == ["DET001"]
+
+    def test_from_import_perf_counter_flagged(self, lint_source):
+        findings = lint_source(src("""
+            from time import perf_counter
+
+            def stamp():
+                return perf_counter()
+        """))
+        assert ids(findings) == ["DET001"]
+
+    def test_datetime_now_flagged(self, lint_source):
+        findings = lint_source(src("""
+            import datetime
+
+            def stamp():
+                return datetime.datetime.now()
+        """))
+        assert ids(findings) == ["DET001"]
+
+    def test_out_of_scope_file_not_flagged(self, lint_tree):
+        findings = lint_tree({
+            "repro/serving/clock.py": src("""
+                import time
+
+                def stamp():
+                    return time.time()
+            """)
+        })
+        assert findings == []
+
+    def test_non_clock_time_attribute_ok(self, lint_source):
+        findings = lint_source(src("""
+            import time
+
+            def zone():
+                return time.tzname
+        """))
+        assert findings == []
+
+
+class TestRandomness:
+    def test_global_random_call_flagged(self, lint_source):
+        findings = lint_source(src("""
+            import random
+
+            def draw():
+                return random.random()
+        """))
+        assert ids(findings) == ["DET002"]
+
+    def test_from_import_choice_flagged(self, lint_source):
+        findings = lint_source(src("""
+            from random import choice
+
+            def draw(options):
+                return choice(options)
+        """))
+        assert ids(findings) == ["DET002"]
+
+    def test_seeded_instance_ok(self, lint_source):
+        findings = lint_source(src("""
+            import random
+
+            def make_rng(seed):
+                return random.Random(seed)
+        """))
+        assert findings == []
+
+    def test_instance_method_calls_ok(self, lint_source):
+        findings = lint_source(src("""
+            import random
+
+            class Policy:
+                def __init__(self, seed=0):
+                    self._rng = random.Random(seed)
+
+                def draw(self):
+                    return self._rng.choice((1, 2, 3))
+        """))
+        assert findings == []
+
+
+class TestDictOrderHashing:
+    def test_hash_over_keys_flagged(self, lint_source):
+        findings = lint_source(src("""
+            def digest(counts):
+                return hash(tuple(counts.keys()))
+        """))
+        assert ids(findings) == ["DET003"]
+
+    def test_hashlib_over_items_flagged(self, lint_source):
+        findings = lint_source(src("""
+            import hashlib
+
+            def digest(counts):
+                return hashlib.sha256(repr(tuple(counts.items())).encode())
+        """))
+        assert ids(findings) == ["DET003"]
+
+    def test_sorted_view_ok(self, lint_source):
+        findings = lint_source(src("""
+            def digest(counts):
+                return hash(tuple(sorted(counts.items())))
+        """))
+        assert findings == []
+
+    def test_order_insensitive_consumer_ok(self, lint_source):
+        findings = lint_source(src("""
+            def digest(counts):
+                return hash(frozenset(counts.items()))
+        """))
+        assert findings == []
+
+
+class TestEnvReads:
+    def test_environ_read_flagged(self, lint_source):
+        findings = lint_source(src("""
+            import os
+
+            FLAG = os.environ.get("REPRO_DEBUG", "")
+        """))
+        assert ids(findings) == ["DET004"]
+
+    def test_getenv_flagged(self, lint_source):
+        findings = lint_source(src("""
+            import os
+
+            def flag():
+                return os.getenv("REPRO_DEBUG")
+        """))
+        assert ids(findings) == ["DET004"]
+
+    def test_declared_config_module_exempt(self, lint_tree):
+        findings = lint_tree({
+            "repro/utils/env.py": src("""
+                import os
+
+                def env_flag(name):
+                    return os.environ.get(name, "")
+            """)
+        })
+        assert findings == []
+
+    def test_other_utils_module_still_flagged(self, lint_tree):
+        findings = lint_tree({
+            "repro/utils/misc.py": src("""
+                import os
+
+                def flag():
+                    return os.environ.get("REPRO_DEBUG", "")
+            """)
+        })
+        assert ids(findings) == ["DET004"]

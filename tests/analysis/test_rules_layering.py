@@ -1,0 +1,66 @@
+"""LAY rule family: the import DAG in layers.toml is enforced."""
+
+import textwrap
+
+
+def src(body: str) -> str:
+    return textwrap.dedent(body)
+
+
+def ids(findings):
+    return [f.rule for f in findings]
+
+
+class TestImportEdges:
+    def test_illegal_edge_flagged(self, lint_tree):
+        # test config: sched may import errors and isa, not serving
+        findings = lint_tree({"repro/sched/ruu.py": src("""
+            from repro.serving.store import RunStore
+        """)})
+        assert ids(findings) == ["LAY001"]
+        assert "serving" in findings[0].message
+
+    def test_function_local_backedge_flagged(self, lint_tree):
+        findings = lint_tree({"repro/isa/instruction.py": src("""
+            def decode(word):
+                from repro.sched.entry import RuuEntry
+                return RuuEntry(word)
+        """)})
+        assert ids(findings) == ["LAY001"]
+
+    def test_declared_edge_ok(self, lint_tree):
+        findings = lint_tree({"repro/sched/ruu.py": src("""
+            from repro.isa.instruction import Instruction
+            from repro.errors import SchedulerError
+        """)})
+        assert findings == []
+
+    def test_same_layer_relative_and_stdlib_imports_ok(self, lint_tree):
+        findings = lint_tree({"repro/sched/ruu.py": src("""
+            import json
+            from collections import deque
+            from repro.sched.wakeup import WakeupArray
+            from .entry import RuuEntry
+        """)})
+        assert findings == []
+
+
+class TestUndeclaredLayers:
+    def test_module_in_unknown_layer_flagged(self, lint_tree):
+        findings = lint_tree({"repro/plugins/extra.py": "X = 1\n"})
+        assert ids(findings) == ["LAY002"]
+        assert findings[0].line == 1
+
+    def test_undeclared_layer_reported_once_not_per_import(self, lint_tree):
+        findings = lint_tree({"repro/plugins/extra.py": src("""
+            from repro.isa.futypes import FUType
+            from repro.errors import ConfigurationError
+        """)})
+        assert ids(findings) == ["LAY002"]
+
+    def test_importing_an_undeclared_layer_flagged(self, lint_tree):
+        findings = lint_tree({"repro/sched/ruu.py": src("""
+            from repro.plugins.extra import X
+        """)})
+        assert ids(findings) == ["LAY001"]
+        assert "undeclared" in findings[0].message

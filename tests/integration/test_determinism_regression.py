@@ -1,0 +1,33 @@
+"""Determinism regression: two identical steering runs are bit-identical.
+
+The DET lint family bans the leaks (wall clock, global RNG, dict-order
+hashing, environment reads) that would break this; these tests pin the
+observable guarantee itself — the complete ``SimulationResult.to_dict()``
+record, not a sample of fields, across independently constructed runs.
+"""
+
+import pytest
+
+from repro.core.baselines import policy_catalogue, steering_processor
+from repro.core.params import ProcessorParams
+from repro.workloads.kernels import checksum, saxpy
+
+_PARAMS = ProcessorParams(reconfig_latency=8)
+
+
+def test_steering_rerun_is_bit_identical():
+    kernel = saxpy(n=24)
+    first = steering_processor(kernel.program, _PARAMS).run(max_cycles=200_000)
+    second = steering_processor(kernel.program, _PARAMS).run(max_cycles=200_000)
+    assert first.halted and second.halted
+    assert first.to_dict() == second.to_dict()
+
+
+@pytest.mark.parametrize("name", sorted(policy_catalogue()))
+def test_every_policy_rerun_is_bit_identical(name):
+    factory = policy_catalogue()[name]
+    kernel = checksum(iterations=30)
+    first = factory(kernel.program, _PARAMS).run(max_cycles=200_000)
+    second = factory(kernel.program, _PARAMS).run(max_cycles=200_000)
+    assert first.halted and second.halted, name
+    assert first.to_dict() == second.to_dict()
