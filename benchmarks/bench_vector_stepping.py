@@ -1,0 +1,158 @@
+"""Lock-step vector engine vs the scalar batch path (ISSUE 6 gate).
+
+Times a 64-lane shared-program steering sweep — the exact shape the
+paper's experiments take: one workload, many configurations — first as 64
+sequential scalar simulations (:func:`execute_job`, the pre-vector
+``run_many`` inner loop), then as one :func:`run_vector_batch` call.  The
+workload is a phase-changing program (eight single-iteration mixes), so
+the steering policy's selection inputs churn and the sweep exercises the
+shared-memo and batched-kernel machinery rather than a warm steady state.
+
+The acceptance gate is a >=3x cycles-per-second speedup.  Results merge
+into ``BENCH_throughput.json`` under the ``"vector"`` key (the artifact
+``record_throughput.py`` writes), shaped so the same >20% regression rule
+applies to the vectorized path::
+
+    PYTHONPATH=src python benchmarks/bench_vector_stepping.py \
+        [-o BENCH_throughput.json] [--lanes 64] [--repeats 2] [--min-speedup 3.0]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import time
+
+from repro.core.params import ProcessorParams
+from repro.evaluation.batch import SimJob, execute_job
+from repro.evaluation.vector import run_vector_batch
+from repro.isa.futypes import FU_TYPES
+from repro.workloads import MixSpec, phased_program
+
+_WORKLOAD = "phased(8 mixes x 96, 1 iteration each)"
+
+
+def build_jobs(lanes: int = 64) -> list[SimJob]:
+    """The 64-configuration steering sweep over one phase-churning program."""
+    i_alu, mdu, lsu, fp1, fp2 = FU_TYPES
+    phases = [
+        (MixSpec("fma", {mdu: 0.3, fp1: 0.3, fp2: 0.4}, dep_density=0.8), 1),
+        (MixSpec("mul", {i_alu: 0.2, mdu: 0.6, lsu: 0.2}, dep_density=0.8), 1),
+        (
+            MixSpec(
+                "fp", {i_alu: 0.1, lsu: 0.2, fp1: 0.3, fp2: 0.4},
+                dep_density=0.7,
+            ),
+            1,
+        ),
+        (MixSpec("mem", {i_alu: 0.3, lsu: 0.6, mdu: 0.1}, dep_density=0.6), 1),
+        (
+            MixSpec(
+                "mix",
+                {i_alu: 0.2, mdu: 0.3, lsu: 0.1, fp1: 0.2, fp2: 0.2},
+                dep_density=0.8,
+            ),
+            1,
+        ),
+        (MixSpec("int", {i_alu: 0.6, mdu: 0.2, lsu: 0.2}, dep_density=0.7), 1),
+        (MixSpec("fma2", {mdu: 0.2, fp1: 0.4, fp2: 0.4}, dep_density=0.9), 1),
+        (MixSpec("mdu", {i_alu: 0.1, mdu: 0.7, fp2: 0.2}, dep_density=0.9), 1),
+    ]
+    program = phased_program(phases, body_len=96, seed=11)
+    return [
+        SimJob(
+            "steering",
+            program,
+            params=ProcessorParams(
+                window_size=24, n_slots=14, reconfig_latency=4 + (i % 16)
+            ),
+            kwargs={"use_exact_metric": True},
+        )
+        for i in range(lanes)
+    ]
+
+
+def vector_record(lanes: int = 64, repeats: int = 2) -> dict:
+    """Best-of-N vector and scalar cycles/sec over the shared-program sweep.
+
+    The scalar side runs the batch exactly as the pre-vector ``run_many``
+    sequential path did — one :func:`execute_job` per job — and both
+    sides must produce bit-identical results (checked here on every run,
+    not only in the test suite).
+    """
+    jobs = build_jobs(lanes)
+    vector_best = scalar_best = 0.0
+    total_cycles = 0
+    scalar_results = vector_results = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        vector_results = run_vector_batch(jobs)
+        elapsed = time.perf_counter() - start
+        total_cycles = sum(r.cycles for r in vector_results)
+        vector_best = max(vector_best, total_cycles / elapsed)
+    for _ in range(repeats):
+        start = time.perf_counter()
+        scalar_results = [execute_job(job) for job in jobs]
+        elapsed = time.perf_counter() - start
+        scalar_best = max(scalar_best, total_cycles / elapsed)
+    mismatches = sum(
+        1
+        for s, v in zip(scalar_results, vector_results)
+        if s.to_dict() != v.to_dict()
+    )
+    assert mismatches == 0, f"{mismatches}/{lanes} lanes diverge from scalar"
+    return {
+        "workload": _WORKLOAD,
+        "lanes": lanes,
+        "cycles": total_cycles,
+        "cycles_per_second": round(vector_best, 1),
+        "scalar_cycles_per_second": round(scalar_best, 1),
+        "speedup": round(vector_best / scalar_best, 2),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "-o", "--output", default="BENCH_throughput.json",
+        help="throughput artifact to merge the 'vector' section into "
+             "(created if missing)",
+    )
+    parser.add_argument("--lanes", type=int, default=64)
+    parser.add_argument("--repeats", type=int, default=2)
+    parser.add_argument(
+        "--min-speedup", type=float, default=3.0,
+        help="fail when vector/scalar cycles-per-second falls below this "
+             "(the ISSUE gate is 3.0); <= 0 disables the gate",
+    )
+    args = parser.parse_args(argv)
+
+    record = vector_record(lanes=args.lanes, repeats=args.repeats)
+    path = pathlib.Path(args.output)
+    try:
+        artifact = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        artifact = {}
+    artifact["vector"] = record
+    path.write_text(json.dumps(artifact, indent=2) + "\n")
+    print(json.dumps(record, indent=2))
+    print(f"\nmerged 'vector' section into {path}")
+
+    if args.min_speedup > 0 and record["speedup"] < args.min_speedup:
+        print(
+            f"REGRESSION vector speedup {record['speedup']}x below the "
+            f"{args.min_speedup}x gate "
+            f"({record['cycles_per_second']:.0f} vs "
+            f"{record['scalar_cycles_per_second']:.0f} cycles/sec)"
+        )
+        return 1
+    print(
+        f"vector engine: {record['speedup']}x over the scalar batch path "
+        f"({record['lanes']} lanes, {record['cycles']} cycles)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

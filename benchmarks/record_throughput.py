@@ -13,7 +13,10 @@ missing or unreadable baseline is tolerated (first run, cold cache).
 ``--max-telemetry-overhead`` additionally A/Bs the cycle loop with an
 attached-but-disabled telemetry object against no telemetry at all and
 fails when the delta exceeds the given fraction; ``--trace-out`` writes
-a Chrome/Perfetto trace JSON from a short instrumented run.
+a Chrome/Perfetto trace JSON from a short instrumented run;
+``--vector-baseline`` records the lock-step vector engine's cycles/sec
+(``bench_vector_stepping``'s 64-lane sweep) as a ``vector`` column and
+gates it with the same regression rule as the scalar policies.
 
 Usage::
 
@@ -140,7 +143,7 @@ def compare_to_baseline(
     image, so in practice the environments match).
     """
     failures = []
-    for policy in ("steering", "ffu_only"):
+    for policy in ("steering", "ffu_only", "vector"):
         then = baseline.get(policy, {}).get("cycles_per_second")
         now = record.get(policy, {}).get("cycles_per_second")
         if not then or not now:
@@ -186,6 +189,12 @@ def main(argv: list[str] | None = None) -> int:
         help="write a Chrome/Perfetto trace JSON from a short "
              "instrumented steering run to this path",
     )
+    parser.add_argument(
+        "--vector-baseline", action="store_true",
+        help="also record the lock-step vector engine's cycles/sec "
+             "(the bench_vector_stepping sweep) as a 'vector' column, "
+             "gated by --max-regression like the scalar policies",
+    )
     args = parser.parse_args(argv)
 
     program = checksum(iterations=150).program
@@ -198,6 +207,11 @@ def main(argv: list[str] | None = None) -> int:
         "ffu_only": _throughput(fixed_superscalar, program),
         "batch_engine": _batch_smoke(program),
     }
+    if args.vector_baseline:
+        # same-directory import: both scripts run as benchmarks/*.py
+        from bench_vector_stepping import vector_record
+
+        record["vector"] = vector_record()
     if args.max_telemetry_overhead is not None:
         record["telemetry"] = _telemetry_overhead(program)
     if args.trace_out:
@@ -220,6 +234,11 @@ def main(argv: list[str] | None = None) -> int:
             "ffu_only_cycles_per_second": record["ffu_only"]["cycles_per_second"],
             "batch_wall_seconds": record["batch_engine"]["wall_seconds"],
         }
+        if "vector" in record:
+            metrics["vector_cycles_per_second"] = record["vector"][
+                "cycles_per_second"
+            ]
+            metrics["vector_speedup"] = record["vector"]["speedup"]
         with RunStore(args.store) as store:
             run_id = store.record_run(
                 "BENCH-throughput", config_hash, metrics,

@@ -16,8 +16,9 @@ One TOML table drives everything the rules need to know about the tree:
     rules police; ``["*"]`` marks every function in the file hot.
 ``[scopes]``
     Root-relative path prefixes bounding the determinism and concurrency
-    families, plus ``config_modules`` — the only places allowed to read
-    ``os.environ``.
+    families, ``config_modules`` — the only places allowed to read
+    ``os.environ`` — and ``vector_kernels``, the files whose hot zones
+    the ``HOT007`` no-per-lane-loops rule polices.
 
 Parsed with :mod:`tomllib` on Python ≥ 3.11 and a minimal built-in
 reader (tables, string keys, strings and string lists — exactly the
@@ -130,6 +131,9 @@ class AnalysisConfig:
     concurrency_scope: tuple[str, ...] = ()
     #: modules allowed to read the process environment.
     config_modules: tuple[str, ...] = ()
+    #: files whose hot zones must stay free of per-lane Python loops
+    #: (the vectorized batch kernels; HOT007).
+    vector_kernel_scope: tuple[str, ...] = ()
     #: raw text the config was parsed from (cache fingerprinting).
     source_text: str = ""
 
@@ -226,6 +230,9 @@ def load_config(path: str | Path) -> AnalysisConfig:
         ),
         config_modules=_as_str_tuple(
             scopes.get("config_modules", []), f"{path}: scopes.config_modules"
+        ),
+        vector_kernel_scope=_as_str_tuple(
+            scopes.get("vector_kernels", []), f"{path}: scopes.vector_kernels"
         ),
         source_text=text,
     )

@@ -239,6 +239,15 @@ class RfuSlotArray:
         for s in self.slots:
             if s.unit is not None:
                 s.unit.tick()
+        self.tick_bus()
+
+    def tick_bus(self) -> None:
+        """Advance the configuration bus only.
+
+        Split out for engines that retire unit count-downs by event (the
+        vector engine's batched timers) but still clock the configuration
+        bus every cycle.
+        """
         if self._bus_remaining > 0:
             self._bus_remaining -= 1
             self.bus_busy_cycles += 1

@@ -20,8 +20,17 @@ class InstructionMemory:
     """Word-addressed read-only instruction store."""
 
     def __init__(self, program: Program) -> None:
-        self._words = program.to_binary()
-        self._decoded = [decode(w) for w in self._words]
+        # encode+decode of an assembled program is pure, so the binary and
+        # its decode are cached on the program object: a batch of N
+        # processors over one shared program (the vector engine's lanes,
+        # in-process run_many) decodes once and shares the Instruction
+        # objects — and with them their warmed spec-derived caches.
+        cached = getattr(program, "_imem_cache", None)
+        if cached is None:
+            words = program.to_binary()
+            cached = (words, [decode(w) for w in words])
+            program._imem_cache = cached
+        self._words, self._decoded = cached
 
     def __len__(self) -> int:
         return len(self._words)

@@ -1,0 +1,303 @@
+"""Lane-batched wake-up kernel: the Fig. 6 request logic over N lanes.
+
+The scalar :class:`repro.sched.wakeup.WakeupArray` packs one simulation's
+wake-up matrix into a single machine word and evaluates every row in one
+bitwise pass.  This module lifts that same evaluation one axis higher: a
+*bank* holds the need fields of N independent simulations (lanes) as a
+``(lanes, rows)`` array of packed words, and one vectorized pass computes
+every lane's request mask simultaneously.
+
+Packing layout (identical to one scalar field, one array element per row)::
+
+    need[lane, row] = one_hot(fu_type.bit_index)            # NUM_FU_TYPES bits
+                    | dep_bits << NUM_FU_TYPES              # n_rows bits
+
+    avail[lane]     = resource_bits                         # Eq. 1 bus
+                    | result_bits << NUM_FU_TYPES           # completed rows
+
+A row requests execution when every needed column is available::
+
+    requests[lane, row]  <=>  need[lane, row] & ~avail[lane] == 0
+
+which vectorizes to two element-wise operations and a weighted row
+reduction per lane — no Python loop over lanes or rows (the HOT007 lint
+rule pins this for :meth:`LaneWakeupBank.requests`).  The all-resources
+variant (``avail | RES_MASK``) feeds the resource-blocked statistic, the
+same pair of calls the scalar scheduler makes.
+
+Contract: rows whose need field is zero (free rows) report as requesting
+in both masks; callers must AND the returned masks with their occupancy
+and scheduled state, exactly as :meth:`WakeupArray.requests_mask` does
+internally.  The bank stores *need* only — occupancy and scheduled bits
+stay lane-local, where the event-driven scalar updates are cheapest.
+
+numpy is optional: :func:`make_lane_bank` falls back to the pure-Python
+:class:`PyLaneWakeupBank` (same API, per-lane packed ints) when numpy is
+missing or the window is too wide for the fixed-width kernel, so the
+vector engine — and with it tier-1 — stays stdlib-green.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SchedulerError
+from repro.isa.futypes import NUM_FU_TYPES
+
+try:  # optional dependency: the bench/CI bench job installs it, tier-1 not
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the fallback tests
+    _np = None
+
+__all__ = [
+    "HAVE_NUMPY",
+    "MAX_KERNEL_ROWS",
+    "LaneWakeupBank",
+    "PyLaneWakeupBank",
+    "LaneCountdownBank",
+    "PyLaneCountdownBank",
+    "make_lane_bank",
+    "make_countdown_bank",
+]
+
+#: whether the vectorized (numpy) kernel is available in this process.
+HAVE_NUMPY = _np is not None
+
+#: mask of the resource (execution-unit) columns within one packed field.
+_RES_MASK = (1 << NUM_FU_TYPES) - 1
+
+#: widest window the uint32 kernel supports: NUM_FU_TYPES + rows <= 32.
+MAX_KERNEL_ROWS = 32 - NUM_FU_TYPES
+
+
+class LaneWakeupBank:
+    """N lanes of packed wake-up need words, evaluated in one numpy pass."""
+
+    def __init__(self, n_lanes: int, n_rows: int) -> None:
+        if _np is None:  # pragma: no cover - guarded by make_lane_bank
+            raise SchedulerError("numpy is not available; use PyLaneWakeupBank")
+        if n_lanes <= 0 or n_rows <= 0:
+            raise SchedulerError(
+                f"lane bank needs positive dimensions, got {n_lanes}x{n_rows}"
+            )
+        if n_rows > MAX_KERNEL_ROWS:
+            raise SchedulerError(
+                f"window of {n_rows} rows exceeds the {MAX_KERNEL_ROWS}-row "
+                "packed kernel; use PyLaneWakeupBank"
+            )
+        self.n_lanes = n_lanes
+        self.n_rows = n_rows
+        self._need = _np.zeros((n_lanes, n_rows), dtype=_np.uint32)
+        self._avail = _np.zeros(n_lanes, dtype=_np.uint32)
+        #: row weights: reducing a boolean row with these yields the packed
+        #: per-lane request mask in one matrix-vector product.
+        self._weights = (1 << _np.arange(n_rows, dtype=_np.int64)).astype(
+            _np.int64
+        )
+        #: per-row column-clear masks, precomputed so the per-event update
+        #: is a single in-place AND over one lane's row vector.
+        self._col_clear = tuple(
+            _np.uint32(~(1 << (NUM_FU_TYPES + r)) & 0xFFFFFFFF)
+            for r in range(n_rows)
+        )
+
+    # ------------------------------------------------------- event updates
+    def set_row(self, lane: int, row: int, field: int) -> None:
+        """Install one dispatched instruction's packed need field."""
+        self._need[lane, row] = field
+
+    def clear_row(self, lane: int, row: int) -> None:
+        """Free a row and clear its result column across the lane (the
+        scalar ``remove`` + ``clear_column`` pair, one lane only)."""
+        need = self._need
+        need[lane, row] = 0
+        need[lane] &= self._col_clear[row]
+
+    def set_avail(self, lane: int, avail: int) -> None:
+        """Install one lane's concatenated availability word for this cycle."""
+        self._avail[lane] = avail
+
+    def set_avail_many(self, lanes, avails) -> None:
+        """Install this cycle's availability words for many lanes at once.
+
+        ``lanes`` may be any integer index sequence numpy accepts (callers
+        keep a cached index array for the active lane set); ``avails`` is
+        the matching sequence of packed words.
+        """
+        self._avail[lanes] = avails
+
+    # ------------------------------------------------------------- kernel
+    def requests(self) -> tuple[list[int], list[int]]:
+        """Per-lane (request, all-resources-request) packed row masks.
+
+        One vectorized pass over every lane: broadcast each lane's
+        availability word across its rows, zero-test the unmet columns,
+        and pack the boolean rows into per-lane masks with a weighted
+        reduction.  Returns plain Python ints so the per-lane grant logic
+        never touches numpy scalars.
+        """
+        need = self._need
+        avail = self._avail
+        req = ((need & ~avail[:, None]) == 0) @ self._weights
+        alls = ((need & ~(avail | _RES_MASK)[:, None]) == 0) @ self._weights
+        return req.tolist(), alls.tolist()
+
+
+class PyLaneWakeupBank:
+    """Pure-Python fallback bank: same API, per-lane row loops.
+
+    Keeps the vector engine importable and correct without numpy (and for
+    windows wider than the packed kernel).  Not registered in the HOT007
+    hot zone — it is the portability path, not the fast path.
+    """
+
+    def __init__(self, n_lanes: int, n_rows: int) -> None:
+        if n_lanes <= 0 or n_rows <= 0:
+            raise SchedulerError(
+                f"lane bank needs positive dimensions, got {n_lanes}x{n_rows}"
+            )
+        self.n_lanes = n_lanes
+        self.n_rows = n_rows
+        self._need = [[0] * n_rows for _ in range(n_lanes)]
+        self._avail = [0] * n_lanes
+
+    def set_row(self, lane: int, row: int, field: int) -> None:
+        self._need[lane][row] = field
+
+    def clear_row(self, lane: int, row: int) -> None:
+        lane_need = self._need[lane]
+        lane_need[row] = 0
+        keep = ~(1 << (NUM_FU_TYPES + row))
+        for r, f in enumerate(lane_need):
+            if f:
+                lane_need[r] = f & keep
+
+    def set_avail(self, lane: int, avail: int) -> None:
+        self._avail[lane] = avail
+
+    def set_avail_many(self, lanes, avails) -> None:
+        for lane, avail in zip(lanes, avails):
+            self._avail[lane] = avail
+
+    def requests(self) -> tuple[list[int], list[int]]:
+        """Per-lane (request, all-resources-request) masks, reference form.
+
+        Matches :meth:`LaneWakeupBank.requests` bit for bit, including the
+        free-row contract (zero need fields request in both masks).
+        """
+        req_out: list[int] = []
+        all_out: list[int] = []
+        for lane_need, avail in zip(self._need, self._avail):
+            avail_all = avail | _RES_MASK
+            req = alls = 0
+            bit = 1
+            for f in lane_need:
+                if not f & ~avail:
+                    req |= bit
+                if not f & ~avail_all:
+                    alls |= bit
+                bit <<= 1
+            req_out.append(req)
+            all_out.append(alls)
+        return req_out, all_out
+
+
+class LaneCountdownBank:
+    """Batched execution count-down timers: the scalar engine's per-cycle
+    ``unit.tick()``/``entry.tick()`` sweeps collapsed into one array op.
+
+    One cell per (lane, row) holds the remaining latency of the in-flight
+    instruction occupying that wake-up row.  :meth:`advance` decrements
+    every in-flight cell simultaneously and reports the cells that just
+    reached zero — the result-available transitions — so the vector engine
+    pays O(completions) per cycle instead of O(lanes x units).
+    """
+
+    def __init__(self, n_lanes: int, n_rows: int) -> None:
+        if _np is None:  # pragma: no cover - guarded by make_countdown_bank
+            raise SchedulerError("numpy is not available; use PyLaneCountdownBank")
+        if n_lanes <= 0 or n_rows <= 0:
+            raise SchedulerError(
+                f"countdown bank needs positive dimensions, got {n_lanes}x{n_rows}"
+            )
+        self._cd = _np.zeros((n_lanes, n_rows), dtype=_np.int64)
+        self._inflight = _np.zeros((n_lanes, n_rows), dtype=bool)
+
+    def start(self, lane: int, row: int, latency: int) -> None:
+        """Arm the timer of a freshly issued instruction."""
+        self._cd[lane, row] = latency
+        self._inflight[lane, row] = True
+
+    def cancel(self, lane: int, row: int) -> None:
+        """Disarm a timer (the row was squashed by a flush)."""
+        self._inflight[lane, row] = False
+
+    def clear_lane(self, lane: int) -> None:
+        """Disarm every timer of a finished lane."""
+        self._inflight[lane, :] = False
+
+    def advance(self) -> list[tuple[int, int]]:
+        """One cycle for every armed timer; returns expired (lane, row)s."""
+        inflight = self._inflight
+        cd = self._cd
+        _np.subtract(cd, 1, out=cd, where=inflight)
+        done = inflight & (cd == 0)
+        if not done.any():
+            return []
+        inflight &= ~done
+        lanes_idx, rows_idx = done.nonzero()
+        return [*zip(lanes_idx.tolist(), rows_idx.tolist())]
+
+
+class PyLaneCountdownBank:
+    """Pure-Python fallback timers: per-lane ``{row: remaining}`` maps."""
+
+    def __init__(self, n_lanes: int, n_rows: int) -> None:
+        if n_lanes <= 0 or n_rows <= 0:
+            raise SchedulerError(
+                f"countdown bank needs positive dimensions, got {n_lanes}x{n_rows}"
+            )
+        self._cd: list[dict[int, int]] = [{} for _ in range(n_lanes)]
+
+    def start(self, lane: int, row: int, latency: int) -> None:
+        self._cd[lane][row] = latency
+
+    def cancel(self, lane: int, row: int) -> None:
+        self._cd[lane].pop(row, None)
+
+    def clear_lane(self, lane: int) -> None:
+        self._cd[lane].clear()
+
+    def advance(self) -> list[tuple[int, int]]:
+        out: list[tuple[int, int]] = []
+        for lane, timers in enumerate(self._cd):
+            if not timers:
+                continue
+            expired = None
+            for row in timers:
+                left = timers[row] - 1
+                timers[row] = left
+                if left == 0:
+                    if expired is None:
+                        expired = [row]
+                    else:
+                        expired.append(row)
+            if expired is not None:
+                for row in expired:
+                    del timers[row]
+                    out.append((lane, row))
+        return out
+
+
+def make_lane_bank(n_lanes: int, n_rows: int) -> LaneWakeupBank | PyLaneWakeupBank:
+    """The fastest bank this process supports for the given geometry."""
+    if HAVE_NUMPY and n_rows <= MAX_KERNEL_ROWS:
+        return LaneWakeupBank(n_lanes, n_rows)
+    return PyLaneWakeupBank(n_lanes, n_rows)
+
+
+def make_countdown_bank(
+    n_lanes: int, n_rows: int
+) -> LaneCountdownBank | PyLaneCountdownBank:
+    """The fastest countdown bank this process supports."""
+    if HAVE_NUMPY:
+        return LaneCountdownBank(n_lanes, n_rows)
+    return PyLaneCountdownBank(n_lanes, n_rows)

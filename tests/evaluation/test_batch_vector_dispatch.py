@@ -1,0 +1,127 @@
+"""run_many's vector routing: content-hash grouping and lane dispatch.
+
+``run_many`` groups deduplicated jobs by program *content hash* before
+dispatch — the same identity the ResultCache keys encode — and routes any
+group with two or more vector-eligible jobs through the lock-step lane
+engine.  Everything else (ineligible factories, singleton lanes, or the
+``REPRO_VECTOR_DISABLE`` kill switch) takes the per-job scalar path.
+Either way the caller sees identical results in submission order.
+"""
+
+import copy
+
+from repro.core.params import ProcessorParams
+from repro.evaluation.batch import (
+    SimJob,
+    _group_by_program,
+    _vector_partition,
+    run_many,
+)
+from repro.telemetry.batch import BatchTelemetry
+from repro.workloads.kernels import checksum, dot_product
+
+_PARAMS = ProcessorParams(window_size=10, reconfig_latency=6)
+
+
+def _sweep_jobs(program, lanes=4):
+    return [
+        SimJob(
+            "steering", program,
+            ProcessorParams(window_size=10, reconfig_latency=4 + i),
+        )
+        for i in range(lanes)
+    ]
+
+
+def _unique(jobs):
+    return [(f"k{i}", job) for i, job in enumerate(jobs)]
+
+
+# --------------------------------------------------- content-hash grouping
+def test_equal_content_programs_share_one_group():
+    """Distinct Program objects with identical content collapse into one
+    group, rebound to one canonical instance."""
+    program = dot_product(n=16).program
+    clone = copy.deepcopy(program)
+    jobs = _sweep_jobs(program, lanes=2) + _sweep_jobs(clone, lanes=2)
+    programs, groups = _group_by_program(_unique(jobs))
+    assert len(groups) == 1
+    (pkey, pairs), = groups.items()
+    canonical = programs[pkey]
+    assert all(job.program is canonical for _, job in pairs)
+
+
+def test_distinct_programs_stay_separate():
+    a, b = dot_product(n=16).program, checksum(iterations=5).program
+    _, groups = _group_by_program(_unique(_sweep_jobs(a) + _sweep_jobs(b)))
+    assert len(groups) == 2
+
+
+# ------------------------------------------------------- vector partition
+def test_partition_batches_eligible_pairs():
+    program = dot_product(n=16).program
+    jobs = _sweep_jobs(program, lanes=3) + [
+        SimJob("reference", program, kwargs={"max_instructions": 1000})
+    ]
+    _, groups = _group_by_program(_unique(jobs))
+    batches, singles = _vector_partition(groups)
+    assert [len(b) for b in batches] == [3]
+    assert [job.factory for _, job in singles] == ["reference"]
+
+
+def test_partition_keeps_singleton_lanes_scalar():
+    """One eligible job per program is not worth a lane batch."""
+    jobs = [
+        SimJob("steering", dot_product(n=16).program, _PARAMS),
+        SimJob("steering", checksum(iterations=5).program, _PARAMS),
+    ]
+    _, groups = _group_by_program(_unique(jobs))
+    batches, singles = _vector_partition(groups)
+    assert batches == []
+    assert len(singles) == 2
+
+
+def test_disable_flag_forces_scalar(monkeypatch):
+    monkeypatch.setenv("REPRO_VECTOR_DISABLE", "1")
+    _, groups = _group_by_program(
+        _unique(_sweep_jobs(dot_product(n=16).program))
+    )
+    batches, singles = _vector_partition(groups)
+    assert batches == []
+    assert len(singles) == 4
+
+
+# ----------------------------------------------------- end-to-end routing
+def test_run_many_vector_matches_scalar_path(monkeypatch):
+    program = checksum(iterations=10).program
+    jobs = _sweep_jobs(program, lanes=4)
+    vectored = run_many(jobs)
+    monkeypatch.setenv("REPRO_VECTOR_DISABLE", "1")
+    scalar = run_many(jobs)
+    assert [v.to_dict() for v in vectored] == [s.to_dict() for s in scalar]
+
+
+def test_run_many_parallel_ships_vector_batches():
+    program = checksum(iterations=10).program
+    jobs = _sweep_jobs(program, lanes=4) + [
+        SimJob("reference", program, kwargs={"max_instructions": 10_000})
+    ]
+    sequential = run_many(jobs)
+    parallel = run_many(jobs, workers=2)
+    for s, p in zip(sequential[:4], parallel[:4]):
+        assert s.to_dict() == p.to_dict()
+    assert parallel[4].executed == sequential[4].executed
+
+
+def test_lane_dispatch_telemetry():
+    program = checksum(iterations=10).program
+    jobs = _sweep_jobs(program, lanes=3) + [
+        SimJob("reference", program, kwargs={"max_instructions": 10_000})
+    ]
+    telemetry = BatchTelemetry()
+    run_many(jobs, telemetry=telemetry)
+    assert telemetry.lane_dispatch.labels("vector").value == 3
+    assert telemetry.lane_dispatch.labels("scalar").value == 1
+    assert telemetry.lanes_per_batch.count == 1
+    assert telemetry.lanes_per_batch.sum == 3
+    assert telemetry.lane_retire.count == 3

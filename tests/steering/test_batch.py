@@ -1,13 +1,17 @@
 """The vectorised batch selection unit vs the scalar bit-faithful models."""
 
-import numpy as np
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
-from hypothesis.extra.numpy import arrays
 
-from repro.errors import ConfigurationError
-from repro.steering.batch import BatchSelectionUnit, shift_for_counts
+# tier-1 runs without numpy (the CI tests job is deliberately stdlib-only);
+# the batch evaluator is numpy-specific, so this module skips wholesale.
+np = pytest.importorskip("numpy", reason="batch selection unit needs numpy")
+
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+from hypothesis.extra.numpy import arrays  # noqa: E402
+
+from repro.errors import ConfigurationError  # noqa: E402
+from repro.steering.batch import BatchSelectionUnit, shift_for_counts  # noqa: E402
 from repro.steering.error_metric import ErrorMetricGenerator
 from repro.steering.selection import ConfigurationSelectionUnit
 from repro.fabric.configuration import PREDEFINED_CONFIGS
