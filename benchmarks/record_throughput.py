@@ -16,7 +16,10 @@ fails when the delta exceeds the given fraction; ``--trace-out`` writes
 a Chrome/Perfetto trace JSON from a short instrumented run;
 ``--vector-baseline`` records the lock-step vector engine's cycles/sec
 (``bench_vector_stepping``'s 64-lane sweep) as a ``vector`` column and
-gates it with the same regression rule as the scalar policies.
+gates it with the same regression rule as the scalar policies;
+``--serving-baseline`` records a short HTTP load run against a
+self-hosted multi-process server (``bench_serving_load``) as a
+``serving`` column whose requests/sec is gated the same way.
 
 Usage::
 
@@ -154,6 +157,15 @@ def compare_to_baseline(
                 f"{policy}: {now:.1f} cycles/sec is {drop:.1%} below "
                 f"baseline {then:.1f} (allowed {max_regression:.0%})"
             )
+    then = baseline.get("serving", {}).get("requests_per_second")
+    now = record.get("serving", {}).get("requests_per_second")
+    if then and now:
+        drop = (then - now) / then
+        if drop > max_regression:
+            failures.append(
+                f"serving: {now:.1f} requests/sec is {drop:.1%} below "
+                f"baseline {then:.1f} (allowed {max_regression:.0%})"
+            )
     return failures
 
 
@@ -195,6 +207,13 @@ def main(argv: list[str] | None = None) -> int:
              "(the bench_vector_stepping sweep) as a 'vector' column, "
              "gated by --max-regression like the scalar policies",
     )
+    parser.add_argument(
+        "--serving-baseline", action="store_true",
+        help="also record a short serving load run (bench_serving_load: "
+             "2 API workers + sim pool, mixed read/submit) as a "
+             "'serving' column whose requests/sec is gated by "
+             "--max-regression",
+    )
     args = parser.parse_args(argv)
 
     program = checksum(iterations=150).program
@@ -212,6 +231,13 @@ def main(argv: list[str] | None = None) -> int:
         from bench_vector_stepping import vector_record
 
         record["vector"] = vector_record()
+    if args.serving_baseline:
+        from bench_serving_load import _hosted_load
+
+        record["serving"] = _hosted_load(
+            workers=2, sim_pool=1, clients=8, duration=4.0,
+            submit_ratio=0.2, queue_capacity=8,
+        )
     if args.max_telemetry_overhead is not None:
         record["telemetry"] = _telemetry_overhead(program)
     if args.trace_out:
@@ -239,6 +265,11 @@ def main(argv: list[str] | None = None) -> int:
                 "cycles_per_second"
             ]
             metrics["vector_speedup"] = record["vector"]["speedup"]
+        if "serving" in record:
+            metrics["serving_requests_per_second"] = record["serving"][
+                "requests_per_second"
+            ]
+            metrics["serving_p99_ms"] = record["serving"]["p99_ms"]
         with RunStore(args.store) as store:
             run_id = store.record_run(
                 "BENCH-throughput", config_hash, metrics,

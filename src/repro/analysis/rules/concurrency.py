@@ -83,11 +83,51 @@ def _under_lock(ctx: FileContext, node: ast.AST) -> bool:
     )
 
 
+#: with-scopes that carry the store's connection discipline: ``_read()``
+#: is an autocommit WAL snapshot, ``_write()`` a lock-held short
+#: transaction (see RunStore).
+_SCOPE_METHODS = {"_read", "_write"}
+
+#: functions allowed to touch a connection bare: the scope
+#: implementations themselves plus connection setup.
+_SCOPE_IMPLEMENTATIONS = {"_read", "_write", "_connect", "_connection"}
+
+
+def _under_store_scope(ctx: FileContext, node: ast.AST) -> bool:
+    """Inside ``with self._read() as conn:`` / ``with self._write()``."""
+    for a in ctx.ancestors(node):
+        if not isinstance(a, ast.With):
+            continue
+        for item in a.items:
+            expr = item.context_expr
+            if (
+                isinstance(expr, ast.Call)
+                and isinstance(expr.func, ast.Attribute)
+                and expr.func.attr in _SCOPE_METHODS
+            ):
+                return True
+    return False
+
+
+def _enclosing_function(ctx: FileContext, node: ast.AST):
+    return next(
+        (
+            a
+            for a in ctx.ancestors(node)
+            if isinstance(a, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ),
+        None,
+    )
+
+
 @register
 class SqliteOutsideLock(Rule):
     id = "CON001"
     family = "concurrency"
-    summary = "SQLite connection used outside the store's lock"
+    summary = "SQLite connection used outside the store's scopes"
+    #: v2: the WAL store's `with self._read()/_write()` scopes satisfy
+    #: the discipline alongside a bare `with self._lock:`
+    version = 2
 
     def check(self, ctx: FileContext) -> Iterable[Finding]:
         if not _in_scope(ctx):
@@ -108,14 +148,18 @@ class SqliteOutsideLock(Rule):
                 recv_name = recv.id
             if recv_name not in _SQLITE_RECEIVERS:
                 continue
-            if not _under_lock(ctx, node):
-                yield ctx.finding(
-                    self.id,
-                    node,
-                    f"{recv_name}.{func.attr}() outside 'with self._lock:' "
-                    "races the threaded server; wrap it in the store's "
-                    "lock-holding methods",
-                )
+            if _under_lock(ctx, node) or _under_store_scope(ctx, node):
+                continue
+            owner = _enclosing_function(ctx, node)
+            if owner is not None and owner.name in _SCOPE_IMPLEMENTATIONS:
+                continue  # the scope machinery itself
+            yield ctx.finding(
+                self.id,
+                node,
+                f"{recv_name}.{func.attr}() outside 'with self._lock:' or "
+                "the store's _read()/_write() scopes races other "
+                "threads/processes; use the store's scoped methods",
+            )
 
 
 def _module_mutables(tree: ast.Module) -> dict[str, int]:
@@ -259,3 +303,69 @@ class PerRequestPrimitive(Rule):
                     "it synchronises nothing; create it once in __init__ "
                     "or at module scope",
                 )
+
+
+#: the one module allowed to open SQLite connections.
+_STORE_MODULE = "repro/serving/store.py"
+
+
+@register
+class RawSqliteConnect(Rule):
+    id = "CON004"
+    family = "concurrency"
+    summary = "raw sqlite3.connect outside the run store"
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        # repo-wide (not just the concurrency scope): a stray connection
+        # anywhere bypasses the store's WAL/busy-timeout/fork discipline
+        if ctx.module_path.endswith(_STORE_MODULE):
+            return
+        for node in ast.walk(ctx.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "connect"
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == "sqlite3"
+            ):
+                continue
+            yield ctx.finding(
+                self.id,
+                node,
+                "sqlite3.connect() outside repro/serving/store.py bypasses "
+                "the RunStore's WAL + busy-timeout + per-process connection "
+                "discipline; go through RunStore instead",
+            )
+
+
+@register
+class ModuleLevelSocket(Rule):
+    id = "CON005"
+    family = "concurrency"
+    summary = "socket created at module import time"
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        # serving layer only: a socket bound at import time leaks into
+        # every forked worker and breaks the supervisor's socket handoff
+        if "repro/serving" not in ctx.module_path:
+            return
+        for stmt in ast.walk(ctx.tree):
+            if not (
+                isinstance(stmt, ast.Call)
+                and isinstance(stmt.func, ast.Attribute)
+                and stmt.func.attr in ("socket", "create_connection",
+                                       "create_server")
+                and isinstance(stmt.func.value, ast.Name)
+                and stmt.func.value.id == "socket"
+            ):
+                continue
+            if _enclosing_function(ctx, stmt) is not None:
+                continue  # created per call/worker, not at import
+            yield ctx.finding(
+                self.id,
+                stmt,
+                "socket created at module scope runs at import time and "
+                "is shared by every thread and forked worker; create "
+                "sockets inside the supervisor/server functions that own "
+                "their lifecycle",
+            )

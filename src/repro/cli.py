@@ -209,22 +209,30 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from repro.serving.app import serve
-
-    return serve(
+    common = dict(
         store_path=args.store,
         cache_dir=args.cache_dir,
         host=args.host,
         port=args.port,
-        sim_workers=args.workers,
         queue_capacity=args.queue_capacity,
         cache_max_bytes=args.cache_max_bytes,
         cache_max_age=args.cache_max_age_days * 86400
         if args.cache_max_age_days is not None
         else None,
+        retention_max_runs=args.retention_max_runs,
+        retention_max_age_days=args.retention_max_age_days,
         verbose=args.verbose,
         log=lambda msg: print(f"[serve] {msg}", file=sys.stderr),
     )
+    if args.workers > 0:
+        from repro.serving.supervisor import serve_forked
+
+        return serve_forked(
+            workers=args.workers, sim_pool=args.sim_pool, **common
+        )
+    from repro.serving.app import serve
+
+    return serve(sim_workers=args.sim_workers, **common)
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -324,8 +332,22 @@ def _build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--cache-dir", default=".report-cache",
                      help="content-addressed result blob directory")
     srv.add_argument("--workers", type=int, default=0,
+                     help="API worker processes (0 = single threaded "
+                          "process; N>=1 forks a pre-fork supervisor with "
+                          "N HTTP workers sharing the port)")
+    srv.add_argument("--sim-pool", type=int, default=1,
+                     help="dedicated simulation worker processes draining "
+                          "the durable job queue (supervisor mode only; "
+                          "0 = API workers run jobs themselves)")
+    srv.add_argument("--sim-workers", type=int, default=0,
                      help="simulation worker processes per submitted job "
                           "(0 = simulate in the server's job thread)")
+    srv.add_argument("--retention-max-runs", type=int, default=None,
+                     help="on startup, keep only the newest N runs in the "
+                          "store")
+    srv.add_argument("--retention-max-age-days", type=float, default=None,
+                     help="on startup, drop runs (and settled jobs) older "
+                          "than this many days")
     srv.add_argument("--queue-capacity", type=int, default=8,
                      help="max queued-but-not-started submitted jobs "
                           "(further submissions get HTTP 503)")

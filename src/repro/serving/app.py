@@ -46,9 +46,9 @@ from repro.errors import ReproError
 from repro.evaluation.batch import ResultCache
 from repro.evaluation.report import render_kv
 from repro.serving.dashboard import DASHBOARD_HTML
-from repro.serving.jobs import JobQueue, JobQueueFull
+from repro.serving.jobs import JobQueueFull, StoreJobQueue
 from repro.serving.store import RunStore
-from repro.telemetry import MetricsRegistry
+from repro.telemetry import MetricsRegistry, render_merged
 
 __all__ = ["ServingApp", "make_server", "serve"]
 
@@ -89,9 +89,10 @@ class ServingApp:
         self,
         store: RunStore,
         cache: ResultCache | None = None,
-        jobs: JobQueue | None = None,
+        jobs=None,
         registry: MetricsRegistry | None = None,
         access_log=None,
+        worker_name: str | None = None,
     ) -> None:
         self.store = store
         self.cache = cache
@@ -99,6 +100,10 @@ class ServingApp:
         self.registry = MetricsRegistry() if registry is None else registry
         #: optional callable receiving one dict per handled request.
         self.access_log = access_log
+        #: set under the pre-fork supervisor: this worker's identity.
+        #: When set, /metrics publishes a snapshot into the store and
+        #: answers with the merged view across all live workers.
+        self.worker_name = worker_name
         self.started = time.time()
         self._requests = self.registry.counter(
             "repro_http_requests_total",
@@ -109,6 +114,11 @@ class ServingApp:
             "repro_http_request_seconds",
             "Request handling latency in seconds.",
             ("route",),
+        )
+        self._rejected = self.registry.counter(
+            "repro_jobs_rejected_total",
+            "Job submissions rejected with 503, by reason.",
+            ("reason",),
         )
 
     # -------------------------------------------------------- entry point
@@ -288,13 +298,20 @@ class ServingApp:
                 value = metrics.get(name)
                 if isinstance(value, (int, float)) and not isinstance(value, bool):
                     last.labels(name).set(value)
+        if self.worker_name is not None:
+            # Publish this worker's fresh snapshot, then answer with the
+            # merged view: every live worker's series, `worker`-labelled.
+            self.store.publish_worker_metrics(self.worker_name, r.snapshot())
+            body = render_merged(self.store.worker_metrics())
+        else:
+            body = r.render()
         return (
             200,
             {
                 "Content-Type": "text/plain; version=0.0.4; charset=utf-8",
                 "Cache-Control": _CC_NONE,
             },
-            r.render().encode(),
+            body.encode(),
         )
 
     def _health(self):
@@ -439,7 +456,17 @@ class ServingApp:
 
     def _submit(self, body):
         if self.jobs is None:
-            return self._error(503, "job submission disabled on this server")
+            # Same backpressure contract as a full queue: clients retry
+            # (this worker may be restarting), and the rejection is counted.
+            self._rejected.labels("disabled").inc()
+            return self._json(
+                503,
+                {
+                    "error": "job submission disabled on this server",
+                    "status": 503,
+                },
+                extra={"Retry-After": "1"},
+            )
         try:
             spec = json.loads(body or b"")
         except json.JSONDecodeError as exc:
@@ -447,6 +474,7 @@ class ServingApp:
         try:
             record = self.jobs.submit(spec)
         except JobQueueFull as exc:
+            self._rejected.labels("queue_full").inc()
             return self._json(
                 503,
                 {"error": str(exc), "status": 503},
@@ -458,8 +486,18 @@ class ServingApp:
 
 
 # ----------------------------------------------------------- socket layer
-def make_server(app: ServingApp, host: str = "127.0.0.1", port: int = 8734):
-    """Build a ThreadingHTTPServer around ``app`` (port 0 = ephemeral)."""
+def make_server(
+    app: ServingApp,
+    host: str = "127.0.0.1",
+    port: int = 8734,
+    sock=None,
+):
+    """Build a ThreadingHTTPServer around ``app`` (port 0 = ephemeral).
+
+    When ``sock`` is given it must already be bound and listening (the
+    pre-fork supervisor hands each worker its socket); the server adopts
+    it instead of binding ``(host, port)`` itself.
+    """
     from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
     class Handler(BaseHTTPRequestHandler):
@@ -496,7 +534,15 @@ def make_server(app: ServingApp, host: str = "127.0.0.1", port: int = 8734):
         def log_message(self, fmt, *args):  # quiet by default
             pass
 
-    server = ThreadingHTTPServer((host, port), Handler)
+    if sock is None:
+        server = ThreadingHTTPServer((host, port), Handler)
+    else:
+        server = ThreadingHTTPServer((host, port), Handler, bind_and_activate=False)
+        server.socket.close()
+        server.socket = sock
+        server.server_address = sock.getsockname()
+        server.server_name = host
+        server.server_port = server.server_address[1]
     server.daemon_threads = True
     server.app = app
     return server
@@ -511,6 +557,8 @@ def serve(
     queue_capacity: int = 8,
     cache_max_bytes: int | None = None,
     cache_max_age: float | None = None,
+    retention_max_runs: int | None = None,
+    retention_max_age_days: float | None = None,
     verbose: bool = False,
     log=None,
 ):
@@ -518,8 +566,10 @@ def serve(
 
     Prunes the on-disk result cache on startup (LRU, per the given
     limits — with no limits only stale tmp files are cleared), so a
-    long-running server keeps ``.report-cache`` bounded.  ``/metrics``
-    is always exposed; ``verbose`` additionally logs one structured
+    long-running server keeps ``.report-cache`` bounded; run-store
+    retention (``retention_max_runs`` / ``retention_max_age_days``)
+    trims old runs and settled jobs the same way.  ``/metrics`` is
+    always exposed; ``verbose`` additionally logs one structured
     record per request through ``log``.
     """
     def note(msg: str) -> None:
@@ -527,6 +577,15 @@ def serve(
             log(msg)
 
     store = RunStore(store_path)
+    if retention_max_runs is not None or retention_max_age_days is not None:
+        trimmed = store.prune(
+            max_runs=retention_max_runs, max_age_days=retention_max_age_days
+        )
+        note(
+            f"store retention: removed {trimmed['removed_runs']} runs, "
+            f"{trimmed['removed_jobs']} settled jobs, "
+            f"kept {trimmed['kept_runs']} runs"
+        )
     cache = ResultCache(cache_dir) if cache_dir is not None else ResultCache()
     if cache.directory is not None:
         pruned = cache.prune(max_bytes=cache_max_bytes, max_age=cache_max_age)
@@ -535,8 +594,8 @@ def serve(
             f"({pruned['bytes_freed']} bytes), kept {pruned['kept']}"
         )
     registry = MetricsRegistry()
-    jobs = JobQueue(
-        cache, store=store, sim_workers=sim_workers,
+    jobs = StoreJobQueue(
+        store, cache=cache, sim_workers=sim_workers,
         capacity=queue_capacity, registry=registry,
     )
     jobs.start()

@@ -4,11 +4,23 @@ The API accepts a *job spec* — plain JSON naming a factory, a workload
 target and parameter overrides — which :func:`build_job` turns into a
 :class:`~repro.evaluation.batch.SimJob`.  Submissions whose content key
 is already answerable from the result cache complete immediately without
-simulating; everything else goes through a bounded queue drained by one
-background thread that executes via :func:`run_many` (so submitted jobs
-share the dedup/cache/shipping machinery with the report pipeline).
-A full queue rejects the submission — backpressure surfaces as HTTP 503
-rather than unbounded memory growth.
+simulating; everything else goes through a bounded queue drained through
+:func:`run_many` (so submitted jobs share the dedup/cache/shipping
+machinery with the report pipeline).  A full queue rejects the
+submission — backpressure surfaces as HTTP 503 rather than unbounded
+memory growth.
+
+Two queue implementations share that contract:
+
+:class:`JobQueue`
+    In-memory, drained by one background thread — the single-process
+    server and the unit tests.
+:class:`StoreJobQueue`
+    Durable, backed by the run store's ``jobs`` table.  Any API worker
+    process can enqueue and any simulation pool worker can drain
+    (atomic claim-by-update in SQLite), which is how ``repro serve
+    --workers N`` fans submitted work out across processes (see
+    :mod:`repro.serving.supervisor`).
 
 Job specs (all fields except ``target`` optional)::
 
@@ -28,6 +40,7 @@ never to filesystem paths (the server must not read arbitrary files).
 from __future__ import annotations
 
 import queue
+import secrets
 import threading
 import time
 from dataclasses import dataclass, field, fields
@@ -43,6 +56,7 @@ __all__ = [
     "JobQueue",
     "JobQueueFull",
     "JobRecord",
+    "StoreJobQueue",
     "build_job",
     "resolve_program",
 ]
@@ -331,6 +345,206 @@ class JobQueue:
     def depth(self) -> int:
         """Jobs queued but not yet started."""
         return self._pending.qsize()
+
+    def wait(self, job_id: str, timeout: float = 30.0) -> JobRecord:
+        """Block until a job settles (tests and smoke scripts)."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            record = self.get(job_id)
+            if record is None:
+                raise KeyError(job_id)
+            if record.state in ("done", "failed"):
+                return record
+            time.sleep(0.01)
+        raise TimeoutError(f"job {job_id} still {self.get(job_id).state}")
+
+
+class StoreJobQueue:
+    """Durable bounded job queue over the run store's ``jobs`` table.
+
+    Same submit/query contract as :class:`JobQueue`, but the queue lives
+    in SQLite: every API worker process sees every submission, and the
+    backlog survives restarts.  Draining happens wherever
+    :meth:`claim_and_run_one` runs — the local :meth:`start` thread in a
+    single-process server, or a pool of dedicated simulation worker
+    processes under the supervisor (each claim is an atomic
+    ``queued -> running`` update, so a job runs exactly once).
+
+    ``capacity`` bounds the *queued* backlog across all workers; a full
+    queue raises :class:`JobQueueFull` (HTTP 503 + ``Retry-After``).
+    """
+
+    def __init__(
+        self,
+        store: Any,
+        cache: ResultCache | None = None,
+        sim_workers: int = 0,
+        capacity: int = 8,
+        registry: Any | None = None,
+        owner: str | None = None,
+        poll_interval: float = 0.05,
+    ) -> None:
+        self.store = store
+        self.cache = cache if cache is not None else ResultCache()
+        self.sim_workers = sim_workers
+        self.capacity = capacity
+        self.owner = owner or f"worker-{secrets.token_hex(3)}"
+        self.poll_interval = poll_interval
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+        #: simulations actually dispatched by THIS worker (cache answers
+        #: and jobs drained elsewhere excluded).
+        self.executed = 0
+        reg = registry if registry is not None else NULL_REGISTRY
+        self._submissions = reg.counter(
+            "repro_jobs_submitted_total",
+            "Job submissions, by outcome.",
+            ("outcome",),
+        )
+        self._queue_wait = reg.histogram(
+            "repro_job_queue_wait_seconds",
+            "Seconds a submitted job waited before a pool worker ran it.",
+        )
+        self._run_seconds = reg.histogram(
+            "repro_job_run_seconds",
+            "Wall-clock seconds executing one submitted job.",
+        )
+        self.batch_telemetry = (
+            BatchTelemetry(registry=registry) if registry is not None else None
+        )
+
+    # ---------------------------------------------------------- submission
+    @staticmethod
+    def _new_job_id() -> str:
+        # random, not sequential: ids must not collide across API workers
+        return f"job-{secrets.token_hex(6)}"
+
+    def submit(self, spec: dict) -> JobRecord:
+        """Validate, answer from cache, or enqueue durably; never blocks."""
+        job = build_job(spec)
+        key = job_key(job)
+        job_id = self._new_job_id()
+
+        cached = self.cache.get(key)
+        if cached is not None:
+            now = time.time()
+            run_id = None
+            if self.store is not None:
+                run_id = self.store.record_result(
+                    key, cached, job=job, experiment=f"job/{job.factory}"
+                )
+            # settled on arrival; inserted for cross-worker visibility
+            self.store.enqueue_job(
+                job_id, key, spec, state="done", cached=True,
+                run_id=run_id, submitted=now, finished=now,
+            )
+            self._submissions.labels("cached").inc()
+            return JobRecord(
+                job_id=job_id, key=key, spec=spec, state="done",
+                cached=True, submitted=now, finished=now, run_id=run_id,
+            )
+
+        accepted = self.store.enqueue_job(
+            job_id, key, spec, capacity=self.capacity
+        )
+        if not accepted:
+            self._submissions.labels("rejected").inc()
+            raise JobQueueFull(
+                f"job queue full ({self.capacity} pending); retry later"
+            )
+        self._submissions.labels("accepted").inc()
+        return self._record(self.store.get_job(job_id))
+
+    # ------------------------------------------------------------ draining
+    def claim_and_run_one(self) -> bool:
+        """Claim the oldest queued job and execute it; False when idle.
+
+        Runs in whatever process calls it — the jobs travel as JSON
+        specs, so the claimer rebuilds the :class:`SimJob` locally and
+        executes through the same cached/deduplicated ``run_many`` path
+        as the report pipeline.
+        """
+        claimed = self.store.claim_job(self.owner)
+        if claimed is None:
+            return False
+        job_id = claimed["job_id"]
+        self._queue_wait.observe(claimed["started"] - claimed["submitted"])
+        start = time.time()
+        try:
+            job = build_job(claimed["spec"])
+            result = run_many(
+                [job], workers=self.sim_workers, cache=self.cache,
+                telemetry=self.batch_telemetry,
+            )[0]
+            self.executed += 1
+            run_id = None
+            if self.store is not None:
+                run_id = self.store.record_result(
+                    claimed["key"], result, job=job,
+                    experiment=f"job/{job.factory}",
+                )
+            self.store.finish_job(job_id, "done", run_id=run_id)
+        except Exception as exc:  # surface, don't kill the drain loop
+            self.store.finish_job(
+                job_id, "failed", error=f"{type(exc).__name__}: {exc}"
+            )
+        self._run_seconds.observe(time.time() - start)
+        return True
+
+    def drain_until_stopped(self, stop: threading.Event | None = None) -> None:
+        """Claim-and-run until ``stop`` is set (pool worker main loop)."""
+        stop = stop if stop is not None else self._stop
+        while not stop.is_set():
+            if not self.claim_and_run_one():
+                stop.wait(self.poll_interval)
+
+    def start(self) -> None:
+        """Local drain thread (single-process servers; supervisor uses
+        dedicated pool processes instead)."""
+        if self._thread is None or not self._thread.is_alive():
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self.drain_until_stopped, daemon=True,
+                name="repro-store-job-queue",
+            )
+            self._thread.start()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        self._stop.set()
+        if self._thread is not None and self._thread.is_alive():
+            self._thread.join(timeout)
+
+    def stopped(self) -> bool:
+        """Whether :meth:`stop` was requested (pool worker loop check)."""
+        return self._stop.is_set()
+
+    # ------------------------------------------------------------- queries
+    @staticmethod
+    def _record(row: dict | None) -> JobRecord | None:
+        if row is None:
+            return None
+        return JobRecord(
+            job_id=row["job_id"],
+            key=row["key"],
+            spec=row["spec"],
+            state=row["state"],
+            cached=row["cached"],
+            submitted=row["submitted"],
+            started=row["started"],
+            finished=row["finished"],
+            error=row["error"],
+            run_id=row["run_id"],
+        )
+
+    def get(self, job_id: str) -> JobRecord | None:
+        return self._record(self.store.get_job(job_id))
+
+    def list(self) -> list[JobRecord]:
+        return [self._record(row) for row in self.store.list_jobs()]
+
+    def depth(self) -> int:
+        """Jobs queued but not yet claimed by any worker."""
+        return self.store.queued_depth()
 
     def wait(self, job_id: str, timeout: float = 30.0) -> JobRecord:
         """Block until a job settles (tests and smoke scripts)."""

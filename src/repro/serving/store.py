@@ -13,16 +13,43 @@ Runs are identified by a deterministic 16-hex id derived from
 ``(experiment, config_hash, git_rev)``: re-registering the same question
 at the same revision upserts the row instead of growing the table, while
 a new revision (or a changed question) starts a new trend point.
+
+Concurrency discipline (schema v3)
+----------------------------------
+File-backed stores run in **WAL** journal mode with a ``busy_timeout``,
+so readers never block the writer and a writer in one process waits
+(rather than erroring) on a writer in another.  Every thread gets its
+own connection (:meth:`RunStore._connection` is keyed on thread *and*
+pid, so connections are never reused across ``fork``), reads run in
+autocommit on the calling thread's connection, and writes are short
+``BEGIN IMMEDIATE`` transactions serialised in-process by one lock and
+across processes by SQLite itself.  All database access goes through
+the ``_read()`` / ``_write()`` scopes — the CON001 lint rule enforces
+exactly that.
+
+Besides the ``runs`` index, v3 adds two coordination tables for the
+multi-process server (see :mod:`repro.serving.supervisor`):
+
+``jobs``
+    The durable submitted-job queue.  Any API worker enqueues with
+    :meth:`RunStore.enqueue_job`; any simulation pool worker drains with
+    :meth:`RunStore.claim_job` — an atomic claim-by-update, so a job is
+    executed exactly once no matter how many workers poll.
+``worker_metrics``
+    Per-worker metrics snapshots (JSON), merged by whichever worker
+    answers a ``/metrics`` scrape.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import os
 import sqlite3
 import subprocess
 import threading
 import time
+from contextlib import contextmanager
 from pathlib import Path
 from typing import Any
 
@@ -36,21 +63,54 @@ __all__ = [
 ]
 
 #: current on-disk schema version (``PRAGMA user_version``).
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
-#: full version-2 schema, applied to fresh databases.
-_SCHEMA = """
-CREATE TABLE IF NOT EXISTS runs (
-    run_id      TEXT PRIMARY KEY,
-    experiment  TEXT NOT NULL,
-    config_hash TEXT NOT NULL,
-    created     REAL NOT NULL,
-    metrics     TEXT NOT NULL,
-    label       TEXT NOT NULL DEFAULT '',
-    git_rev     TEXT NOT NULL DEFAULT ''
-);
-CREATE INDEX IF NOT EXISTS runs_experiment ON runs (experiment, created);
-"""
+#: milliseconds a connection waits on a cross-process write lock before
+#: surfacing ``database is locked`` (WAL keeps these waits rare + short).
+BUSY_TIMEOUT_MS = 5_000
+
+#: version-2 core: the runs index.
+_RUNS_DDL = (
+    """
+    CREATE TABLE IF NOT EXISTS runs (
+        run_id      TEXT PRIMARY KEY,
+        experiment  TEXT NOT NULL,
+        config_hash TEXT NOT NULL,
+        created     REAL NOT NULL,
+        metrics     TEXT NOT NULL,
+        label       TEXT NOT NULL DEFAULT '',
+        git_rev     TEXT NOT NULL DEFAULT ''
+    )
+    """,
+    "CREATE INDEX IF NOT EXISTS runs_experiment ON runs (experiment, created)",
+)
+
+#: version-3 additions: the cross-process job queue + metrics snapshots.
+_V3_DDL = (
+    """
+    CREATE TABLE IF NOT EXISTS jobs (
+        job_id    TEXT PRIMARY KEY,
+        key       TEXT NOT NULL,
+        spec      TEXT NOT NULL,
+        state     TEXT NOT NULL DEFAULT 'queued',
+        cached    INTEGER NOT NULL DEFAULT 0,
+        submitted REAL NOT NULL,
+        started   REAL,
+        finished  REAL,
+        error     TEXT,
+        run_id    TEXT,
+        owner     TEXT NOT NULL DEFAULT ''
+    )
+    """,
+    "CREATE INDEX IF NOT EXISTS jobs_state ON jobs (state, submitted)",
+    """
+    CREATE TABLE IF NOT EXISTS worker_metrics (
+        worker  TEXT PRIMARY KEY,
+        updated REAL NOT NULL,
+        payload TEXT NOT NULL
+    )
+    """,
+)
 
 _git_rev_cache: str | None = None
 _git_rev_lock = threading.Lock()
@@ -103,50 +163,154 @@ def metrics_of(result: Any) -> dict[str, float]:
 
 
 class RunStore:
-    """SQLite-backed index of experiment runs.
+    """SQLite-backed index of experiment runs (+ the durable job queue).
 
-    Thread-safe (one connection guarded by a lock — the serving API is a
-    threaded server).  ``path`` may be ``":memory:"`` for tests.
+    Safe for concurrent use from many threads *and* many processes:
+    file-backed stores run in WAL mode with one connection per thread,
+    lock-free autocommit reads and short serialised write transactions.
+    ``path`` may be ``":memory:"`` for tests — memory stores keep a
+    single connection and serialise everything on one lock (they cannot
+    be shared across processes anyway).
     """
 
-    def __init__(self, path: str | Path = ":memory:") -> None:
+    def __init__(
+        self, path: str | Path = ":memory:", busy_timeout_ms: int = BUSY_TIMEOUT_MS
+    ) -> None:
         self.path = str(path)
-        self._conn = sqlite3.connect(self.path, check_same_thread=False)
-        self._conn.row_factory = sqlite3.Row
+        self.busy_timeout_ms = int(busy_timeout_ms)
+        #: memory stores share one connection; file stores get one per thread.
+        self._serialized = self.path == ":memory:"
+        self._local = threading.local()
         self._lock = threading.Lock()
+        self._conns: list[sqlite3.Connection] = []
+        self._conns_lock = threading.Lock()
+        self._closed = False
+        #: journal mode the first connection actually got ("wal" on local
+        #: filesystems; "delete" e.g. on NFS, where WAL is unsupported).
+        self.journal_mode = "memory" if self._serialized else ""
+        self._connection()  # create + migrate eagerly, so errors surface here
+        with self._write() as conn:
+            self._migrate(conn)
+
+    # -------------------------------------------------- connection scopes
+    def _connection(self) -> sqlite3.Connection:
+        """This thread's connection, created on first use.
+
+        Keyed on pid as well as thread: a connection carried across
+        ``fork`` into a child process would corrupt the database, so the
+        child transparently gets a fresh one.
+        """
+        if self._closed:
+            raise ConfigurationError(f"run store {self.path} is closed")
+        if self._serialized:
+            conn = getattr(self, "_shared_conn", None)
+            if conn is None:
+                conn = self._connect()
+                self._shared_conn = conn
+            return conn
+        conn = getattr(self._local, "conn", None)
+        if conn is None or self._local.pid != os.getpid():
+            conn = self._connect()
+            self._local.conn = conn
+            self._local.pid = os.getpid()
+        return conn
+
+    def _connect(self) -> sqlite3.Connection:
+        # isolation_level=None -> autocommit; _write() opens explicit
+        # short BEGIN IMMEDIATE transactions, reads never hold one.
+        conn = sqlite3.connect(
+            self.path, check_same_thread=False, isolation_level=None
+        )
+        conn.row_factory = sqlite3.Row
+        if not self._serialized:
+            conn.execute(f"PRAGMA busy_timeout = {self.busy_timeout_ms}")
+            mode = conn.execute("PRAGMA journal_mode = WAL").fetchone()[0]
+            conn.execute("PRAGMA synchronous = NORMAL")
+            if not self.journal_mode:
+                self.journal_mode = str(mode).lower()
+        with self._conns_lock:
+            self._conns.append(conn)
+        return conn
+
+    @contextmanager
+    def _read(self):
+        """Autocommit read scope: the calling thread's own connection.
+
+        File stores read lock-free (WAL snapshots isolate them from the
+        writer); memory stores fall back to the store lock because all
+        threads share one connection.
+        """
+        conn = self._connection()
+        if self._serialized:
+            with self._lock:
+                yield conn
+        else:
+            yield conn
+
+    @contextmanager
+    def _write(self):
+        """Short-transaction write scope.
+
+        One ``BEGIN IMMEDIATE`` … ``COMMIT`` per entry: the in-process
+        lock serialises writers sharing this store object, and IMMEDIATE
+        acquires the cross-process write lock up front so the whole
+        scope either runs or waits — no mid-transaction upgrades, no
+        deadlocks between processes.
+        """
+        conn = self._connection()
         with self._lock:
-            self._migrate()
+            conn.execute("BEGIN IMMEDIATE")
+            try:
+                yield conn
+            except BaseException:
+                conn.execute("ROLLBACK")
+                raise
+            conn.execute("COMMIT")
 
     # ------------------------------------------------------------- schema
-    # repro: allow[CON001] -- only called from __init__, which holds _lock
-    def _migrate(self) -> None:
-        version = self._conn.execute("PRAGMA user_version").fetchone()[0]
+    # repro: allow[CON001] -- runs inside the _write() scope passed in by
+    # __init__; the conn parameter is that scope's connection
+    def _migrate(self, conn: sqlite3.Connection) -> None:
+        version = conn.execute("PRAGMA user_version").fetchone()[0]
         if version > SCHEMA_VERSION:
             raise ConfigurationError(
                 f"run store {self.path} has schema version {version}; "
                 f"this build understands up to {SCHEMA_VERSION}"
             )
         if version == 0:
-            self._conn.executescript(_SCHEMA)
-        elif version == 1:
-            # v1 predates the label / git_rev columns and the experiment
-            # index; rows keep their data, new columns default to ''.
-            self._conn.execute(
-                "ALTER TABLE runs ADD COLUMN label TEXT NOT NULL DEFAULT ''"
-            )
-            self._conn.execute(
-                "ALTER TABLE runs ADD COLUMN git_rev TEXT NOT NULL DEFAULT ''"
-            )
-            self._conn.execute(
-                "CREATE INDEX IF NOT EXISTS runs_experiment "
-                "ON runs (experiment, created)"
-            )
-        self._conn.execute(f"PRAGMA user_version = {SCHEMA_VERSION}")
-        self._conn.commit()
+            for ddl in _RUNS_DDL + _V3_DDL:
+                conn.execute(ddl)
+        else:
+            if version == 1:
+                # v1 predates the label / git_rev columns and the
+                # experiment index; rows keep their data, new columns
+                # default to ''.
+                conn.execute(
+                    "ALTER TABLE runs ADD COLUMN label TEXT NOT NULL DEFAULT ''"
+                )
+                conn.execute(
+                    "ALTER TABLE runs ADD COLUMN git_rev TEXT NOT NULL DEFAULT ''"
+                )
+                conn.execute(
+                    "CREATE INDEX IF NOT EXISTS runs_experiment "
+                    "ON runs (experiment, created)"
+                )
+            if version <= 2:
+                # v2 -> v3: the cross-process job queue and per-worker
+                # metrics snapshots; the runs table is untouched.
+                for ddl in _V3_DDL:
+                    conn.execute(ddl)
+        conn.execute(f"PRAGMA user_version = {SCHEMA_VERSION}")
 
     def close(self) -> None:
-        with self._lock:
-            self._conn.close()
+        with self._conns_lock:
+            conns, self._conns = self._conns, []
+            self._closed = True
+        for conn in conns:
+            try:
+                conn.close()
+            except sqlite3.Error:
+                pass
 
     def __enter__(self) -> RunStore:
         return self
@@ -172,8 +336,8 @@ class RunStore:
             run_id = hashlib.sha256(
                 f"{experiment}|{config_hash}|{git_rev}".encode()
             ).hexdigest()[:16]
-        with self._lock:
-            self._conn.execute(
+        with self._write() as conn:
+            conn.execute(
                 "INSERT INTO runs "
                 "(run_id, experiment, config_hash, created, metrics, label, git_rev) "
                 "VALUES (?, ?, ?, ?, ?, ?, ?) "
@@ -190,7 +354,6 @@ class RunStore:
                     git_rev,
                 ),
             )
-            self._conn.commit()
         return run_id
 
     def record_result(
@@ -214,6 +377,49 @@ class RunStore:
             experiment, key, metrics_of(result), label=label
         )
 
+    # ---------------------------------------------------------- retention
+    def prune(
+        self,
+        max_runs: int | None = None,
+        max_age_days: float | None = None,
+        now: float | None = None,
+    ) -> dict[str, int]:
+        """Run-retention GC, mirroring the blob cache's ``prune``.
+
+        ``max_age_days`` drops runs recorded longer ago than that (and
+        settled jobs that finished before the same cutoff); ``max_runs``
+        then keeps only the most recent N runs.  Queued and running jobs
+        are never pruned.  Returns removal/keep counts.
+        """
+        removed_runs = removed_jobs = 0
+        with self._write() as conn:
+            if max_age_days is not None:
+                cutoff = (time.time() if now is None else now) - max_age_days * 86_400
+                cur = conn.execute(
+                    "DELETE FROM runs WHERE created < ?", (cutoff,)
+                )
+                removed_runs += cur.rowcount
+                cur = conn.execute(
+                    "DELETE FROM jobs WHERE state IN ('done', 'failed') "
+                    "AND finished IS NOT NULL AND finished < ?",
+                    (cutoff,),
+                )
+                removed_jobs += cur.rowcount
+            if max_runs is not None:
+                cur = conn.execute(
+                    "DELETE FROM runs WHERE run_id NOT IN ("
+                    "SELECT run_id FROM runs "
+                    "ORDER BY created DESC, run_id LIMIT ?)",
+                    (max(0, int(max_runs)),),
+                )
+                removed_runs += cur.rowcount
+            kept = conn.execute("SELECT COUNT(*) FROM runs").fetchone()[0]
+        return {
+            "removed_runs": removed_runs,
+            "removed_jobs": removed_jobs,
+            "kept_runs": kept,
+        }
+
     # ------------------------------------------------------------ reading
     @staticmethod
     def _row_to_dict(row: sqlite3.Row) -> dict[str, Any]:
@@ -222,8 +428,8 @@ class RunStore:
         return out
 
     def get_run(self, run_id: str) -> dict[str, Any] | None:
-        with self._lock:
-            row = self._conn.execute(
+        with self._read() as conn:
+            row = conn.execute(
                 "SELECT * FROM runs WHERE run_id = ?", (run_id,)
             ).fetchone()
         return self._row_to_dict(row) if row is not None else None
@@ -242,22 +448,22 @@ class RunStore:
             args.append(experiment)
         sql += " ORDER BY created DESC, run_id LIMIT ? OFFSET ?"
         args += [max(0, int(limit)), max(0, int(offset))]
-        with self._lock:
-            rows = self._conn.execute(sql, args).fetchall()
+        with self._read() as conn:
+            rows = conn.execute(sql, args).fetchall()
         return [self._row_to_dict(r) for r in rows]
 
     def experiments(self) -> list[dict[str, Any]]:
         """Distinct experiment names with run counts and recency."""
-        with self._lock:
-            rows = self._conn.execute(
+        with self._read() as conn:
+            rows = conn.execute(
                 "SELECT experiment, COUNT(*) AS runs, MAX(created) AS last_created "
                 "FROM runs GROUP BY experiment ORDER BY experiment"
             ).fetchall()
         return [dict(r) for r in rows]
 
     def count(self) -> int:
-        with self._lock:
-            return self._conn.execute("SELECT COUNT(*) FROM runs").fetchone()[0]
+        with self._read() as conn:
+            return conn.execute("SELECT COUNT(*) FROM runs").fetchone()[0]
 
     # ------------------------------------------------------------- diffing
     def diff(self, run_a: str, run_b: str) -> dict[str, Any]:
@@ -286,3 +492,160 @@ class RunStore:
             "b": {k: v for k, v in b.items() if k not in strip},
             "metrics": metrics,
         }
+
+    # ------------------------------------------------------- the job queue
+    @staticmethod
+    def _job_row(row: sqlite3.Row) -> dict[str, Any]:
+        out = dict(row)
+        out["cached"] = bool(out["cached"])
+        out["spec"] = json.loads(out["spec"])
+        return out
+
+    def enqueue_job(
+        self,
+        job_id: str,
+        key: str,
+        spec: dict[str, Any],
+        capacity: int | None = None,
+        state: str = "queued",
+        cached: bool = False,
+        run_id: str | None = None,
+        submitted: float | None = None,
+        finished: float | None = None,
+    ) -> bool:
+        """Insert one submitted-job row; ``False`` when the queue is full.
+
+        The capacity check and the insert run in one write transaction,
+        so the queued backlog stays bounded even with many API workers
+        enqueueing concurrently.  Cache-answered submissions are inserted
+        already settled (``state='done'``) for cross-worker visibility.
+        """
+        submitted = time.time() if submitted is None else submitted
+        with self._write() as conn:
+            if capacity is not None and state == "queued":
+                depth = conn.execute(
+                    "SELECT COUNT(*) FROM jobs WHERE state = 'queued'"
+                ).fetchone()[0]
+                if depth >= capacity:
+                    return False
+            conn.execute(
+                "INSERT INTO jobs "
+                "(job_id, key, spec, state, cached, submitted, finished, run_id) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    job_id,
+                    key,
+                    json.dumps(spec, sort_keys=True),
+                    state,
+                    int(cached),
+                    submitted,
+                    finished,
+                    run_id,
+                ),
+            )
+        return True
+
+    def claim_job(self, owner: str) -> dict[str, Any] | None:
+        """Atomically claim the oldest queued job for ``owner``.
+
+        Claim-by-update: the row flips ``queued -> running`` inside one
+        immediate transaction, so concurrent claimers (threads or whole
+        processes) each get a distinct job.  ``None`` when the queue is
+        empty.
+        """
+        now = time.time()
+        with self._write() as conn:
+            row = conn.execute(
+                "SELECT job_id FROM jobs WHERE state = 'queued' "
+                "ORDER BY submitted, job_id LIMIT 1"
+            ).fetchone()
+            if row is None:
+                return None
+            cur = conn.execute(
+                "UPDATE jobs SET state = 'running', owner = ?, started = ? "
+                "WHERE job_id = ? AND state = 'queued'",
+                (owner, now, row[0]),
+            )
+            if cur.rowcount == 0:  # pragma: no cover - cross-process race
+                return None
+            claimed = conn.execute(
+                "SELECT * FROM jobs WHERE job_id = ?", (row[0],)
+            ).fetchone()
+        return self._job_row(claimed)
+
+    def finish_job(
+        self,
+        job_id: str,
+        state: str,
+        error: str | None = None,
+        run_id: str | None = None,
+    ) -> None:
+        """Settle a claimed job as ``done`` or ``failed``."""
+        with self._write() as conn:
+            conn.execute(
+                "UPDATE jobs SET state = ?, error = ?, run_id = ?, finished = ? "
+                "WHERE job_id = ?",
+                (state, error, run_id, time.time(), job_id),
+            )
+
+    def get_job(self, job_id: str) -> dict[str, Any] | None:
+        with self._read() as conn:
+            row = conn.execute(
+                "SELECT * FROM jobs WHERE job_id = ?", (job_id,)
+            ).fetchone()
+        return self._job_row(row) if row is not None else None
+
+    def list_jobs(self, limit: int = 200) -> list[dict[str, Any]]:
+        """Most recently submitted first (all workers' submissions)."""
+        with self._read() as conn:
+            rows = conn.execute(
+                "SELECT * FROM jobs ORDER BY submitted DESC, job_id LIMIT ?",
+                (max(0, int(limit)),),
+            ).fetchall()
+        return [self._job_row(r) for r in rows]
+
+    def queued_depth(self) -> int:
+        """Jobs enqueued but not yet claimed by any worker."""
+        with self._read() as conn:
+            return conn.execute(
+                "SELECT COUNT(*) FROM jobs WHERE state = 'queued'"
+            ).fetchone()[0]
+
+    # ------------------------------------------------- worker metric sync
+    def publish_worker_metrics(self, worker: str, payload: dict[str, Any]) -> None:
+        """Upsert one worker's metrics snapshot (JSON document)."""
+        with self._write() as conn:
+            conn.execute(
+                "INSERT INTO worker_metrics (worker, updated, payload) "
+                "VALUES (?, ?, ?) "
+                "ON CONFLICT(worker) DO UPDATE SET "
+                "updated = excluded.updated, payload = excluded.payload",
+                (worker, time.time(), json.dumps(payload)),
+            )
+
+    def worker_metrics(self, max_age: float = 60.0) -> dict[str, dict[str, Any]]:
+        """Fresh snapshots by worker name (stale rows are dead workers)."""
+        cutoff = time.time() - max_age
+        with self._read() as conn:
+            rows = conn.execute(
+                "SELECT worker, payload FROM worker_metrics "
+                "WHERE updated >= ? ORDER BY worker",
+                (cutoff,),
+            ).fetchall()
+        out: dict[str, dict[str, Any]] = {}
+        for row in rows:
+            try:
+                out[row["worker"]] = json.loads(row["payload"])
+            except ValueError:  # pragma: no cover - corrupt row
+                continue
+        return out
+
+    def clear_worker_metrics(self, worker: str | None = None) -> None:
+        """Drop one worker's snapshot row, or all of them."""
+        with self._write() as conn:
+            if worker is None:
+                conn.execute("DELETE FROM worker_metrics")
+            else:
+                conn.execute(
+                    "DELETE FROM worker_metrics WHERE worker = ?", (worker,)
+                )

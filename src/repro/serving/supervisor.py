@@ -1,0 +1,408 @@
+"""Pre-fork supervisor: N API worker processes + a simulation pool.
+
+``repro serve --workers N`` runs this instead of the single-process
+server.  The parent process owns the listening port and the process
+tree; it serves no requests itself:
+
+- **API workers** (``api-0`` … ``api-N-1``) each run the full threaded
+  HTTP server from :mod:`repro.serving.app` against their own
+  :class:`~repro.serving.store.RunStore` connection (WAL mode makes the
+  concurrent writers safe).  Job submissions go into the durable
+  ``jobs`` table via :class:`~repro.serving.jobs.StoreJobQueue`.
+- **Simulation pool workers** (``sim-0`` …) claim queued jobs from that
+  table (atomic ``queued -> running`` update, so a job runs exactly
+  once no matter which API worker accepted it) and execute them through
+  the cached batch engine.
+
+Socket strategy — two tiers:
+
+``SO_REUSEPORT`` (Linux, modern BSDs)
+    The parent binds the address once (never listens) purely to resolve
+    ``port 0`` and keep the port reserved across worker respawns; every
+    API worker then binds its *own* listening socket with
+    ``SO_REUSEPORT`` and the kernel load-balances incoming connections
+    across the per-worker accept queues.
+inherited FD (fallback)
+    The parent binds **and listens** a single socket; forked workers
+    ``accept()`` on the shared inherited FD.  Works everywhere fork
+    does, at the cost of a shared accept queue.
+
+Lifecycle: ``SIGTERM``/``SIGINT`` to the parent triggers graceful
+shutdown — workers get ``SIGTERM``, finish in-flight requests/jobs
+(``server.shutdown()`` waits for the request loop; the sim loop checks
+its stop flag between jobs), then the parent reaps everything.  A
+worker that *crashes* is respawned with exponential backoff
+(``respawn_base * 2**(crashes-1)``, capped), and its published metrics
+snapshot is dropped so ``/metrics`` never reports a dead worker.
+
+Workers are forked (``multiprocessing`` fork context): cheap, and the
+listening socket plus configuration travel by inheritance — nothing is
+pickled.  Forked children never reuse the parent's SQLite connections;
+the store re-opens per-process (see ``RunStore._connection``).
+"""
+
+from __future__ import annotations
+
+import signal
+import socket
+import threading
+import time
+
+from repro.evaluation.batch import ResultCache
+from repro.serving.app import ServingApp, make_server
+from repro.serving.jobs import StoreJobQueue
+from repro.serving.store import RunStore
+from repro.telemetry import MetricsRegistry
+
+__all__ = ["Supervisor", "serve_forked"]
+
+#: a worker alive this long is "healthy" — its crash backoff resets.
+HEALTHY_SECONDS = 5.0
+
+
+def _reuseport_available() -> bool:
+    return hasattr(socket, "SO_REUSEPORT")
+
+
+def _bound_socket(host: str, port: int, reuseport: bool, listen: bool):
+    """One bound TCP socket; optionally in the REUSEPORT group/listening."""
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    try:
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        if reuseport:
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        sock.bind((host, port))
+        if listen:
+            sock.listen(128)
+    except BaseException:
+        sock.close()
+        raise
+    return sock
+
+
+# --------------------------------------------------------- worker mains
+def _api_worker_main(
+    name: str,
+    host: str,
+    port: int,
+    shared_sock,
+    reuseport: bool,
+    store_path: str,
+    cache_dir: str | None,
+    queue_capacity: int,
+    local_drain: bool,
+    verbose: bool,
+) -> None:
+    """Entry point of one forked API worker process."""
+    # the parent decides when we stop; a terminal Ctrl-C signals it, not us
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    store = RunStore(store_path)
+    cache = ResultCache(cache_dir) if cache_dir is not None else ResultCache()
+    registry = MetricsRegistry()
+    jobs = StoreJobQueue(
+        store, cache=cache, capacity=queue_capacity,
+        registry=registry, owner=name,
+    )
+    if local_drain:  # no sim pool: this worker also executes what it accepts
+        jobs.start()
+    access_log = None
+    if verbose:
+        import json as _json
+        import sys as _sys
+
+        def access_log(record: dict) -> None:
+            print(
+                f"[{name}] request " + _json.dumps(record, sort_keys=True),
+                file=_sys.stderr,
+            )
+    app = ServingApp(
+        store, cache=cache, jobs=jobs, registry=registry,
+        access_log=access_log, worker_name=name,
+    )
+    if reuseport:
+        sock = _bound_socket(host, port, reuseport=True, listen=True)
+    else:
+        sock = shared_sock
+    server = make_server(app, host, port, sock=sock)
+
+    def _graceful(signum, frame):
+        # shutdown() blocks until the serve loop exits; never call it
+        # from the loop's own thread (the signal arrives there)
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    signal.signal(signal.SIGTERM, _graceful)
+    # publish an initial snapshot so /metrics sees this worker immediately
+    store.publish_worker_metrics(name, registry.snapshot())
+    try:
+        server.serve_forever(poll_interval=0.1)
+    finally:
+        if reuseport:
+            server.server_close()
+        jobs.stop()
+        store.clear_worker_metrics(name)
+        store.close()
+
+
+def _sim_worker_main(
+    name: str,
+    store_path: str,
+    cache_dir: str | None,
+    queue_capacity: int,
+) -> None:
+    """Entry point of one forked simulation pool worker process."""
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    store = RunStore(store_path)
+    cache = ResultCache(cache_dir) if cache_dir is not None else ResultCache()
+    registry = MetricsRegistry()
+    jobs = StoreJobQueue(
+        store, cache=cache, capacity=queue_capacity,
+        registry=registry, owner=name,
+    )
+
+    def _graceful(signum, frame):
+        jobs.stop(timeout=0)
+
+    signal.signal(signal.SIGTERM, _graceful)
+    store.publish_worker_metrics(name, registry.snapshot())
+    try:
+        while not jobs.stopped():
+            if jobs.claim_and_run_one():
+                # republish after each executed job so scrapes through any
+                # API worker reflect this worker's queue-wait/run histograms
+                store.publish_worker_metrics(name, registry.snapshot())
+            else:
+                time.sleep(jobs.poll_interval)
+    finally:
+        store.clear_worker_metrics(name)
+        store.close()
+
+
+class Supervisor:
+    """Owns the listening port and the worker process tree."""
+
+    def __init__(
+        self,
+        store_path: str,
+        cache_dir: str | None = None,
+        host: str = "127.0.0.1",
+        port: int = 8734,
+        workers: int = 2,
+        sim_pool: int = 1,
+        queue_capacity: int = 8,
+        cache_max_bytes: int | None = None,
+        cache_max_age: float | None = None,
+        retention_max_runs: int | None = None,
+        retention_max_age_days: float | None = None,
+        verbose: bool = False,
+        log=None,
+        respawn_base: float = 0.5,
+        respawn_cap: float = 30.0,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("need at least one API worker")
+        self.store_path = store_path
+        self.cache_dir = cache_dir
+        self.host = host
+        self.port = port
+        self.workers = workers
+        self.sim_pool = max(0, sim_pool)
+        self.queue_capacity = queue_capacity
+        self.cache_max_bytes = cache_max_bytes
+        self.cache_max_age = cache_max_age
+        self.retention_max_runs = retention_max_runs
+        self.retention_max_age_days = retention_max_age_days
+        self.verbose = verbose
+        self.log = log
+        self.respawn_base = respawn_base
+        self.respawn_cap = respawn_cap
+        self.reuseport = _reuseport_available()
+        self._sock = None
+        self._store: RunStore | None = None
+        self._children: dict[str, object] = {}
+        self._spawned_at: dict[str, float] = {}
+        self._crashes: dict[str, int] = {}
+        self._stopping = threading.Event()
+
+    def _note(self, msg: str) -> None:
+        if self.log is not None:
+            self.log(msg)
+
+    # ------------------------------------------------------------ lifecycle
+    def start(self) -> None:
+        """Bind the port, prep the store/cache, spawn every worker."""
+        # parent-side store: retention, stale-metrics GC, crash cleanup.
+        self._store = RunStore(self.store_path)
+        if (
+            self.retention_max_runs is not None
+            or self.retention_max_age_days is not None
+        ):
+            trimmed = self._store.prune(
+                max_runs=self.retention_max_runs,
+                max_age_days=self.retention_max_age_days,
+            )
+            self._note(
+                f"store retention: removed {trimmed['removed_runs']} runs, "
+                f"{trimmed['removed_jobs']} settled jobs, "
+                f"kept {trimmed['kept_runs']} runs"
+            )
+        self._store.clear_worker_metrics()  # drop any previous incarnation
+        cache = (
+            ResultCache(self.cache_dir)
+            if self.cache_dir is not None
+            else ResultCache()
+        )
+        if cache.directory is not None:
+            pruned = cache.prune(
+                max_bytes=self.cache_max_bytes, max_age=self.cache_max_age
+            )
+            self._note(
+                f"cache GC: removed {pruned['removed']} blobs "
+                f"({pruned['bytes_freed']} bytes), kept {pruned['kept']}"
+            )
+        # REUSEPORT: reserve the port without listening (workers listen);
+        # fallback: this IS the shared accept socket the workers inherit.
+        self._sock = _bound_socket(
+            self.host, self.port, reuseport=self.reuseport,
+            listen=not self.reuseport,
+        )
+        self.port = self._sock.getsockname()[1]
+        mode = "SO_REUSEPORT" if self.reuseport else "inherited FD"
+        self._note(
+            f"supervisor: {self.workers} api + {self.sim_pool} sim workers "
+            f"on http://{self.host}:{self.port}/ ({mode})"
+        )
+        for i in range(self.workers):
+            self._spawn(f"api-{i}")
+        for i in range(self.sim_pool):
+            self._spawn(f"sim-{i}")
+
+    def _spawn(self, name: str) -> None:
+        import multiprocessing
+
+        ctx = multiprocessing.get_context("fork")
+        if name.startswith("api-"):
+            proc = ctx.Process(
+                target=_api_worker_main,
+                name=name,
+                args=(
+                    name, self.host, self.port, self._sock, self.reuseport,
+                    self.store_path, self.cache_dir, self.queue_capacity,
+                    self.sim_pool == 0, self.verbose,
+                ),
+            )
+        else:
+            proc = ctx.Process(
+                target=_sim_worker_main,
+                name=name,
+                args=(
+                    name, self.store_path, self.cache_dir,
+                    self.queue_capacity,
+                ),
+            )
+        proc.start()
+        self._children[name] = proc
+        self._spawned_at[name] = time.monotonic()
+
+    def run(self) -> int:
+        """Supervise until signalled: reap crashes, respawn with backoff."""
+        if not self._children:
+            self.start()
+
+        def _request_stop(signum, frame):
+            self._stopping.set()
+
+        # installable only from the main thread; tests drive run() from a
+        # helper thread and stop via the event directly
+        if threading.current_thread() is threading.main_thread():
+            signal.signal(signal.SIGTERM, _request_stop)
+            signal.signal(signal.SIGINT, _request_stop)
+        try:
+            while not self._stopping.is_set():
+                self._stopping.wait(0.2)
+                if self._stopping.is_set():
+                    break
+                for name, proc in list(self._children.items()):
+                    if proc.is_alive():
+                        if (
+                            self._crashes.get(name)
+                            and time.monotonic() - self._spawned_at[name]
+                            > HEALTHY_SECONDS
+                        ):
+                            self._crashes[name] = 0  # lived long enough
+                        continue
+                    proc.join()
+                    crashes = self._crashes.get(name, 0) + 1
+                    self._crashes[name] = crashes
+                    delay = min(
+                        self.respawn_base * (2 ** (crashes - 1)),
+                        self.respawn_cap,
+                    )
+                    self._note(
+                        f"worker {name} exited (code {proc.exitcode}); "
+                        f"respawn #{crashes} in {delay:.1f}s"
+                    )
+                    # a crashed worker never cleaned up its snapshot
+                    self._store.clear_worker_metrics(name)
+                    if self._stopping.wait(delay):
+                        break
+                    self._spawn(name)
+        finally:
+            self.stop()
+        return 0
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """SIGTERM every worker, reap, SIGKILL stragglers, release port."""
+        self._stopping.set()
+        for proc in self._children.values():
+            if proc.is_alive():
+                proc.terminate()  # SIGTERM -> graceful path in the worker
+        deadline = time.monotonic() + timeout
+        for name, proc in self._children.items():
+            proc.join(max(0.0, deadline - time.monotonic()))
+            if proc.is_alive():
+                self._note(f"worker {name} ignored SIGTERM; killing")
+                proc.kill()
+                proc.join(1.0)
+        self._children.clear()
+        if self._sock is not None:
+            self._sock.close()
+            self._sock = None
+        if self._store is not None:
+            self._store.clear_worker_metrics()
+            self._store.close()
+            self._store = None
+
+
+def serve_forked(
+    store_path: str,
+    cache_dir: str | None = None,
+    host: str = "127.0.0.1",
+    port: int = 8734,
+    workers: int = 2,
+    sim_pool: int = 1,
+    queue_capacity: int = 8,
+    cache_max_bytes: int | None = None,
+    cache_max_age: float | None = None,
+    retention_max_runs: int | None = None,
+    retention_max_age_days: float | None = None,
+    verbose: bool = False,
+    log=None,
+) -> int:
+    """CLI entry: build a :class:`Supervisor`, run until signalled."""
+    sup = Supervisor(
+        store_path,
+        cache_dir=cache_dir,
+        host=host,
+        port=port,
+        workers=workers,
+        sim_pool=sim_pool,
+        queue_capacity=queue_capacity,
+        cache_max_bytes=cache_max_bytes,
+        cache_max_age=cache_max_age,
+        retention_max_runs=retention_max_runs,
+        retention_max_age_days=retention_max_age_days,
+        verbose=verbose,
+        log=log,
+    )
+    sup.start()
+    return sup.run()

@@ -23,6 +23,7 @@ from repro.telemetry.registry import (
     Histogram,
     MetricsRegistry,
     NullRegistry,
+    render_merged,
 )
 from repro.telemetry.spans import SpanTracer
 from repro.telemetry.timeseries import SeriesBank, StrideSeries
@@ -41,4 +42,5 @@ __all__ = [
     "SeriesBank",
     "SpanTracer",
     "StrideSeries",
+    "render_merged",
 ]

@@ -34,6 +34,7 @@ __all__ = [
     "NULL_REGISTRY",
     "NullRegistry",
     "DEFAULT_LATENCY_BUCKETS",
+    "render_merged",
 ]
 
 # Seconds-scale buckets tuned for request handling and per-job wall time:
@@ -250,6 +251,100 @@ class MetricsRegistry:
             lines.append(f"# TYPE {metric.name} {metric.kind}")
             metric.render_into(lines)
         return "\n".join(lines) + "\n"
+
+    def snapshot(self) -> dict:
+        """JSON-safe dump of every metric family and concrete series.
+
+        The multi-process server's workers publish these into the run
+        store; whichever worker answers a ``/metrics`` scrape merges all
+        fresh snapshots with :func:`render_merged`.
+        """
+        out: dict = {}
+        with self._lock:
+            metrics = list(self._metrics.values())
+        for metric in metrics:
+            family: dict = {
+                "kind": metric.kind,
+                "help": metric.help,
+                "labels": list(metric.labelnames),
+                "series": [],
+            }
+            if isinstance(metric, Histogram):
+                family["buckets"] = list(metric.buckets)
+            for values, child in metric._series():
+                series: dict = {"labels": list(values)}
+                if isinstance(metric, Histogram):
+                    series["counts"] = list(child.counts)
+                    series["sum"] = child.sum
+                else:
+                    series["value"] = child.value
+                family["series"].append(series)
+            out[metric.name] = family
+        return out
+
+
+def render_merged(snapshots: dict[str, dict]) -> str:
+    """Merge per-worker registry snapshots into one text exposition.
+
+    ``snapshots`` maps a worker name (``api-0``) to that worker's
+    :meth:`MetricsRegistry.snapshot`.  Every series is re-emitted with a
+    ``worker`` label appended, so nothing is summed away — Prometheus
+    aggregates across workers at query time, and per-worker skew (a
+    respawned worker's reset counters, one hot worker) stays visible.
+    """
+    lines: list[str] = []
+    families: dict[str, dict] = {}
+    order: list[str] = []
+    for worker in sorted(snapshots):
+        for name, family in snapshots[worker].items():
+            if name not in families:
+                families[name] = family
+                order.append(name)
+    for name in order:
+        family = families[name]
+        kind = family.get("kind", "untyped")
+        if family.get("help"):
+            lines.append(f"# HELP {name} {family['help']}")
+        lines.append(f"# TYPE {name} {kind}")
+        for worker in sorted(snapshots):
+            match = snapshots[worker].get(name)
+            if match is None or match.get("kind") != kind:
+                continue
+            labelnames = tuple(match.get("labels", ()))
+            for series in match.get("series", ()):
+                values = tuple(str(v) for v in series.get("labels", ()))
+                if kind == "histogram":
+                    buckets = match.get("buckets", ())
+                    counts = series.get("counts", ())
+                    cumulative = 0
+                    for bound, n in zip(buckets, counts):
+                        cumulative += n
+                        label = _label_str(
+                            labelnames + ("worker", "le"),
+                            values + (worker, _format_value(bound)),
+                        )
+                        lines.append(f"{name}_bucket{label} {cumulative}")
+                    if len(counts) > len(buckets):
+                        cumulative += counts[-1]
+                    label = _label_str(
+                        labelnames + ("worker", "le"), values + (worker, "+Inf")
+                    )
+                    lines.append(f"{name}_bucket{label} {cumulative}")
+                    plain = _label_str(labelnames + ("worker",), values + (worker,))
+                    lines.append(
+                        f"{name}_sum{plain} "
+                        f"{_format_value(float(series.get('sum', 0.0)))}"
+                    )
+                    lines.append(f"{name}_count{plain} {cumulative}")
+                else:
+                    label = _label_str(
+                        labelnames + ("worker",), values + (worker,)
+                    )
+                    lines.append(
+                        f"{name}{label} "
+                        f"{_format_value(float(series.get('value', 0.0)))}"
+                    )
+    return "\n".join(lines) + "\n"
 
 
 class _NullMetric:

@@ -142,3 +142,102 @@ class TestPerRequestPrimitives:
             _LOCK = threading.Lock()
         """)})
         assert findings == []
+
+
+class TestStoreScopes:
+    """CON001 v2: the WAL store's _read()/_write() scopes satisfy it."""
+
+    def test_execute_under_read_scope_ok(self, lint_tree):
+        findings = lint_tree({PATH: src("""
+            class Store:
+                def list_runs(self):
+                    with self._read() as conn:
+                        return conn.execute("SELECT 1").fetchall()
+        """)})
+        assert findings == []
+
+    def test_execute_under_write_scope_ok(self, lint_tree):
+        findings = lint_tree({PATH: src("""
+            class Store:
+                def record(self):
+                    with self._write() as conn:
+                        conn.execute("INSERT INTO runs VALUES (1)")
+        """)})
+        assert findings == []
+
+    def test_scope_implementations_exempt(self, lint_tree):
+        findings = lint_tree({PATH: src("""
+            class Store:
+                def _connect(self):
+                    conn = self.make()
+                    conn.execute("PRAGMA journal_mode = WAL")
+                    return conn
+        """)})
+        assert findings == []
+
+    def test_bare_execute_still_flagged(self, lint_tree):
+        findings = lint_tree({PATH: src("""
+            class Store:
+                def sneaky(self):
+                    return self._conn.execute("SELECT 1")
+        """)})
+        assert ids(findings) == ["CON001"]
+
+
+class TestRawSqliteConnect:
+    def test_connect_outside_store_flagged(self, lint_tree):
+        findings = lint_tree({"repro/serving/jobs.py": src("""
+            import sqlite3
+
+            def open_db(path):
+                return sqlite3.connect(path)
+        """)})
+        assert ids(findings) == ["CON004"]
+
+    def test_connect_outside_serving_flagged_too(self, lint_tree):
+        # repo-wide: a stray connection in any layer bypasses the store
+        findings = lint_tree({"repro/evaluation/batch.py": src("""
+            import sqlite3
+
+            conn = sqlite3.connect("x.sqlite")
+        """)})
+        assert "CON004" in ids(findings)
+
+    def test_connect_inside_store_ok(self, lint_tree):
+        findings = lint_tree({PATH: src("""
+            import sqlite3
+
+            class Store:
+                def _connect(self):
+                    return sqlite3.connect(self.path)
+        """)})
+        assert findings == []
+
+
+class TestModuleLevelSocket:
+    def test_module_socket_flagged(self, lint_tree):
+        findings = lint_tree({"repro/serving/supervisor.py": src("""
+            import socket
+
+            _SOCK = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        """)})
+        assert ids(findings) == ["CON005"]
+
+    def test_socket_in_function_ok(self, lint_tree):
+        findings = lint_tree({"repro/serving/supervisor.py": src("""
+            import socket
+
+            def bind(host, port):
+                sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+                sock.bind((host, port))
+                return sock
+        """)})
+        assert findings == []
+
+    def test_socket_outside_serving_ok(self, lint_tree):
+        findings = lint_tree({"repro/utils/net.py": src("""
+            import socket
+
+            _SOCK = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        """)})
+        assert findings == []

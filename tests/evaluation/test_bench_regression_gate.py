@@ -58,6 +58,29 @@ def test_missing_metrics_tolerated():
     assert mod.compare_to_baseline({}, _record(1.0, 1.0), 0.20) == []
 
 
+def _serving(rps):
+    return {"serving": {"requests_per_second": rps}}
+
+
+def test_serving_throughput_gated_like_policies():
+    mod = _load()
+    baseline = _serving(200.0)
+    # 10% down: fine
+    assert mod.compare_to_baseline(_serving(180.0), baseline, 0.20) == []
+    # 30% down: gated
+    failures = mod.compare_to_baseline(_serving(140.0), baseline, 0.20)
+    assert len(failures) == 1
+    assert failures[0].startswith("serving")
+    assert "requests/sec" in failures[0]
+
+
+def test_serving_metric_missing_tolerated():
+    mod = _load()
+    # older baselines without a serving column never fail the gate
+    assert mod.compare_to_baseline(_serving(100.0), {}, 0.20) == []
+    assert mod.compare_to_baseline({}, _serving(100.0), 0.20) == []
+
+
 def test_missing_baseline_file_exits_zero(tmp_path, monkeypatch, capsys):
     mod = _load()
     monkeypatch.chdir(tmp_path)

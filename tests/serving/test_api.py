@@ -251,3 +251,73 @@ def test_jobs_listing(warm):
     status, _, _ = _decode(app.handle("GET", "/api/jobs/job-9999"))
     assert status == 404
     queue.stop()
+
+
+# -------------------------------------------------------------- backpressure
+def _rejections(app):
+    counter = app.registry.get("repro_jobs_rejected_total")
+    return {
+        labels[0]: child.value for labels, child in counter._children.items()
+    }
+
+
+def test_disabled_submission_503_carries_retry_after_and_counts():
+    store = RunStore()
+    app = ServingApp(store)
+    status, headers, payload = app.handle("POST", "/api/jobs", body=b"{}")
+    assert status == 503
+    assert headers["Retry-After"] == "1"
+    assert json.loads(payload)["status"] == 503
+    assert _rejections(app) == {"disabled": 1.0}
+    store.close()
+
+
+def test_queue_full_503_carries_retry_after_and_counts():
+    from repro.serving.jobs import StoreJobQueue
+
+    store = RunStore()
+    # durable queue, never drained: submissions pile up to capacity
+    queue = StoreJobQueue(store, cache=ResultCache(), capacity=1)
+    app = ServingApp(store, cache=queue.cache, jobs=queue)
+    spec = {"target": "checksum", "max_cycles": 50_000}
+    status, _, _ = app.handle(
+        "POST", "/api/jobs", body=json.dumps(spec).encode()
+    )
+    assert status == 202
+    rejected = 0
+    for extra in (60_000, 70_000):
+        status, headers, _ = app.handle(
+            "POST", "/api/jobs",
+            body=json.dumps({**spec, "max_cycles": extra}).encode(),
+        )
+        assert status == 503
+        # every queue-full rejection tells the client when to come back
+        assert headers["Retry-After"] == "1"
+        rejected += 1
+    assert _rejections(app) == {"queue_full": float(rejected)}
+    # the rejections surface on /metrics too
+    _, _, body = app.handle("GET", "/metrics")
+    assert 'repro_jobs_rejected_total{reason="queue_full"} 2' in body.decode()
+    store.close()
+
+
+# ---------------------------------------------------------- worker metrics
+def test_worker_scrape_publishes_and_merges():
+    store = RunStore()
+    a = ServingApp(store, worker_name="api-0")
+    b = ServingApp(store, worker_name="api-1")
+    a.handle("GET", "/api/health")
+    b.handle("GET", "/api/health")
+    b.handle("GET", "/metrics")  # api-1 publishes its snapshot
+    # either worker's scrape answers for the whole fleet
+    status, _, body = a.handle("GET", "/metrics")
+    assert status == 200
+    text = body.decode()
+    assert (
+        'repro_http_requests_total{method="GET",route="/api/health",'
+        'status="200",worker="api-0"} 1' in text
+    )
+    assert 'worker="api-1"' in text
+    # and the snapshots are visible store-wide
+    assert set(store.worker_metrics()) == {"api-0", "api-1"}
+    store.close()

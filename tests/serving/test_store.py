@@ -135,6 +135,198 @@ def test_rejects_future_schema(tmp_path):
         RunStore(db)
 
 
+def _make_v2_db(path):
+    """A database exactly as the v2 (pre-WAL, pre-jobs) code left it."""
+    conn = sqlite3.connect(path)
+    conn.executescript(
+        """
+        CREATE TABLE runs (
+            run_id      TEXT PRIMARY KEY,
+            experiment  TEXT NOT NULL,
+            config_hash TEXT NOT NULL,
+            created     REAL NOT NULL,
+            metrics     TEXT NOT NULL,
+            label       TEXT NOT NULL DEFAULT '',
+            git_rev     TEXT NOT NULL DEFAULT ''
+        );
+        CREATE INDEX runs_experiment ON runs (experiment, created);
+        """
+    )
+    conn.execute(
+        "INSERT INTO runs VALUES (?, ?, ?, ?, ?, ?, ?)",
+        ("fedcba9876543210", "E-V2", "a" * 64, 456.0, '{"ipc": 2.5}',
+         "lbl", "rev2"),
+    )
+    conn.execute("PRAGMA user_version = 2")
+    conn.commit()
+    conn.close()
+
+
+def test_migrates_v2_schema_to_v3(tmp_path):
+    db = tmp_path / "v2.sqlite"
+    _make_v2_db(db)
+    with RunStore(db) as store:
+        # v2 rows survive untouched
+        run = store.get_run("fedcba9876543210")
+        assert run["metrics"] == {"ipc": 2.5}
+        assert run["label"] == "lbl"
+        assert run["git_rev"] == "rev2"
+        # v3 tables exist and work immediately after migration
+        assert store.enqueue_job("job-1", "k" * 64, {"target": "checksum"})
+        assert store.queued_depth() == 1
+        store.publish_worker_metrics("api-0", {"m": {"kind": "counter"}})
+        assert "api-0" in store.worker_metrics()
+    conn = sqlite3.connect(db)
+    assert conn.execute("PRAGMA user_version").fetchone()[0] == SCHEMA_VERSION
+    tables = {
+        r[0] for r in conn.execute(
+            "SELECT name FROM sqlite_master WHERE type = 'table'"
+        )
+    }
+    conn.close()
+    assert {"runs", "jobs", "worker_metrics"} <= tables
+
+
+def test_file_store_runs_in_wal_mode(tmp_path):
+    with RunStore(tmp_path / "wal.sqlite") as store:
+        store.record_run("E", "a" * 64, {})
+        assert store.journal_mode == "wal"
+
+
+def test_memory_store_is_serialized():
+    with RunStore() as store:
+        assert store.journal_mode == "memory"
+        store.record_run("E", "a" * 64, {})
+        assert store.count() == 1
+
+
+def test_closed_store_raises():
+    store = RunStore()
+    store.close()
+    with pytest.raises(ConfigurationError, match="closed"):
+        store.count()
+
+
+# ---------------------------------------------------------------- retention
+def test_prune_by_age_drops_old_runs_and_settled_jobs():
+    with RunStore() as store:
+        store.record_run("E", "a" * 64, {}, created=100.0)
+        store.record_run("E", "b" * 64, {}, created=1000.0)
+        store.enqueue_job("old-done", "k1", {}, state="done",
+                         submitted=100.0, finished=100.0)
+        store.enqueue_job("old-queued", "k2", {}, submitted=100.0)
+        removed = store.prune(max_age_days=1.0, now=500.0 + 86_400)
+        assert removed == {
+            "removed_runs": 1, "removed_jobs": 1, "kept_runs": 1,
+        }
+        # queued jobs are never pruned, however old
+        assert store.get_job("old-queued")["state"] == "queued"
+        assert store.get_job("old-done") is None
+
+
+def test_prune_by_max_runs_keeps_most_recent():
+    with RunStore() as store:
+        ids = [
+            store.record_run("E", hex(i)[2:] * 32, {}, created=float(i))
+            for i in range(5)
+        ]
+        removed = store.prune(max_runs=2)
+        assert removed["removed_runs"] == 3
+        assert removed["kept_runs"] == 2
+        kept = {r["run_id"] for r in store.list_runs()}
+        assert kept == {ids[3], ids[4]}
+
+
+def test_prune_without_limits_is_a_noop():
+    with RunStore() as store:
+        store.record_run("E", "a" * 64, {})
+        assert store.prune() == {
+            "removed_runs": 0, "removed_jobs": 0, "kept_runs": 1,
+        }
+
+
+# ------------------------------------------------------- durable job queue
+def test_enqueue_claim_finish_roundtrip():
+    with RunStore() as store:
+        assert store.enqueue_job("j1", "k" * 64, {"target": "checksum"})
+        job = store.get_job("j1")
+        assert job["state"] == "queued"
+        assert job["spec"] == {"target": "checksum"}
+        assert job["cached"] is False
+
+        claimed = store.claim_job("sim-0")
+        assert claimed["job_id"] == "j1"
+        assert claimed["state"] == "running"
+        assert claimed["owner"] == "sim-0"
+        assert claimed["started"] is not None
+
+        store.finish_job("j1", "done", run_id="r" * 16)
+        finished = store.get_job("j1")
+        assert finished["state"] == "done"
+        assert finished["run_id"] == "r" * 16
+        assert finished["finished"] is not None
+
+
+def test_claim_is_exclusive_and_oldest_first():
+    with RunStore() as store:
+        store.enqueue_job("late", "k1", {}, submitted=200.0)
+        store.enqueue_job("early", "k2", {}, submitted=100.0)
+        first = store.claim_job("a")
+        second = store.claim_job("b")
+        assert first["job_id"] == "early"
+        assert second["job_id"] == "late"
+        # nothing left to claim: both are running
+        assert store.claim_job("c") is None
+
+
+def test_enqueue_respects_capacity():
+    with RunStore() as store:
+        assert store.enqueue_job("j1", "k1", {}, capacity=2)
+        assert store.enqueue_job("j2", "k2", {}, capacity=2)
+        assert not store.enqueue_job("j3", "k3", {}, capacity=2)
+        assert store.queued_depth() == 2
+        # claiming one frees a slot
+        store.claim_job("w")
+        assert store.enqueue_job("j3", "k3", {}, capacity=2)
+
+
+def test_failed_job_records_error():
+    with RunStore() as store:
+        store.enqueue_job("j1", "k1", {})
+        store.claim_job("w")
+        store.finish_job("j1", "failed", error="ValueError: boom")
+        assert store.get_job("j1")["error"] == "ValueError: boom"
+
+
+def test_list_jobs_newest_first():
+    with RunStore() as store:
+        store.enqueue_job("a", "k1", {}, submitted=100.0)
+        store.enqueue_job("b", "k2", {}, submitted=200.0)
+        assert [j["job_id"] for j in store.list_jobs()] == ["b", "a"]
+
+
+# ------------------------------------------------------- worker metrics
+def test_worker_metrics_roundtrip_and_freshness():
+    with RunStore() as store:
+        store.publish_worker_metrics("api-0", {"m": {"kind": "counter"}})
+        store.publish_worker_metrics("api-1", {"m": {"kind": "counter"}})
+        snaps = store.worker_metrics()
+        assert set(snaps) == {"api-0", "api-1"}
+        assert snaps["api-0"] == {"m": {"kind": "counter"}}
+        # stale snapshots (older than max_age) are excluded
+        assert store.worker_metrics(max_age=0.0) == {}
+
+
+def test_clear_worker_metrics():
+    with RunStore() as store:
+        store.publish_worker_metrics("api-0", {})
+        store.publish_worker_metrics("sim-0", {})
+        store.clear_worker_metrics("api-0")
+        assert set(store.worker_metrics()) == {"sim-0"}
+        store.clear_worker_metrics()
+        assert store.worker_metrics() == {}
+
+
 # --------------------------------------------------------------- metrics_of
 def test_metrics_of_plain_dict_keeps_numbers_only():
     assert metrics_of({"ipc": 1.5, "halted": True, "name": "x"}) == {

@@ -1,0 +1,160 @@
+"""Tests for the pre-fork supervisor (multi-process serving)."""
+
+import http.client
+import json
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.serving.supervisor import Supervisor, _reuseport_available
+
+
+def _request(port, method, path, body=None, timeout=10):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    try:
+        headers = {"Content-Type": "application/json"} if body else {}
+        conn.request(method, path, body=body, headers=headers)
+        response = conn.getresponse()
+        return response.status, response.read()
+    finally:
+        conn.close()
+
+
+def _wait_healthy(port, timeout=20.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            status, _ = _request(port, "GET", "/api/health", timeout=2)
+            if status == 200:
+                return
+        except OSError:
+            pass
+        time.sleep(0.1)
+    raise AssertionError(f"no healthy worker on :{port} within {timeout}s")
+
+
+@pytest.fixture()
+def supervisor(tmp_path):
+    """A running 2-API + 1-sim supervisor on an ephemeral port."""
+    sup = Supervisor(
+        str(tmp_path / "runs.sqlite"), cache_dir=str(tmp_path / "cache"),
+        host="127.0.0.1", port=0, workers=2, sim_pool=1,
+        respawn_base=0.1,
+    )
+    sup.start()
+    runner = threading.Thread(target=sup.run, daemon=True)
+    runner.start()
+    _wait_healthy(sup.port)
+    try:
+        yield sup
+    finally:
+        sup._stopping.set()
+        runner.join(30)
+        assert not runner.is_alive(), "supervisor failed to stop"
+
+
+def test_resolves_ephemeral_port(supervisor):
+    assert supervisor.port != 0
+
+
+def test_submit_runs_on_the_sim_pool(supervisor):
+    spec = json.dumps({"target": "checksum", "max_cycles": 5_000}).encode()
+    status, body = _request(supervisor.port, "POST", "/api/jobs", body=spec)
+    assert status == 202
+    record = json.loads(body)
+    deadline = time.monotonic() + 60
+    while time.monotonic() < deadline:
+        _, body = _request(
+            supervisor.port, "GET", f"/api/jobs/{record['job_id']}"
+        )
+        job = json.loads(body)
+        if job["state"] in ("done", "failed"):
+            break
+        time.sleep(0.1)
+    assert job["state"] == "done", job.get("error")
+    assert job["run_id"]
+    # the job executed in a dedicated pool worker, not an API worker
+    status, body = _request(supervisor.port, "GET", "/metrics")
+    assert 'repro_job_run_seconds_count{worker="sim-0"} 1' in body.decode()
+
+
+def test_metrics_are_merged_across_workers(supervisor):
+    # each worker publishes its first snapshot during startup; wait for
+    # all of them to have registered before asserting the merge
+    deadline = time.monotonic() + 20
+    workers: set[str] = set()
+    while time.monotonic() < deadline:
+        status, body = _request(supervisor.port, "GET", "/metrics")
+        assert status == 200
+        text = body.decode()
+        workers = {part.split('"')[0] for part in text.split('worker="')[1:]}
+        if {"api-0", "api-1", "sim-0"} <= workers:
+            break
+        time.sleep(0.2)
+    assert {"api-0", "api-1", "sim-0"} <= workers
+    # exposition stays well-formed: one TYPE line per family
+    type_lines = [l for l in text.splitlines() if l.startswith("# TYPE ")]
+    assert len(type_lines) == len({l.split()[2] for l in type_lines})
+
+
+def test_crashed_worker_is_respawned(supervisor):
+    victim = supervisor._children["api-0"]
+    os.kill(victim.pid, signal.SIGKILL)
+    deadline = time.monotonic() + 30
+    while time.monotonic() < deadline:
+        current = supervisor._children.get("api-0")
+        if current is not None and current.pid != victim.pid and current.is_alive():
+            break
+        time.sleep(0.1)
+    else:
+        raise AssertionError("api-0 was not respawned")
+    assert supervisor._crashes["api-0"] == 1
+    _wait_healthy(supervisor.port)
+
+
+def test_graceful_stop_reaps_all_children(tmp_path):
+    sup = Supervisor(
+        str(tmp_path / "runs.sqlite"), host="127.0.0.1", port=0,
+        workers=1, sim_pool=1,
+    )
+    sup.start()
+    pids = [p.pid for p in sup._children.values()]
+    assert len(pids) == 2
+    sup.stop()
+    assert sup._children == {}
+    for pid in pids:
+        with pytest.raises(OSError):
+            os.kill(pid, 0)  # ESRCH: the process is gone
+
+
+def test_inherited_fd_fallback_serves(tmp_path):
+    sup = Supervisor(
+        str(tmp_path / "runs.sqlite"), host="127.0.0.1", port=0,
+        workers=2, sim_pool=0,
+    )
+    sup.reuseport = False  # force the shared-accept-socket path
+    sup.start()
+    runner = threading.Thread(target=sup.run, daemon=True)
+    runner.start()
+    try:
+        _wait_healthy(sup.port)
+        status, _ = _request(sup.port, "GET", "/api/health")
+        assert status == 200
+    finally:
+        sup._stopping.set()
+        runner.join(30)
+    assert not runner.is_alive()
+
+
+def test_rejects_zero_workers(tmp_path):
+    with pytest.raises(ValueError, match="at least one"):
+        Supervisor(str(tmp_path / "r.sqlite"), workers=0)
+
+
+def test_reuseport_detection_matches_platform():
+    import socket
+
+    assert _reuseport_available() == hasattr(socket, "SO_REUSEPORT")

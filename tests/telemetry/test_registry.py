@@ -142,3 +142,69 @@ class TestNullRegistry:
         r = MetricsRegistry()
         r.gauge("g").set(math.inf)
         assert "g +Inf" in r.render()
+
+
+class TestSnapshotAndMerge:
+    def _registry(self):
+        r = MetricsRegistry()
+        r.counter("req_total", "requests", ("route",)).labels("/api").inc(3)
+        r.gauge("up_seconds", "uptime").set(12.5)
+        h = r.histogram("lat_seconds", "latency", buckets=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(5.0)
+        return r
+
+    def test_snapshot_is_json_safe_and_complete(self):
+        import json
+
+        snap = self._registry().snapshot()
+        json.dumps(snap)  # must round-trip through the store's JSON column
+        assert snap["req_total"]["kind"] == "counter"
+        assert snap["req_total"]["labels"] == ["route"]
+        assert snap["req_total"]["series"] == [
+            {"labels": ["/api"], "value": 3.0}
+        ]
+        assert snap["up_seconds"]["series"] == [{"labels": [], "value": 12.5}]
+        assert snap["lat_seconds"]["buckets"] == [0.1, 1.0]
+        assert snap["lat_seconds"]["series"] == [
+            {"labels": [], "counts": [1, 0, 1], "sum": 5.05}
+        ]
+
+    def test_merge_appends_worker_label(self):
+        from repro.telemetry import render_merged
+
+        merged = render_merged(
+            {"api-0": self._registry().snapshot(),
+             "api-1": self._registry().snapshot()}
+        )
+        lines = merged.splitlines()
+        for line in lines:
+            if not line.startswith("#"):
+                assert _SAMPLE.match(line), line
+        assert 'req_total{route="/api",worker="api-0"} 3' in lines
+        assert 'req_total{route="/api",worker="api-1"} 3' in lines
+        assert 'up_seconds{worker="api-0"} 12.5' in lines
+        # histograms re-emit cumulative buckets per worker
+        assert 'lat_seconds_bucket{worker="api-0",le="0.1"} 1' in lines
+        assert 'lat_seconds_bucket{worker="api-0",le="+Inf"} 2' in lines
+        assert 'lat_seconds_sum{worker="api-1"} 5.05' in lines
+        assert 'lat_seconds_count{worker="api-1"} 2' in lines
+        # HELP/TYPE emitted once per family, not per worker
+        assert merged.count("# TYPE req_total counter") == 1
+
+    def test_merge_skips_kind_mismatch(self):
+        from repro.telemetry import render_merged
+
+        good = {"m": {"kind": "counter", "help": "", "labels": [],
+                      "series": [{"labels": [], "value": 1.0}]}}
+        bad = {"m": {"kind": "gauge", "help": "", "labels": [],
+                     "series": [{"labels": [], "value": 9.0}]}}
+        merged = render_merged({"api-0": good, "api-1": bad})
+        assert 'm{worker="api-0"} 1' in merged
+        # the conflicting series is dropped, not mislabelled
+        assert 'worker="api-1"' not in merged
+
+    def test_merge_empty_is_valid(self):
+        from repro.telemetry import render_merged
+
+        assert render_merged({}) == "\n"
