@@ -134,6 +134,9 @@ class AnalysisConfig:
     #: files whose hot zones must stay free of per-lane Python loops
     #: (the vectorized batch kernels; HOT007).
     vector_kernel_scope: tuple[str, ...] = ()
+    #: files whose persisted/compared JSON must go through the canonical
+    #: encoder (``repro.utils.canonical``; DET005).
+    canonical_json_scope: tuple[str, ...] = ()
     #: raw text the config was parsed from (cache fingerprinting).
     source_text: str = ""
 
@@ -233,6 +236,9 @@ def load_config(path: str | Path) -> AnalysisConfig:
         ),
         vector_kernel_scope=_as_str_tuple(
             scopes.get("vector_kernels", []), f"{path}: scopes.vector_kernels"
+        ),
+        canonical_json_scope=_as_str_tuple(
+            scopes.get("canonical_json", []), f"{path}: scopes.canonical_json"
         ),
         source_text=text,
     )

@@ -7,7 +7,9 @@ These rules police the packages the ``[scopes] determinism`` table
 names (the core model: ``core``, ``sched``, ``fabric``, ``steering``,
 ``isa``) for the three classic leaks: wall-clock reads, process-global
 randomness, and hashing over unordered views.  Environment reads are
-additionally confined to the declared config modules.
+additionally confined to the declared config modules, and the files in
+``[scopes] canonical_json`` (whose JSON is compared, hashed or
+cache-keyed) must serialize through the canonical encoder (DET005).
 """
 
 from __future__ import annotations
@@ -193,6 +195,81 @@ class DictOrderHashing(Rule):
                         "hashing over an unsorted dict view bakes insertion "
                         "order into the digest; wrap the view in sorted()",
                     )
+
+
+def _is_json_dump_call(node: ast.Call, loose_names: set[str]) -> str | None:
+    """``json.dumps``/``json.dump`` spelling used by a call, if any."""
+    func = node.func
+    if (
+        isinstance(func, ast.Attribute)
+        and func.attr in ("dumps", "dump")
+        and isinstance(func.value, ast.Name)
+        and func.value.id == "json"
+    ):
+        return f"json.{func.attr}"
+    if isinstance(func, ast.Name) and func.id in loose_names:
+        return func.id
+    return None
+
+
+def _contains_to_dict_call(tree: ast.AST) -> bool:
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "to_dict"
+        ):
+            return True
+    return False
+
+
+@register
+class NonCanonicalJson(Rule):
+    id = "DET005"
+    family = "determinism"
+    summary = "raw json.dumps where the canonical encoder is required"
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        """Two triggers, independent of each other:
+
+        * inside ``scopes.canonical_json`` (golden corpus, result cache,
+          run store, verify subsystem, CLI result output) **any**
+          ``json.dumps``/``json.dump`` fires — these byte streams are
+          compared, hashed or cache-keyed, so they must come from
+          :func:`repro.utils.canonical.canonical_dumps` (sorted keys,
+          NaN rejection, fixed separators);
+        * anywhere in the tree, dumping an expression that contains a
+          ``.to_dict()`` call fires — a result record serialized with
+          interpreter-dependent key order or NaN passthrough silently
+          breaks golden comparison and content-keyed caching.
+        """
+        in_scope = ctx.config.in_scope(
+            ctx.module_path, ctx.config.canonical_json_scope
+        )
+        loose = _from_imports(ctx.tree, "json") & {"dumps", "dump"}
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            spelling = _is_json_dump_call(node, loose)
+            if spelling is None:
+                continue
+            if in_scope:
+                yield ctx.finding(
+                    self.id,
+                    node,
+                    f"{spelling}() in a canonical-JSON scope; use "
+                    "repro.utils.canonical.canonical_dumps so the byte "
+                    "stream is stable (sorted keys, NaN rejected, fixed "
+                    "separators)",
+                )
+            elif any(_contains_to_dict_call(arg) for arg in node.args):
+                yield ctx.finding(
+                    self.id,
+                    node,
+                    f"{spelling}() over a .to_dict() record; result records "
+                    "are golden-compared and cache-keyed byte-for-byte — "
+                    "serialize them with canonical_dumps instead",
+                )
 
 
 @register

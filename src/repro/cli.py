@@ -18,6 +18,14 @@ Commands
 ``lint [--format json] [--update-baseline]``
     Static analysis of the simulator's performance/determinism/
     concurrency/layering invariants (see docs/static-analysis.md).
+``goldens check|diff|update [--root tests/goldens]``
+    Golden-trace corpus: replay every (policy x workload) cell and
+    compare against the committed canonical records; ``update``
+    requires an explicit ``--spec-version`` bump (docs/verification.md).
+``fuzz [--seed S] [--iterations N] [--time-budget T] [--out DIR]``
+    Differential policy fuzzing: generated programs through every
+    catalogue policy, cross-checked against the functional reference;
+    failures are minimized and written as ready-to-run reproducers.
 """
 
 from __future__ import annotations
@@ -129,25 +137,25 @@ def _cmd_run(args: argparse.Namespace) -> int:
         proc.attach_telemetry(telemetry)
     result = proc.run(max_cycles=args.max_cycles)
     if args.json:
-        import json
+        from repro.utils.canonical import canonical_dumps
 
         record = result.to_dict()
         if telemetry is not None:
             record["telemetry"] = telemetry.snapshot()
-        print(json.dumps(record, indent=2))
+        print(canonical_dumps(record, pretty=True))
     else:
         print(result.summary())
         if telemetry is not None:
             for line in telemetry.summary_lines():
                 print(f"  {line}")
     if args.telemetry_out:
-        import json
+        from repro.utils.canonical import canonical_dumps
 
         prefix = pathlib.Path(args.telemetry_out)
         trace_path = prefix.with_name(prefix.name + ".trace.json")
         series_path = prefix.with_name(prefix.name + ".series.json")
         telemetry.tracer.write(str(trace_path))
-        series_path.write_text(json.dumps(telemetry.snapshot(), indent=2))
+        series_path.write_text(canonical_dumps(telemetry.snapshot(), pretty=True))
         print(
             f"telemetry written to {trace_path} (load in ui.perfetto.dev) "
             f"and {series_path}",
@@ -239,6 +247,84 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis.cli import run_lint
 
     return run_lint(args)
+
+
+def _cmd_goldens(args: argparse.Namespace) -> int:
+    from repro.verify.goldens import check_corpus, read_spec, update_corpus
+
+    progress = (
+        (lambda msg: print(f"[goldens] {msg}", file=sys.stderr))
+        if args.verbose
+        else None
+    )
+    if args.action == "update":
+        if args.spec_version is None:
+            print("goldens update requires --spec-version N (strictly above "
+                  "the committed version) — see docs/verification.md",
+                  file=sys.stderr)
+            return 2
+        from repro.errors import ConfigurationError
+
+        try:
+            written = update_corpus(
+                args.root, args.spec_version, workers=args.workers,
+                progress=progress,
+            )
+        except ConfigurationError as exc:
+            print(f"goldens update refused: {exc}", file=sys.stderr)
+            return 2
+        print(f"wrote {written} golden cells at spec_version "
+              f"{args.spec_version} under {args.root}")
+        return 0
+    diffs = check_corpus(args.root, workers=args.workers, progress=progress)
+    if not diffs:
+        spec = read_spec(args.root)
+        print(f"golden corpus clean (spec_version {spec['spec_version']}, "
+              f"{len(spec['cells'])} cells)")
+        return 0
+    for diff in diffs:
+        print(diff)
+    if args.action == "check":
+        print(f"\n{len(diffs)} golden difference(s). A drifting cell is a "
+              "bug in the change that drifted it; if the change is intended, "
+              "run 'repro goldens update --spec-version N+1' and justify the "
+              "bump in the commit.", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.verify.fuzz import run_fuzz
+
+    report = run_fuzz(
+        seed=args.seed,
+        iterations=args.iterations,
+        time_budget=args.time_budget,
+        max_cycles=args.max_cycles,
+        workers=args.workers,
+        out_dir=args.out,
+        shrink=not args.no_shrink,
+        keep_going=args.keep_going,
+        progress=lambda msg: print(f"[fuzz] {msg}", file=sys.stderr),
+    )
+    print(
+        f"fuzz seed={report.seed}: {report.iterations_run}/"
+        f"{report.iterations_requested} iterations, {report.simulations} "
+        f"simulations, {len(report.failures)} failure(s) "
+        f"(stopped: {report.stopped})"
+    )
+    for failure in report.failures:
+        print(f"\niteration {failure.iteration} "
+              f"(program seed {failure.program_seed}):")
+        for violation in failure.violations:
+            print(f"  {violation}")
+        if failure.minimized is not None:
+            print(f"  minimized to {failure.minimized.instructions} "
+                  f"instructions ({failure.minimized.attempts} shrink "
+                  f"attempts)")
+        for path in failure.artifacts:
+            print(f"  wrote {path}")
+    return 0 if report.ok else 1
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -371,6 +457,49 @@ def _build_parser() -> argparse.ArgumentParser:
 
     add_lint_arguments(lint)
     lint.set_defaults(func=_cmd_lint)
+
+    goldens = sub.add_parser(
+        "goldens",
+        help="check/diff/update the golden-trace corpus",
+    )
+    goldens.add_argument("action", choices=("check", "diff", "update"))
+    goldens.add_argument("--root", default="tests/goldens",
+                         help="corpus directory (default: tests/goldens)")
+    goldens.add_argument("--spec-version", type=int, default=None,
+                         help="new corpus version for 'update'; must be "
+                              "strictly greater than the committed one")
+    goldens.add_argument("--workers", type=int, default=0,
+                         help="simulation worker processes (0 = in-process "
+                              "vector batching)")
+    goldens.add_argument("--verbose", action="store_true",
+                         help="print per-cell progress to stderr")
+    goldens.set_defaults(func=_cmd_goldens)
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="differential policy fuzzing against the reference interpreter",
+    )
+    fuzz.add_argument("--seed", type=int, default=0,
+                      help="master seed for the fuzzing schedule")
+    fuzz.add_argument("--iterations", type=int, default=100,
+                      help="generated programs to try")
+    fuzz.add_argument("--time-budget", type=float, default=None, metavar="SECONDS",
+                      help="stop early after this much wall-clock time")
+    fuzz.add_argument("--max-cycles", type=int, default=200_000,
+                      help="cycle budget per simulation")
+    fuzz.add_argument("--workers", type=int, default=0,
+                      help="simulation worker processes (0 = in-process "
+                           "vector batching)")
+    fuzz.add_argument("--out", default=None, metavar="DIR",
+                      help="write failure artifacts (source, minimized "
+                           "source, violations, repro script) to this "
+                           "directory")
+    fuzz.add_argument("--no-shrink", action="store_true",
+                      help="skip minimizing failing programs")
+    fuzz.add_argument("--keep-going", action="store_true",
+                      help="continue fuzzing after the first failing "
+                           "iteration")
+    fuzz.set_defaults(func=_cmd_fuzz)
 
     trace = sub.add_parser("trace", help="print the fabric timeline")
     add_sim_args(trace)

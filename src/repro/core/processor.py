@@ -21,7 +21,12 @@ from collections.abc import Sequence
 
 from repro.core.params import ProcessorParams
 from repro.core.policies import PaperSteering, SteeringPolicy
-from repro.core.stats import SimulationResult
+from repro.core.stats import (
+    OUTCOME_COMPLETED,
+    OUTCOME_CUTOFF,
+    OUTCOME_DEADLOCK,
+    SimulationResult,
+)
 from repro.core.tracing import CycleEvents, slot_glyphs
 from repro.errors import SimulationError
 from repro.fabric.fabric import Fabric
@@ -35,7 +40,15 @@ from repro.isa.opcodes import Opcode
 from repro.isa.program import Program
 from repro.sched.ruu import RegisterUpdateUnit
 
-__all__ = ["Processor"]
+__all__ = ["Processor", "DEADLOCK_WINDOW"]
+
+#: cycles without a single retirement after which a stopped, non-halted
+#: run is classified ``deadlock`` rather than ``cutoff``.  Generously
+#: above the longest legitimate stall the model can produce (a full
+#: fabric reload is ``n_slots * reconfig_latency`` bus cycles, and
+#: instruction latencies top out in the tens), so a window this wide
+#: with zero retirements means the pipeline has wedged for good.
+DEADLOCK_WINDOW = 4096
 
 
 class Processor:
@@ -107,6 +120,9 @@ class Processor:
         self._last_retired: list = []
         self._last_flushed = 0
         self._retired_per_type = {t: 0 for t in FU_TYPES}
+        #: cycle of the most recent retirement — drives the completed/
+        #: cutoff/deadlock outcome classification in :meth:`result`.
+        self._last_retire_cycle = 0
         self._busy_cycles = {t: 0 for t in FU_TYPES}
         self._configured_cycles = {t: 0 for t in FU_TYPES}
         self._mispredictions = 0
@@ -149,8 +165,10 @@ class Processor:
             return self._step_profiled(tel)
         # 1. retire
         retired = self.ruu.retire()
-        for entry in retired:
-            self._retired_per_type[entry.fu_type] += 1
+        if retired:
+            self._last_retire_cycle = self.cycle_count
+            for entry in retired:
+                self._retired_per_type[entry.fu_type] += 1
 
         # 2. issue / execute / branch repair
         issued_seqs: tuple[int, ...] = ()
@@ -219,8 +237,10 @@ class Processor:
         t0 = perf_counter()
         # 1. retire
         retired = self.ruu.retire()
-        for entry in retired:
-            self._retired_per_type[entry.fu_type] += 1
+        if retired:
+            self._last_retire_cycle = self.cycle_count
+            for entry in retired:
+                self._retired_per_type[entry.fu_type] += 1
         t1 = perf_counter()
         tel.stage_seconds("retire", t1 - t0)
 
@@ -391,11 +411,18 @@ class Processor:
 
     def result(self) -> SimulationResult:
         """Snapshot the statistics collected so far."""
+        if self.ruu.halted:
+            outcome = OUTCOME_COMPLETED
+        elif self.cycle_count - self._last_retire_cycle >= DEADLOCK_WINDOW:
+            outcome = OUTCOME_DEADLOCK
+        else:
+            outcome = OUTCOME_CUTOFF
         res = SimulationResult(
             policy=self.policy.name,
             cycles=self.cycle_count,
             retired=self.ruu.retired,
             halted=self.ruu.halted,
+            outcome=outcome,
             retired_per_type=dict(self._retired_per_type),
             busy_unit_cycles=dict(self._busy_cycles),
             configured_unit_cycles=dict(self._configured_cycles),

@@ -2,11 +2,20 @@
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 from repro.isa.futypes import FU_TYPES, FUType
 
-__all__ = ["SimulationResult"]
+__all__ = ["SimulationResult", "OUTCOME_COMPLETED", "OUTCOME_CUTOFF", "OUTCOME_DEADLOCK"]
+
+#: the program reached ``halt`` — the only outcome a correct run may have.
+OUTCOME_COMPLETED = "completed"
+#: the cycle budget expired while the pipeline was still retiring work.
+OUTCOME_CUTOFF = "cutoff"
+#: no instruction retired for a full deadlock window before the run
+#: stopped — the pipeline had wedged, however large the budget.
+OUTCOME_DEADLOCK = "deadlock"
 
 
 @dataclass
@@ -17,6 +26,10 @@ class SimulationResult:
     cycles: int
     retired: int
     halted: bool
+    #: how the run ended: ``completed`` (halt reached), ``cutoff`` (budget
+    #: expired mid-progress) or ``deadlock`` (no retirement for a full
+    #: :data:`repro.core.processor.DEADLOCK_WINDOW` before stopping).
+    outcome: str = OUTCOME_COMPLETED
     #: dynamic instruction mix (retired instructions per unit type).
     retired_per_type: dict[FUType, int] = field(default_factory=dict)
     #: cumulative busy unit-cycles per type (utilisation numerator).
@@ -56,6 +69,27 @@ class SimulationResult:
         return self.retired / self.cycles if self.cycles else 0.0
 
     @property
+    def final_state_digest(self) -> str | None:
+        """SHA-256 over the committed architectural state, or None.
+
+        Hashes the ``repr`` of every register in index order (``repr`` is
+        the shortest-round-trip form, identical across platforms for
+        IEEE-754 doubles, and distinguishes ``nan``/``-0.0`` textually),
+        so two runs share a digest iff they committed the same state.
+        Keeps the full register dump out of ``to_dict()`` while still
+        letting golden records pin functional behaviour.
+        """
+        if self.final_registers is None:
+            return None
+        h = hashlib.sha256()
+        for bank in ("int", "fp"):
+            h.update(bank.encode())
+            for value in self.final_registers.get(bank, ()):
+                h.update(b"|")
+                h.update(repr(value).encode())
+        return h.hexdigest()
+
+    @property
     def branch_accuracy(self) -> float:
         if not self.branch_resolutions:
             return 1.0
@@ -76,6 +110,8 @@ class SimulationResult:
             "retired": self.retired,
             "ipc": self.ipc,
             "halted": self.halted,
+            "outcome": self.outcome,
+            "final_state_digest": self.final_state_digest,
             "retired_per_type": {
                 t.short_name: n for t, n in self.retired_per_type.items()
             },
@@ -96,7 +132,12 @@ class SimulationResult:
             "fetched": self.fetched,
             "trace_cache_hits": self.trace_cache_hits,
             "trace_cache_misses": self.trace_cache_misses,
-            "steering_selections": dict(self.steering_selections),
+            # stringified + sorted: the record must round-trip through JSON
+            # unchanged (JSON object keys are strings), and insertion order
+            # must not leak platform/selection-history differences
+            "steering_selections": {
+                str(k): v for k, v in sorted(self.steering_selections.items())
+            },
             "steering_mean_error": self.steering_mean_error,
             "steering_kept_fraction": self.steering_kept_fraction,
         }
@@ -108,7 +149,7 @@ class SimulationResult:
             f"cycles            : {self.cycles}",
             f"retired           : {self.retired}",
             f"IPC               : {self.ipc:.3f}",
-            f"halted            : {self.halted}",
+            f"halted            : {self.halted} ({self.outcome})",
             f"branch accuracy   : {self.branch_accuracy:.3f}"
             f" ({self.mispredictions}/{self.branch_resolutions} mispredicted)",
             f"memory stalls     : {self.memory_stalls}",

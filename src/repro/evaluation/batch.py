@@ -64,6 +64,7 @@ from repro.evaluation.vector import (
 from repro.fabric.configuration import Configuration
 from repro.isa.futypes import FUType
 from repro.isa.program import Program
+from repro.utils.canonical import canonical_dumps
 
 __all__ = [
     "SimJob",
@@ -603,7 +604,7 @@ class ResultCache:
 
     def _save_index(self) -> None:
         _atomic_write_bytes(
-            self._index_path(), json.dumps(self._touch).encode()
+            self._index_path(), canonical_dumps(self._touch).encode()
         )
 
     # ------------------------------------------------------------ get / put

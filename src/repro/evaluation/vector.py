@@ -788,7 +788,12 @@ def run_vector_batch(jobs, crosscheck: bool | None = None) -> list[Any]:
             ruu = lane.ruu
             order = ruu._order
             if order and order[0].state is _COMPLETED:
-                rpt = lane.proc._retired_per_type
+                proc = lane.proc
+                # mirrors Processor.step exactly: phase 1 runs before this
+                # cycle's _step_rest increments cycle_count, so the stamp
+                # matches the scalar engine's pre-increment value
+                proc._last_retire_cycle = proc.cycle_count
+                rpt = proc._retired_per_type
                 for entry in ruu.retire():
                     rpt[entry.fu_type] += 1
             avail_vals[n_active] = lane.fabric.availability_bits() | (

@@ -54,6 +54,7 @@ from pathlib import Path
 from typing import Any
 
 from repro.errors import ConfigurationError
+from repro.utils.canonical import canonical_dumps
 
 __all__ = [
     "RunStore",
@@ -61,6 +62,11 @@ __all__ = [
     "metrics_of",
     "current_git_rev",
 ]
+
+#: numeric encoding of ``SimulationResult.outcome`` for the flat metric
+#: documents (strings are dropped by :func:`metrics_of`; the dashboard
+#: and API filters need the outcome as a queryable scalar).
+OUTCOME_CODES = {"completed": 0, "cutoff": 1, "deadlock": 2}
 
 #: current on-disk schema version (``PRAGMA user_version``).
 SCHEMA_VERSION = 3
@@ -159,6 +165,8 @@ def metrics_of(result: Any) -> dict[str, float]:
             out[name] = int(value)
         elif isinstance(value, (int, float)):
             out[name] = value
+        elif name == "outcome" and value in OUTCOME_CODES:
+            out["outcome_code"] = OUTCOME_CODES[value]
     return out
 
 
@@ -349,7 +357,7 @@ class RunStore:
                     experiment,
                     config_hash,
                     created,
-                    json.dumps(metrics, sort_keys=True),
+                    canonical_dumps(metrics),
                     label,
                     git_rev,
                 ),
@@ -535,7 +543,7 @@ class RunStore:
                 (
                     job_id,
                     key,
-                    json.dumps(spec, sort_keys=True),
+                    canonical_dumps(spec),
                     state,
                     int(cached),
                     submitted,
@@ -620,7 +628,7 @@ class RunStore:
                 "VALUES (?, ?, ?) "
                 "ON CONFLICT(worker) DO UPDATE SET "
                 "updated = excluded.updated, payload = excluded.payload",
-                (worker, time.time(), json.dumps(payload)),
+                (worker, time.time(), canonical_dumps(payload)),
             )
 
     def worker_metrics(self, max_age: float = 60.0) -> dict[str, dict[str, Any]]:

@@ -1,0 +1,467 @@
+"""Differential policy fuzzer: ``repro fuzz --seed S --iterations N``.
+
+Each iteration derives a program seed + generator shape from the master
+seed, generates one program, executes it once on the functional
+reference interpreter, then runs **every** ``policy_catalogue()`` policy
+on it through :func:`~repro.evaluation.batch.run_many` — all policies
+share one program, the ideal lane shape for the lock-step vector
+engine — and asserts the cross-policy invariants
+(:mod:`repro.verify.invariants`).  On top, two metamorphic checks rotate
+through the catalogue:
+
+* **vector vs scalar** — the batch-engine result must be bit-identical
+  to a direct scalar ``Processor.run`` of the same job;
+* **telemetry on vs off** — attaching a live telemetry probe to the
+  steering processor must not change a single field of the result.
+
+A failing iteration is minimized by the instruction-deletion shrinker
+(:mod:`repro.verify.shrink`) against the policies it implicated, and —
+when an output directory is given — written out as the original source,
+the minimized source, a canonical-JSON violation record and a
+self-contained ready-to-run repro script.
+
+Wall-clock budgeting and counters live here, *outside* the
+deterministic core: given the same seed and iteration count the fuzzing
+schedule is fully reproducible; ``--time-budget`` only decides how far
+down that fixed schedule one invocation gets.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from random import Random
+from typing import Any, Callable
+
+from repro.core.baselines import policy_catalogue, steering_processor
+from repro.core.params import ProcessorParams
+from repro.core.reference import ReferenceResult, run_reference
+from repro.errors import ReproError
+from repro.evaluation.batch import SimJob, execute_job, run_many
+from repro.fabric.configuration import PREDEFINED_CONFIGS
+from repro.isa.futypes import FUType
+from repro.isa.program import Program
+from repro.utils.canonical import canonical_dumps
+from repro.verify.generator import GeneratorConfig, generate_program, generate_source
+from repro.verify.invariants import Violation, check_result_pair
+from repro.verify.shrink import ShrinkOutcome, shrink_source
+
+__all__ = ["FuzzFailure", "FuzzReport", "run_fuzz"]
+
+#: dynamic-instruction budget for the reference run of one generated
+#: program (far above the construction bound; exceeding it means the
+#: generator itself is broken).
+REFERENCE_BUDGET = 500_000
+
+#: per-unit-pressure presets the schedule rotates through.
+_WEIGHT_PRESETS: tuple[dict[FUType, float] | None, ...] = (
+    None,  # balanced
+    {FUType.INT_ALU: 0.55, FUType.INT_MDU: 0.3, FUType.LSU: 0.15},
+    {FUType.INT_ALU: 0.25, FUType.LSU: 0.6, FUType.INT_MDU: 0.15},
+    {
+        FUType.FP_ALU: 0.35,
+        FUType.FP_MDU: 0.35,
+        FUType.INT_ALU: 0.2,
+        FUType.LSU: 0.1,
+    },
+)
+
+_FLUSH_DENSITIES = (0.0, 0.15, 0.3, 0.45)
+
+
+@dataclass(frozen=True)
+class FuzzFailure:
+    """One failing iteration with its minimized reproducer."""
+
+    iteration: int
+    program_seed: int
+    config: GeneratorConfig
+    violations: tuple[Violation, ...]
+    source: str
+    minimized: ShrinkOutcome | None
+    #: artifact paths written under the output directory (empty without one).
+    artifacts: tuple[str, ...] = ()
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one ``run_fuzz`` invocation."""
+
+    seed: int
+    iterations_requested: int
+    iterations_run: int = 0
+    simulations: int = 0
+    failures: list[FuzzFailure] = field(default_factory=list)
+    #: why the loop ended: ``iterations``, ``time-budget`` or ``failure``.
+    stopped: str = "iterations"
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def _iteration_config(rng: Random) -> GeneratorConfig:
+    """The generator shape for one iteration (all draws seed-derived)."""
+    return GeneratorConfig(
+        blocks=rng.randrange(1, 4),
+        body_len=rng.randrange(6, 15),
+        max_iterations=rng.randrange(2, 8),
+        flush_density=rng.choice(_FLUSH_DENSITIES),
+        weights=rng.choice(_WEIGHT_PRESETS),
+    )
+
+
+def _job_for(policy: str, program: Program, params, max_cycles: int) -> SimJob:
+    if policy.startswith("static-"):
+        cfg = {c.name: c for c in PREDEFINED_CONFIGS}[policy[len("static-") :]]
+        return SimJob(
+            "static", program, params, max_cycles,
+            kwargs={"config": cfg}, label=policy,
+        )
+    return SimJob(policy, program, params, max_cycles, label=policy)
+
+
+def _run_policies(
+    policies: list[str],
+    program: Program,
+    params: ProcessorParams,
+    max_cycles: int,
+    workers: int,
+) -> tuple[dict[str, Any], list[Violation]]:
+    """Results by policy via the batch engine; crashes become violations."""
+    jobs = [_job_for(p, program, params, max_cycles) for p in policies]
+    try:
+        results = run_many(jobs, workers=workers)
+        return dict(zip(policies, results)), []
+    except ReproError:
+        # a crash inside the batch kills the whole sweep — re-run policy
+        # by policy, scalar, to attribute it
+        results: dict[str, Any] = {}
+        violations: list[Violation] = []
+        for policy, job in zip(policies, jobs):
+            try:
+                results[policy] = execute_job(job)
+            except ReproError as exc:
+                violations.append(
+                    Violation("crash", policy, f"{type(exc).__name__}: {exc}")
+                )
+        return results, violations
+
+
+def _run_one_scalar(
+    policy: str,
+    program: Program,
+    params: ProcessorParams,
+    max_cycles: int,
+    extra: dict[str, Callable] | None,
+) -> tuple[Any, Violation | None]:
+    """One policy, scalar path, crash converted to a violation."""
+    try:
+        if extra and policy in extra:
+            return extra[policy](program, params).run(max_cycles=max_cycles), None
+        catalogue = policy_catalogue()
+        return catalogue[policy](program, params).run(max_cycles=max_cycles), None
+    except ReproError as exc:
+        return None, Violation("crash", policy, f"{type(exc).__name__}: {exc}")
+
+
+def _metamorphic_checks(
+    iteration: int,
+    policies: list[str],
+    results: dict[str, Any],
+    program: Program,
+    params: ProcessorParams,
+    max_cycles: int,
+) -> list[Violation]:
+    """Vector-vs-scalar (rotating policy) and telemetry-on/off (steering)."""
+    violations: list[Violation] = []
+    probe = policies[iteration % len(policies)]
+    if probe in results:
+        try:
+            scalar = execute_job(_job_for(probe, program, params, max_cycles))
+        except ReproError as exc:
+            scalar = None
+            violations.append(
+                Violation(
+                    "metamorphic-vector", probe,
+                    f"scalar re-run crashed: {type(exc).__name__}: {exc}",
+                )
+            )
+        if scalar is not None and scalar.to_dict() != results[probe].to_dict():
+            violations.append(
+                Violation(
+                    "metamorphic-vector", probe,
+                    "batch-engine result differs from the direct scalar run "
+                    "of the identical job",
+                )
+            )
+    if probe == "steering" and "steering" in results:
+        from repro.telemetry import ProcessorTelemetry
+
+        tel = ProcessorTelemetry(series_capacity=256, sample_interval=64)
+        instrumented = steering_processor(program, params, telemetry=tel).run(
+            max_cycles=max_cycles
+        )
+        if instrumented.to_dict() != results["steering"].to_dict():
+            violations.append(
+                Violation(
+                    "metamorphic-telemetry", "steering",
+                    "attaching telemetry changed the simulation result",
+                )
+            )
+    return violations
+
+
+def _still_fails_predicate(
+    implicated: list[str],
+    params: ProcessorParams,
+    max_cycles: int,
+    extra: dict[str, Callable] | None,
+    counter=None,
+) -> Callable[[Program], bool]:
+    """Shrink predicate: any implicated policy still violates an invariant."""
+
+    def still_fails(candidate: Program) -> bool:
+        if counter is not None:
+            counter.inc()
+        reference = run_reference(candidate, max_instructions=REFERENCE_BUDGET)
+        for policy in implicated:
+            result, crash = _run_one_scalar(
+                policy, candidate, params, max_cycles, extra
+            )
+            if crash is not None:
+                return True
+            if check_result_pair(policy, result, reference, params):
+                return True
+        return False
+
+    return still_fails
+
+
+def _write_artifacts(
+    out_dir: Path, failure: FuzzFailure, params: ProcessorParams, max_cycles: int
+) -> tuple[str, ...]:
+    """Original + minimized sources, violation record, runnable repro."""
+    out_dir.mkdir(parents=True, exist_ok=True)
+    stem = f"fail-i{failure.iteration:04d}-s{failure.program_seed}"
+    implicated = sorted({v.policy for v in failure.violations})
+    minimized = failure.minimized.source if failure.minimized else failure.source
+    paths = []
+
+    source_path = out_dir / f"{stem}.s"
+    source_path.write_text(failure.source + "\n")
+    paths.append(str(source_path))
+
+    min_path = out_dir / f"{stem}.min.s"
+    min_path.write_text(minimized + "\n")
+    paths.append(str(min_path))
+
+    record_path = out_dir / f"{stem}.json"
+    record_path.write_text(
+        canonical_dumps(
+            {
+                "iteration": failure.iteration,
+                "program_seed": failure.program_seed,
+                "violations": [
+                    {
+                        "invariant": v.invariant,
+                        "policy": v.policy,
+                        "message": v.message,
+                    }
+                    for v in failure.violations
+                ],
+                "minimized_instructions": (
+                    failure.minimized.instructions if failure.minimized else None
+                ),
+                "implicated_policies": implicated,
+            },
+            pretty=True,
+        )
+        + "\n"
+    )
+    paths.append(str(record_path))
+
+    repro_path = out_dir / f"{stem}.repro.py"
+    repro_path.write_text(
+        '"""Auto-generated fuzz reproducer — run with PYTHONPATH=src."""\n'
+        "from repro.core.params import ProcessorParams\n"
+        "from repro.core.baselines import policy_catalogue\n"
+        "from repro.core.reference import run_reference\n"
+        "from repro.isa.assembler import assemble\n"
+        "from repro.verify.invariants import check_result_pair\n\n"
+        f"SOURCE = '''\n{minimized}\n'''\n\n"
+        f"POLICIES = {implicated!r}\n"
+        f"MAX_CYCLES = {max_cycles}\n"
+        f"PARAMS = ProcessorParams(reconfig_latency={params.reconfig_latency})\n\n"
+        "program = assemble(SOURCE)\n"
+        "reference = run_reference(program)\n"
+        "catalogue = policy_catalogue()\n"
+        "failed = False\n"
+        "checked = 0\n"
+        "for policy in POLICIES:\n"
+        "    if policy not in catalogue:\n"
+        "        print(f'{policy}: not in catalogue (injected policy?)')\n"
+        "        continue\n"
+        "    checked += 1\n"
+        "    result = catalogue[policy](program, PARAMS).run(max_cycles=MAX_CYCLES)\n"
+        "    for violation in check_result_pair(policy, result, reference, PARAMS):\n"
+        "        failed = True\n"
+        "        print(violation)\n"
+        "if not checked:\n"
+        "    print('no implicated policy is in the catalogue; re-run the fuzz '\n"
+        "          'harness that injected the extra policy to reproduce')\n"
+        "    raise SystemExit(2)\n"
+        "# exits 1 while the bug reproduces, 0 once it is fixed\n"
+        "print('reproduced' if failed else 'did not reproduce')\n"
+        "raise SystemExit(1 if failed else 0)\n"
+    )
+    paths.append(str(repro_path))
+    return tuple(paths)
+
+
+def run_fuzz(
+    seed: int = 0,
+    iterations: int = 100,
+    time_budget: float | None = None,
+    *,
+    params: ProcessorParams | None = None,
+    max_cycles: int = 200_000,
+    base_config: GeneratorConfig | None = None,
+    workers: int = 0,
+    out_dir: str | Path | None = None,
+    registry=None,
+    shrink: bool = True,
+    keep_going: bool = False,
+    extra_policies: dict[str, Callable] | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> FuzzReport:
+    """Run the differential sweep; returns a :class:`FuzzReport`.
+
+    ``extra_policies`` maps extra policy names to ``factory(program,
+    params) -> Processor`` — they join the differential comparison on the
+    scalar path (the mutation self-test injects a known-buggy steering
+    build this way).  ``base_config`` freezes the generator shape instead
+    of rotating it.  ``registry`` (a telemetry ``MetricsRegistry``)
+    receives the fuzz counters.
+    """
+    params = params if params is not None else ProcessorParams(reconfig_latency=8)
+    rng = Random(seed)
+    catalogue_policies = sorted(policy_catalogue())
+    report = FuzzReport(seed=seed, iterations_requested=iterations)
+    out_path = Path(out_dir) if out_dir is not None else None
+
+    if registry is not None:
+        programs_c = registry.counter(
+            "repro_fuzz_programs_total", help="generated programs fuzzed"
+        )
+        sims_c = registry.counter(
+            "repro_fuzz_simulations_total", help="policy simulations executed"
+        )
+        violations_c = registry.counter(
+            "repro_fuzz_violations_total", help="invariant violations found"
+        )
+        shrink_c = registry.counter(
+            "repro_fuzz_shrink_attempts_total", help="shrink candidates evaluated"
+        )
+    else:
+        programs_c = sims_c = violations_c = shrink_c = None
+
+    deadline = time.monotonic() + time_budget if time_budget is not None else None
+    for iteration in range(iterations):
+        if deadline is not None and time.monotonic() >= deadline:
+            report.stopped = "time-budget"
+            break
+        # one rng draw sequence per iteration, independent of whether a
+        # fixed base_config is in use — the schedule stays aligned
+        program_seed = rng.getrandbits(32)
+        config = _iteration_config(rng)
+        if base_config is not None:
+            config = base_config
+        program = generate_program(program_seed, config)
+        reference = run_reference(program, max_instructions=REFERENCE_BUDGET)
+        if programs_c is not None:
+            programs_c.inc()
+
+        results, violations = _run_policies(
+            catalogue_policies, program, params, max_cycles, workers
+        )
+        for name, factory in sorted((extra_policies or {}).items()):
+            result, crash = _run_one_scalar(
+                name, program, params, max_cycles, extra_policies
+            )
+            if crash is not None:
+                violations.append(crash)
+            else:
+                results[name] = result
+        report.simulations += len(results)
+        if sims_c is not None:
+            sims_c.inc(len(results))
+
+        for policy in sorted(results):
+            violations.extend(
+                check_result_pair(policy, results[policy], reference, params)
+            )
+        violations.extend(
+            _metamorphic_checks(
+                iteration, catalogue_policies, results, program, params,
+                max_cycles,
+            )
+        )
+        report.iterations_run += 1
+
+        if not violations:
+            if progress is not None and (iteration + 1) % 25 == 0:
+                progress(
+                    f"iteration {iteration + 1}/{iterations}: "
+                    f"{report.simulations} simulations, all invariants hold"
+                )
+            continue
+
+        if violations_c is not None:
+            violations_c.inc(len(violations))
+        if progress is not None:
+            progress(
+                f"iteration {iteration}: {len(violations)} violation(s) on "
+                f"program seed {program_seed} — "
+                + "; ".join(str(v) for v in violations[:3])
+            )
+        source = generate_source(program_seed, config)
+        minimized: ShrinkOutcome | None = None
+        implicated = sorted({v.policy for v in violations})
+        # metamorphic failures implicate engine plumbing, not a policy's
+        # semantics — shrink against the plain invariants of the policies
+        # they name (falling back to the steering policy)
+        shrink_targets = [p for p in implicated if p in set(results)] or ["steering"]
+        if shrink:
+            minimized = shrink_source(
+                source,
+                _still_fails_predicate(
+                    shrink_targets, params, max_cycles, extra_policies,
+                    counter=shrink_c,
+                ),
+            )
+            if progress is not None:
+                progress(
+                    f"shrunk to {minimized.instructions} instructions in "
+                    f"{minimized.attempts} attempts"
+                )
+        failure = FuzzFailure(
+            iteration=iteration,
+            program_seed=program_seed,
+            config=config,
+            violations=tuple(violations),
+            source=source,
+            minimized=minimized,
+        )
+        if out_path is not None:
+            failure = FuzzFailure(
+                **{**failure.__dict__, "artifacts": _write_artifacts(
+                    out_path, failure, params, max_cycles
+                )}
+            )
+        report.failures.append(failure)
+        if not keep_going:
+            report.stopped = "failure"
+            break
+    return report

@@ -1,0 +1,163 @@
+"""Seeded random-program generator for differential fuzzing.
+
+Programs are **valid by construction**:
+
+* register dataflow is respected — every source register is initialised
+  by the prologue (or a dominating write) before it is read, reusing the
+  synthetic-workload body emitter and its register pools;
+* every backward branch closes a counted loop on a dedicated counter
+  register with a fixed trip count, and every data-dependent branch
+  jumps strictly forward — so every generated program terminates, with
+  a dynamic length bounded by ``blocks * max_iterations * body``;
+* data-dependent branches are keyed on the live loop counter (low bits
+  after a small shift), so their direction *changes across iterations* —
+  exactly the mispredict/flush/reconfigure interaction the steering
+  invariants are most fragile under.
+
+Everything is derived from one ``random.Random(seed)`` stream, so a
+single integer seed reproduces the program bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+from repro.isa.assembler import assemble
+from repro.isa.futypes import FUType
+from repro.isa.program import Program
+from repro.workloads.synthetic import MixSpec, emit_body
+
+__all__ = ["GeneratorConfig", "generate_source", "generate_program"]
+
+#: registers the emitted control flow owns (disjoint from the synthetic
+#: emitter's x1..x9 / f1..f9 pools): x10 holds branch conditions, x11 a
+#: skippable accumulator, x12 the constant 1, x20+ the loop counters.
+_COND = "x10"
+_ACC = "x11"
+_ONE = "x12"
+_COUNTER_BASE = 20
+
+#: branch mnemonics usable with (condition, x0) operands.
+_BRANCH_OPS = ("beq", "bne", "blt", "bge")
+
+#: the synthetic emitter addresses ``buf`` modulo 64 words.
+_BUFFER_BYTES = 64 * 4
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Tunable shape of generated programs (all draws are seed-driven)."""
+
+    #: number of sequential counted loops.
+    blocks: int = 3
+    #: straight-line instructions per loop body (before branch insertion).
+    body_len: int = 10
+    #: loop trip counts are drawn uniformly from ``1..max_iterations``.
+    max_iterations: int = 6
+    #: probability of inserting a data-dependent forward branch after
+    #: each body instruction (the flush-pressure knob).
+    flush_density: float = 0.25
+    #: probability a source operand reuses a recently-written register.
+    dep_density: float = 0.35
+    #: relative per-unit-type pressure; None means the balanced mix.
+    weights: dict[FUType, float] | None = None
+
+    def __post_init__(self) -> None:
+        if self.blocks < 1 or self.blocks > 8:
+            raise WorkloadError("blocks must be in 1..8 (one counter each)")
+        if self.body_len < 1:
+            raise WorkloadError("body_len must be positive")
+        if self.max_iterations < 1:
+            raise WorkloadError("max_iterations must be positive")
+        if not 0.0 <= self.flush_density <= 1.0:
+            raise WorkloadError("flush_density must be in [0, 1]")
+
+    def mix(self) -> MixSpec:
+        weights = self.weights
+        if weights is None:
+            weights = {
+                FUType.INT_ALU: 0.35,
+                FUType.INT_MDU: 0.15,
+                FUType.LSU: 0.2,
+                FUType.FP_ALU: 0.15,
+                FUType.FP_MDU: 0.15,
+            }
+        return MixSpec("fuzz", dict(weights), dep_density=self.dep_density)
+
+
+def _data_section() -> list[str]:
+    consts = ", ".join(repr(0.5 + 0.25 * i) for i in range(9))
+    return [
+        ".data",
+        f"consts: .float {consts}",
+        f"buf:    .space {_BUFFER_BYTES}",
+        ".text",
+    ]
+
+
+def _prologue() -> list[str]:
+    lines = [f"li x{i}, {i * 3 + 1}" for i in range(1, 10)]
+    lines += [f"flw f{i}, consts+{(i - 1) * 4}(x0)" for i in range(1, 10)]
+    lines += [f"li {_ACC}, 0", f"li {_ONE}, 1"]
+    return lines
+
+
+def _branch_group(
+    rng: random.Random, counter: str, label: str, mix: MixSpec
+) -> list[str]:
+    """A forward, iteration-varying branch over 1-2 skippable instructions.
+
+    The condition register is the loop counter's bit ``shift`` — it flips
+    as the counter decrements, so a 2-bit predictor keeps mispredicting
+    and the pipeline keeps flushing through reconfigurations.
+    """
+    shift = rng.randrange(0, 2)
+    lines = []
+    if shift:
+        lines.append(f"srl {_COND}, {counter}, {_ONE}")
+        lines.append(f"and {_COND}, {_COND}, {_ONE}")
+    else:
+        lines.append(f"and {_COND}, {counter}, {_ONE}")
+    lines.append(f"{rng.choice(_BRANCH_OPS)} {_COND}, x0, {label}")
+    for _ in range(rng.randrange(1, 3)):
+        if rng.random() < 0.5:
+            lines.append(f"addi {_ACC}, {_ACC}, 1")
+        else:
+            lines.extend(emit_body(rng, mix, 1))
+    lines.append(f"{label}:")
+    return lines
+
+
+def generate_source(seed: int, config: GeneratorConfig | None = None) -> str:
+    """The assembly text of program ``seed`` under ``config``."""
+    config = config if config is not None else GeneratorConfig()
+    rng = random.Random(seed)
+    mix = config.mix()
+    lines = _data_section()
+    lines.append("main:")
+    lines += _prologue()
+    skip_labels = 0
+    for block in range(config.blocks):
+        counter = f"x{_COUNTER_BASE + block}"
+        trips = rng.randrange(1, config.max_iterations + 1)
+        top = f"g{block}_loop"
+        lines.append(f"li {counter}, {trips}")
+        lines.append(f"{top}:")
+        for line in emit_body(rng, mix, config.body_len):
+            lines.append(line)
+            if rng.random() < config.flush_density:
+                lines += _branch_group(
+                    rng, counter, f"g_sk{skip_labels}", mix
+                )
+                skip_labels += 1
+        lines.append(f"addi {counter}, {counter}, -1")
+        lines.append(f"bne {counter}, x0, {top}")
+    lines.append("halt")
+    return "\n".join(lines)
+
+
+def generate_program(seed: int, config: GeneratorConfig | None = None) -> Program:
+    """Assemble program ``seed`` (see :func:`generate_source`)."""
+    return assemble(generate_source(seed, config))

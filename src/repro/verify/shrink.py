@@ -1,0 +1,145 @@
+"""Instruction-deletion shrinker for fuzzer failures.
+
+Given a failing assembly source and a ``still_fails(program)`` predicate,
+repeatedly delete instruction lines (delta-debugging style: halving
+chunk sizes down to single lines, to a fixed point) while the failure
+persists.  Labels, directives, data definitions and the ``halt`` are
+never deleted, so every candidate that assembles is still a structurally
+valid, terminating program — candidates that fail to assemble, or on
+which the predicate itself errors, simply don't count as reproductions.
+
+The result is the smallest reproducer this process can reach, which the
+fuzzer writes next to a ready-to-run repro script.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+from repro.isa.assembler import assemble
+from repro.isa.program import Program
+
+__all__ = ["ShrinkOutcome", "shrink_source"]
+
+#: cap on candidate evaluations per shrink (each runs simulations).
+DEFAULT_MAX_ATTEMPTS = 2000
+
+
+@dataclass(frozen=True)
+class ShrinkOutcome:
+    """Result of one shrink run."""
+
+    #: minimized assembly source (still failing).
+    source: str
+    #: instruction count of the minimized program.
+    instructions: int
+    #: deletable lines removed from the original.
+    removed: int
+    #: candidate programs evaluated.
+    attempts: int
+
+
+def _normalise(source: str) -> list[str]:
+    """Source lines with ``label: instr`` split into two lines."""
+    out: list[str] = []
+    for raw in source.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        head, sep, rest = line.partition(":")
+        if (
+            sep
+            and rest.strip()
+            and " " not in head.strip()
+            and not head.strip().startswith(".")
+            and not rest.strip().startswith((".word", ".float", ".space"))
+        ):
+            out.append(f"{head.strip()}:")
+            out.append(rest.strip())
+        else:
+            out.append(line)
+    return out
+
+
+def _deletable_indices(lines: list[str]) -> list[int]:
+    """Indices of plain instruction lines (never labels/directives/halt)."""
+    indices: list[int] = []
+    in_text = True
+    for i, line in enumerate(lines):
+        if line.startswith("."):
+            in_text = line.startswith(".text")
+            continue
+        if not in_text or line.endswith(":") or line.startswith(("#", ";")):
+            continue
+        if line == "halt":
+            continue
+        indices.append(i)
+    return indices
+
+
+def _try_assemble(lines: list[str], kept: set[int]) -> Program | None:
+    try:
+        return assemble("\n".join(lines[i] for i in sorted(kept)))
+    except ReproError:
+        return None
+
+
+def shrink_source(
+    source: str,
+    still_fails,
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+) -> ShrinkOutcome:
+    """Minimize ``source`` while ``still_fails(program)`` holds.
+
+    ``still_fails`` receives an assembled candidate :class:`Program` and
+    returns whether the original failure still reproduces; a predicate
+    that raises :class:`~repro.errors.ReproError` counts as "does not
+    reproduce" (e.g. the candidate no longer terminates under the
+    reference budget).
+    """
+    lines = _normalise(source)
+    kept = set(range(len(lines)))
+    deletable = _deletable_indices(lines)
+    attempts = 0
+    removed = 0
+
+    def reproduces(candidate_kept: set[int]) -> bool:
+        nonlocal attempts
+        attempts += 1
+        program = _try_assemble(lines, candidate_kept)
+        if program is None:
+            return False
+        try:
+            return bool(still_fails(program))
+        except ReproError:
+            return False
+
+    chunk = max(1, len(deletable) // 2)
+    while deletable and attempts < max_attempts:
+        removed_this_pass = False
+        i = 0
+        while i < len(deletable) and attempts < max_attempts:
+            trial = deletable[i : i + chunk]
+            candidate = kept - set(trial)
+            if reproduces(candidate):
+                kept = candidate
+                removed += len(trial)
+                del deletable[i : i + chunk]
+                removed_this_pass = True
+            else:
+                i += chunk
+        if chunk == 1:
+            if not removed_this_pass:
+                break
+        else:
+            chunk = max(1, chunk // 2)
+
+    final_source = "\n".join(lines[i] for i in sorted(kept))
+    program = assemble(final_source)
+    return ShrinkOutcome(
+        source=final_source,
+        instructions=len(program.instructions),
+        removed=removed,
+        attempts=attempts,
+    )

@@ -33,6 +33,7 @@ def make_test_config() -> AnalysisConfig:
         determinism_scope=("repro/sched", "repro/isa", "repro/utils"),
         concurrency_scope=("repro/serving", "repro/evaluation/batch.py"),
         config_modules=("repro/utils/env.py",),
+        canonical_json_scope=("repro/sched/golden.py",),
         source_text="<test-config>",
     )
 

@@ -134,6 +134,96 @@ class TestDictOrderHashing:
         assert findings == []
 
 
+class TestNonCanonicalJson:
+    def test_dumps_in_scope_flagged(self, lint_tree):
+        findings = lint_tree({
+            "repro/sched/golden.py": src("""
+                import json
+
+                def save(record):
+                    return json.dumps(record)
+            """)
+        })
+        assert ids(findings) == ["DET005"]
+
+    def test_dump_to_file_in_scope_flagged(self, lint_tree):
+        findings = lint_tree({
+            "repro/sched/golden.py": src("""
+                import json
+
+                def save(record, fh):
+                    json.dump(record, fh)
+            """)
+        })
+        assert ids(findings) == ["DET005"]
+
+    def test_from_import_dumps_in_scope_flagged(self, lint_tree):
+        findings = lint_tree({
+            "repro/sched/golden.py": src("""
+                from json import dumps
+
+                def save(record):
+                    return dumps(record)
+            """)
+        })
+        assert ids(findings) == ["DET005"]
+
+    def test_loads_in_scope_ok(self, lint_tree):
+        findings = lint_tree({
+            "repro/sched/golden.py": src("""
+                import json
+
+                def load(text):
+                    return json.loads(text)
+            """)
+        })
+        assert findings == []
+
+    def test_canonical_dumps_in_scope_ok(self, lint_tree):
+        findings = lint_tree({
+            "repro/sched/golden.py": src("""
+                from repro.isa.canonical import canonical_dumps
+
+                def save(record):
+                    return canonical_dumps(record)
+            """)
+        })
+        assert findings == []
+
+    def test_dumps_out_of_scope_ok(self, lint_tree):
+        findings = lint_tree({
+            "repro/serving/payload.py": src("""
+                import json
+
+                def body(payload):
+                    return json.dumps(payload, indent=1)
+            """)
+        })
+        assert findings == []
+
+    def test_dumps_of_to_dict_flagged_anywhere(self, lint_tree):
+        findings = lint_tree({
+            "repro/serving/payload.py": src("""
+                import json
+
+                def body(result):
+                    return json.dumps(result.to_dict())
+            """)
+        })
+        assert ids(findings) == ["DET005"]
+
+    def test_dumps_of_nested_to_dict_flagged(self, lint_tree):
+        findings = lint_tree({
+            "repro/serving/payload.py": src("""
+                import json
+
+                def body(result, extra):
+                    return json.dumps({"result": result.to_dict(), "extra": extra})
+            """)
+        })
+        assert ids(findings) == ["DET005"]
+
+
 class TestEnvReads:
     def test_environ_read_flagged(self, lint_source):
         findings = lint_source(src("""

@@ -1,0 +1,78 @@
+"""Structured run outcome: completed / cutoff / deadlock classification."""
+
+from repro.core.baselines import policy_catalogue, steering_processor
+from repro.core.params import ProcessorParams
+from repro.core.processor import DEADLOCK_WINDOW
+from repro.core.stats import (
+    OUTCOME_COMPLETED,
+    OUTCOME_CUTOFF,
+    OUTCOME_DEADLOCK,
+)
+from repro.isa.assembler import assemble
+from repro.workloads.kernels import checksum
+
+PARAMS = ProcessorParams(reconfig_latency=8)
+
+
+def test_halted_run_is_completed():
+    result = steering_processor(checksum(iterations=5).program, PARAMS).run(
+        max_cycles=200_000
+    )
+    assert result.halted
+    assert result.outcome == OUTCOME_COMPLETED
+
+
+def test_budget_exhaustion_is_cutoff():
+    result = steering_processor(checksum(iterations=20).program, PARAMS).run(
+        max_cycles=50
+    )
+    assert not result.halted
+    assert result.outcome == OUTCOME_CUTOFF
+
+
+def test_forward_progress_spin_is_cutoff_not_deadlock():
+    # an infinite loop keeps *retiring*, so however long it runs it is a
+    # cutoff (slow/endless program), never a deadlock (stuck pipeline)
+    spin = assemble(".text\nmain:\nli x1, 1\nspin:\nbne x1, x0, spin\nhalt")
+    result = steering_processor(spin, PARAMS).run(
+        max_cycles=DEADLOCK_WINDOW + 2000
+    )
+    assert result.outcome == OUTCOME_CUTOFF
+    assert result.retired > 0
+
+
+def test_stalled_pipeline_classified_as_deadlock():
+    # white-box: age the last-retirement stamp past the window and confirm
+    # result() reads the stall as a deadlock, not a cutoff
+    proc = steering_processor(checksum(iterations=5).program, PARAMS)
+    proc.run(max_cycles=30)
+    proc._last_retire_cycle = proc.cycle_count - DEADLOCK_WINDOW
+    assert proc.result().outcome == OUTCOME_DEADLOCK
+
+
+def test_outcome_in_result_record():
+    result = steering_processor(checksum(iterations=5).program, PARAMS).run(
+        max_cycles=200_000
+    )
+    record = result.to_dict()
+    assert record["outcome"] == OUTCOME_COMPLETED
+    assert isinstance(record["final_state_digest"], str)
+    assert len(record["final_state_digest"]) == 64
+
+
+def test_final_state_digest_deterministic_and_discriminating():
+    program = checksum(iterations=5).program
+    a = steering_processor(program, PARAMS).run(max_cycles=200_000)
+    b = steering_processor(program, PARAMS).run(max_cycles=200_000)
+    assert a.final_state_digest == b.final_state_digest
+    other = steering_processor(
+        checksum(iterations=7).program, PARAMS
+    ).run(max_cycles=200_000)
+    assert a.final_state_digest != other.final_state_digest
+
+
+def test_every_policy_reports_completed_on_a_halting_program():
+    program = checksum(iterations=5).program
+    for name, factory in policy_catalogue().items():
+        result = factory(program, PARAMS).run(max_cycles=200_000)
+        assert result.outcome == OUTCOME_COMPLETED, name

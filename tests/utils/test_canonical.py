@@ -1,0 +1,62 @@
+"""The canonical JSON encoder: one byte stream per value, ever."""
+
+import json
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.utils.canonical import canonical_dumps, canonical_normalise
+
+
+class TestCanonicalDumps:
+    def test_keys_sorted(self):
+        assert canonical_dumps({"b": 1, "a": 2}) == '{"a":2,"b":1}'
+
+    def test_insertion_order_irrelevant(self):
+        assert canonical_dumps({"x": 1, "y": 2}) == canonical_dumps(
+            {"y": 2, "x": 1}
+        )
+
+    def test_compact_separators(self):
+        assert canonical_dumps([1, 2, {"k": 3}]) == '[1,2,{"k":3}]'
+
+    def test_pretty_is_parse_equal(self):
+        value = {"nested": {"list": [1, 2.5, None, True]}}
+        assert json.loads(canonical_dumps(value, pretty=True)) == value
+
+    def test_non_string_keys_stringified(self):
+        assert canonical_dumps({1: "a", 2: "b"}) == '{"1":"a","2":"b"}'
+
+    def test_nan_rejected(self):
+        with pytest.raises(ConfigurationError):
+            canonical_dumps({"ipc": float("nan")})
+
+    def test_infinity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            canonical_dumps([math.inf])
+
+    def test_negative_zero_normalised(self):
+        assert canonical_dumps(-0.0) == canonical_dumps(0.0)
+
+    def test_unicode_escaped(self):
+        # ensure_ascii keeps the byte stream encoding-independent
+        assert canonical_dumps("µ") == '"\\u00b5"'
+
+    def test_float_shortest_repr_round_trips(self):
+        for value in (0.1, 1 / 3, 2**53 + 1.0, 1e-300):
+            assert json.loads(canonical_dumps(value)) == value
+
+
+class TestCanonicalNormalise:
+    def test_reports_offending_path(self):
+        with pytest.raises(ConfigurationError, match=r"\$\.a\[1\]"):
+            canonical_normalise({"a": [0.0, float("inf")]})
+
+    def test_rejects_non_json_type(self):
+        with pytest.raises(ConfigurationError):
+            canonical_normalise({"a": {1, 2}})
+
+    def test_nested_negative_zero(self):
+        out = canonical_normalise({"v": [-0.0]})
+        assert math.copysign(1.0, out["v"][0]) == 1.0

@@ -1,0 +1,109 @@
+"""Differential fuzzer: clean sweeps, seeded-bug detection, artifacts.
+
+``test_seeded_steering_bug_caught_and_shrunk`` is the subsystem's
+self-test (mutation test): a deliberately broken steering build — every
+second mispredict repair resumes one instruction past the true target —
+must be caught by the invariants within the first few iterations and
+minimized to a dozen instructions or fewer.
+"""
+
+import json
+
+from repro.core.baselines import steering_processor
+from repro.telemetry import MetricsRegistry
+from repro.verify.fuzz import run_fuzz
+from repro.verify.generator import GeneratorConfig
+
+#: cycle budget ample for generated programs but quick to exhaust when
+#: the seeded bug spins the pipeline forever.
+FAST_CYCLES = 20_000
+
+
+def _buggy_steering(program, params):
+    """Steering build with an off-by-one in mispredict recovery."""
+    proc = steering_processor(program, params)
+    bound = len(program.instructions)
+    state = {"repairs": 0}
+    true_redirect = proc.fetch.redirect
+
+    def skewed_redirect(pc):
+        state["repairs"] += 1
+        if state["repairs"] % 2 == 0 and pc + 1 < bound:
+            pc += 1
+        true_redirect(pc)
+
+    proc.fetch.redirect = skewed_redirect
+    return proc
+
+
+def test_clean_sweep_over_catalogue():
+    report = run_fuzz(seed=0, iterations=5, max_cycles=FAST_CYCLES)
+    assert report.ok
+    assert report.iterations_run == 5
+    # every catalogue policy ran on every program
+    assert report.simulations == 5 * 8
+    assert report.stopped == "iterations"
+
+
+def test_schedule_is_seed_deterministic():
+    a = run_fuzz(seed=3, iterations=3, max_cycles=FAST_CYCLES)
+    b = run_fuzz(seed=3, iterations=3, max_cycles=FAST_CYCLES)
+    assert a.ok and b.ok
+    assert a.simulations == b.simulations
+
+
+def test_seeded_steering_bug_caught_and_shrunk(tmp_path):
+    report = run_fuzz(
+        seed=0,
+        iterations=20,
+        max_cycles=FAST_CYCLES,
+        base_config=GeneratorConfig(flush_density=0.4),
+        extra_policies={"steering-mutant": _buggy_steering},
+        out_dir=tmp_path,
+    )
+    assert not report.ok
+    failure = report.failures[0]
+    assert any(v.policy == "steering-mutant" for v in failure.violations)
+    # the acceptance bar: minimized reproducer at or under 12 instructions
+    assert failure.minimized is not None
+    assert failure.minimized.instructions <= 12
+
+    # artifacts: source, minimized source, violation record, repro script
+    names = {p.rsplit("/", 1)[-1].split(".", 1)[1] for p in failure.artifacts}
+    assert names == {"s", "min.s", "json", "repro.py"}
+    record_path = [p for p in failure.artifacts if p.endswith(".json")][0]
+    record = json.loads(open(record_path).read())
+    assert record["implicated_policies"] == ["steering-mutant"]
+    assert record["minimized_instructions"] == failure.minimized.instructions
+
+
+def test_keep_going_collects_multiple_failures():
+    report = run_fuzz(
+        seed=0,
+        iterations=4,
+        max_cycles=FAST_CYCLES,
+        base_config=GeneratorConfig(flush_density=0.4),
+        extra_policies={"steering-mutant": _buggy_steering},
+        shrink=False,
+        keep_going=True,
+    )
+    assert len(report.failures) >= 2
+    assert report.iterations_run == 4
+
+
+def test_time_budget_stops_early():
+    report = run_fuzz(seed=0, iterations=10_000, time_budget=2.0,
+                      max_cycles=FAST_CYCLES)
+    assert report.stopped == "time-budget"
+    assert report.iterations_run < 10_000
+
+
+def test_telemetry_counters_populated():
+    registry = MetricsRegistry()
+    report = run_fuzz(
+        seed=1, iterations=3, max_cycles=FAST_CYCLES, registry=registry
+    )
+    assert report.ok
+    rendered = registry.render()
+    assert "repro_fuzz_programs_total 3" in rendered
+    assert "repro_fuzz_simulations_total 24" in rendered

@@ -1,0 +1,110 @@
+"""Golden-trace corpus: the committed records pin the whole catalogue.
+
+``test_committed_corpus_is_clean`` IS the tier-1 golden gate: it replays
+all 32 (policy x workload) cells and structurally compares every field
+of every result record against ``tests/goldens/``.  Any drift fails the
+suite — see docs/verification.md for the update discipline.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.verify.goldens import (
+    SPEC_NAME,
+    check_corpus,
+    diff_corpus,
+    golden_cells,
+    params_fingerprint,
+    read_spec,
+    update_corpus,
+)
+
+CORPUS = Path(__file__).resolve().parent.parent / "goldens"
+
+
+def test_committed_corpus_is_clean():
+    diffs = check_corpus(CORPUS)
+    assert diffs == [], "\n".join(str(d) for d in diffs)
+
+
+def test_spec_covers_every_cell():
+    spec = read_spec(CORPUS)
+    assert spec is not None
+    listed = {(c["workload"], c["policy"]) for c in spec["cells"]}
+    assert listed == set(golden_cells())
+    assert spec["params_fingerprint"] == params_fingerprint()
+
+
+def test_every_cell_file_committed_and_canonical():
+    spec = read_spec(CORPUS)
+    for cell in spec["cells"]:
+        path = CORPUS / cell["file"]
+        payload = json.loads(path.read_text())
+        assert payload["workload"] == cell["workload"]
+        assert payload["policy"] == cell["policy"]
+        assert payload["spec_version"] == spec["spec_version"]
+        result = payload["result"]
+        assert result["outcome"] == "completed", cell["file"]
+        assert result["halted"] is True, cell["file"]
+
+
+def test_missing_corpus_reported_as_single_diff(tmp_path):
+    diffs = diff_corpus(tmp_path / "nowhere")
+    assert len(diffs) == 1
+    assert diffs[0].cell == SPEC_NAME
+
+
+def test_update_refuses_same_version(tmp_path):
+    update_corpus(tmp_path, 1)
+    with pytest.raises(ConfigurationError, match="explicit bump"):
+        update_corpus(tmp_path, 1)
+
+
+def test_update_refuses_lower_version(tmp_path):
+    update_corpus(tmp_path, 3)
+    with pytest.raises(ConfigurationError, match="explicit bump"):
+        update_corpus(tmp_path, 2)
+
+
+def test_update_accepts_bump_and_removes_stale_cells(tmp_path):
+    written = update_corpus(tmp_path, 1)
+    assert written == len(golden_cells())
+    stale = tmp_path / "old-workload__old-policy.json"
+    stale.write_text("{}")
+    update_corpus(tmp_path, 2)
+    assert not stale.exists()
+    assert read_spec(tmp_path)["spec_version"] == 2
+
+
+def test_fresh_corpus_is_immediately_clean(tmp_path):
+    update_corpus(tmp_path, 1)
+    assert check_corpus(tmp_path) == []
+
+
+def test_tampered_cell_detected(tmp_path):
+    update_corpus(tmp_path, 1)
+    cell = sorted(tmp_path.glob("*__steering.json"))[0]
+    payload = json.loads(cell.read_text())
+    payload["result"]["cycles"] += 1
+    cell.write_text(json.dumps(payload))
+    diffs = check_corpus(tmp_path)
+    assert any(d.path.endswith(".cycles") for d in diffs)
+
+
+def test_tampered_spec_detected(tmp_path):
+    update_corpus(tmp_path, 1)
+    spec_path = tmp_path / SPEC_NAME
+    spec = json.loads(spec_path.read_text())
+    spec["params_fingerprint"] = "0" * 16
+    spec_path.write_text(json.dumps(spec))
+    diffs = check_corpus(tmp_path)
+    assert any("params_fingerprint" in d.path for d in diffs)
+
+
+def test_corrupt_spec_raises(tmp_path):
+    (tmp_path / SPEC_NAME).write_text("not json")
+    with pytest.raises(ConfigurationError, match="corrupt"):
+        read_spec(tmp_path)
