@@ -137,6 +137,10 @@ class AnalysisConfig:
     #: files whose persisted/compared JSON must go through the canonical
     #: encoder (``repro.utils.canonical``; DET005).
     canonical_json_scope: tuple[str, ...] = ()
+    #: the modules implementing the structured event log — the only files
+    #: in the serving/telemetry layers allowed to use print/logging
+    #: directly (OBS001).
+    event_log_modules: tuple[str, ...] = ()
     #: raw text the config was parsed from (cache fingerprinting).
     source_text: str = ""
 
@@ -239,6 +243,10 @@ def load_config(path: str | Path) -> AnalysisConfig:
         ),
         canonical_json_scope=_as_str_tuple(
             scopes.get("canonical_json", []), f"{path}: scopes.canonical_json"
+        ),
+        event_log_modules=_as_str_tuple(
+            scopes.get("event_log_modules", []),
+            f"{path}: scopes.event_log_modules",
         ),
         source_text=text,
     )

@@ -174,6 +174,7 @@ from repro.analysis.rules import (  # noqa: E402  (registration side effects)
     determinism,
     hotpath,
     layering,
+    observability,
 )
 
 __all__ += ["registry_fingerprint"]

@@ -1,0 +1,65 @@
+"""Observability rules (``OBS``): one funnel for operational output.
+
+The serving and telemetry layers emit structured, trace-correlated
+events through :mod:`repro.telemetry.events`; stray ``print()`` calls or
+direct :mod:`logging` usage in those layers bypass the event log's
+canonical-JSON lines, ring buffer and ``GET /api/logs`` endpoint — the
+exact ad-hoc output PR 9 removed.  ``OBS001`` pins that down: within
+``repro/serving`` and ``repro/telemetry``, only the modules declared in
+``[scopes] event_log_modules`` (the event log itself) may talk to
+``print``/``logging`` directly.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import FileContext, Rule, register
+
+#: layers whose operational output must flow through the event log.
+_SCOPED_PREFIXES = ("repro/serving", "repro/telemetry")
+
+
+def _in_scope(ctx: FileContext) -> bool:
+    if ctx.module_path in ctx.config.event_log_modules:
+        return False
+    return ctx.config.in_scope(ctx.module_path, _SCOPED_PREFIXES)
+
+
+@register
+class AdHocOutput(Rule):
+    id = "OBS001"
+    family = "observability"
+    summary = "print()/raw logging outside the event-log module"
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        if not _in_scope(ctx):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name) and func.id == "print":
+                yield ctx.finding(
+                    self.id,
+                    node,
+                    "print() in the serving/telemetry layers bypasses the "
+                    "structured event log; emit through an EventLog "
+                    "(repro.telemetry.events) or a caller-supplied log "
+                    "callback instead",
+                )
+            elif (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "logging"
+            ):
+                yield ctx.finding(
+                    self.id,
+                    node,
+                    f"logging.{func.attr}() outside the declared event-log "
+                    "module mixes an uncorrelated text stream into the "
+                    "canonical-JSON event pipeline; route through "
+                    "repro.telemetry.events.EventLog",
+                )

@@ -13,6 +13,14 @@ Commands
     Regenerate paper artifacts (tables/figures); default: all of them.
 ``trace <kernel-or-file.s> [--cycles N]``
     Run with event recording and print the fabric-occupancy timeline.
+``trace <run-id> [--store runs.sqlite] [-o trace.json]``
+    Assemble the merged end-to-end Perfetto trace of a served run:
+    queue-wait + claim/execute spans, the cycle-domain simulation
+    trace, and matching event-log records, all under one trace id.
+``explain <run-id> [--store runs.sqlite] [--json]``
+    Print the run's steering decision ledger: the demand/availability
+    inputs, candidate errors, chosen configuration and predicted vs.
+    realized IPC of every recorded steering decision.
 ``serve [--port N] [--store runs.sqlite] [--cache-dir .report-cache]``
     Serve the run store + dashboard over HTTP (see docs/serving.md).
 ``lint [--format json] [--update-baseline]``
@@ -32,6 +40,7 @@ from __future__ import annotations
 
 import argparse
 import pathlib
+import re
 import sys
 
 from repro.core.baselines import policy_catalogue
@@ -327,7 +336,13 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+#: a trace target of >=12 lowercase hex chars is a run id, not a kernel.
+_RUN_ID_RE = re.compile(r"[0-9a-f]{12,64}")
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
+    if _RUN_ID_RE.fullmatch(args.target):
+        return _trace_run(args)
     program = _load_program(args.target)
     proc = Processor(
         program,
@@ -337,6 +352,104 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     )
     proc.run(max_cycles=args.max_cycles)
     print(render_fabric_timeline(proc.events, stride=args.stride))
+    return 0
+
+
+def _trace_run(args: argparse.Namespace) -> int:
+    """``repro trace <run-id>``: the merged end-to-end Perfetto file."""
+    from repro.evaluation.batch import ResultCache
+    from repro.serving.store import RunStore
+    from repro.telemetry import events_path_for, merge_job_trace, read_events
+    from repro.utils.canonical import canonical_dumps
+
+    run_id = args.target
+    store = RunStore(args.store)
+    try:
+        run = store.get_run(run_id)
+        if run is None:
+            print(f"no such run in {args.store}: {run_id}", file=sys.stderr)
+            return 2
+        job = store.job_for_run(run_id)
+    finally:
+        store.close()
+
+    # the trace id lives on the job row; direct (non-served) runs fall
+    # back to the run id so the merge is still self-consistent
+    trace_id = (job or {}).get("trace_id") or run_id[:16]
+    cache = ResultCache(args.cache_dir)
+    payload = cache.get(run["config_hash"])
+    sim_trace = payload.get("trace") if isinstance(payload, dict) else None
+    events = []
+    events_path = events_path_for(args.store)
+    if events_path is not None:
+        events = read_events(events_path, trace=trace_id, limit=1000)
+    merged = merge_job_trace(
+        trace_id, job=job, sim_trace=sim_trace, events=events, run_id=run_id
+    )
+    out = args.output or f"trace-{run_id[:12]}.json"
+    pathlib.Path(out).write_text(canonical_dumps(merged, pretty=True) + "\n")
+    print(
+        f"merged trace: {len(merged['traceEvents'])} events under trace id "
+        f"{trace_id} -> {out} (load in ui.perfetto.dev)"
+    )
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from repro.evaluation.batch import ResultCache
+    from repro.serving.store import RunStore
+
+    store = RunStore(args.store)
+    try:
+        run = store.get_run(args.run_id)
+    finally:
+        store.close()
+    if run is None:
+        print(f"no such run in {args.store}: {args.run_id}", file=sys.stderr)
+        return 2
+    cache = ResultCache(args.cache_dir)
+    payload = cache.get(run["config_hash"])
+    ledger = payload.get("decisions") if isinstance(payload, dict) else None
+    if ledger is None:
+        print(
+            f"run {args.run_id} has no decision ledger (only "
+            "steering-telemetry runs carry one)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.json:
+        from repro.utils.canonical import canonical_dumps
+
+        print(canonical_dumps(ledger, pretty=True))
+        return 0
+    decisions = ledger.get("decisions", [])
+    if args.limit is not None:
+        decisions = decisions[-args.limit:]
+
+    def fmt(value, spec):
+        return "" if value is None else format(value, spec)
+
+    rows = [
+        (
+            d.get("cycle"),
+            d.get("selection"),
+            d.get("config") or "?",
+            d.get("error"),
+            fmt(d.get("predicted_ipc"), ".2f"),
+            fmt(d.get("realized_ipc"), ".2f"),
+            fmt(d.get("prediction_error"), "+.2f"),
+        )
+        for d in decisions
+    ]
+    print(render_table(
+        ["cycle", "sel", "config", "err", "pred IPC", "real IPC", "delta"],
+        rows,
+    ))
+    print(
+        f"{ledger.get('seen', len(decisions))} decisions seen, "
+        f"{ledger.get('dropped', 0)} thinned "
+        f"(capacity {ledger.get('capacity')}, window {ledger.get('window')})"
+    )
     return 0
 
 
@@ -501,10 +614,35 @@ def _build_parser() -> argparse.ArgumentParser:
                            "iteration")
     fuzz.set_defaults(func=_cmd_fuzz)
 
-    trace = sub.add_parser("trace", help="print the fabric timeline")
+    trace = sub.add_parser(
+        "trace",
+        help="print the fabric timeline of a kernel, or assemble the "
+             "merged Perfetto trace of a served run id",
+    )
     add_sim_args(trace)
     trace.add_argument("--stride", type=int, default=2)
+    trace.add_argument("--store", default="runs.sqlite",
+                       help="run store to resolve a run-id target against")
+    trace.add_argument("--cache-dir", default=".report-cache",
+                       help="result blob directory holding the run's "
+                            "cycle-domain trace")
+    trace.add_argument("--output", "-o", default=None,
+                       help="merged trace output file "
+                            "(default: trace-<run-id>.json)")
     trace.set_defaults(func=_cmd_trace)
+
+    explain = sub.add_parser(
+        "explain",
+        help="print a served run's steering decision ledger",
+    )
+    explain.add_argument("run_id", help="run id from the store/dashboard")
+    explain.add_argument("--store", default="runs.sqlite")
+    explain.add_argument("--cache-dir", default=".report-cache")
+    explain.add_argument("--json", action="store_true",
+                         help="emit the raw ledger payload as JSON")
+    explain.add_argument("--limit", type=int, default=None,
+                         help="show only the newest N decisions")
+    explain.set_defaults(func=_cmd_explain)
 
     return parser
 

@@ -113,15 +113,27 @@ def _make_steering_telemetry(program, params, max_cycles, **kw):
 
     Returns a picklable dict: ``metrics_of``/the run store read the
     ``result`` key unchanged, the serving layer exposes ``timeseries``
-    (``GET /api/runs/<id>/timeseries``) and ``trace`` (Perfetto JSON).
+    (``GET /api/runs/<id>/timeseries``), ``trace`` (Perfetto JSON) and
+    ``decisions`` (the steering decision ledger behind
+    ``GET /api/runs/<id>/decisions`` / ``repro explain``; disable with
+    ``decision_ledger=false`` in the job kwargs).
     """
-    from repro.telemetry import ProcessorTelemetry, SpanTracer
+    from repro.telemetry import DecisionLedger, ProcessorTelemetry, SpanTracer
 
     tracer = SpanTracer(max_events=kw.get("max_span_events", 8192))
+    ledger = (
+        DecisionLedger(
+            capacity=kw.get("ledger_capacity", 256),
+            window=kw.get("ledger_window", 64),
+        )
+        if kw.get("decision_ledger", True)
+        else None
+    )
     tel = ProcessorTelemetry(
         series_capacity=kw.get("series_capacity", 2048),
         sample_interval=kw.get("sample_interval", 32),
         tracer=tracer,
+        ledger=ledger,
     )
     proc = steering_processor(
         program,
@@ -130,11 +142,14 @@ def _make_steering_telemetry(program, params, max_cycles, **kw):
         telemetry=tel,
     )
     result = proc.run(max_cycles=max_cycles)
-    return {
+    out = {
         "result": result,
         "timeseries": tel.snapshot(),
         "trace": tracer.to_chrome_trace(),
     }
+    if ledger is not None:
+        out["decisions"] = ledger.to_dict()
+    return out
 
 
 def _make_steering_basis(program, params, max_cycles, **kw):

@@ -18,9 +18,17 @@ Endpoints::
     GET  /api/runs/<id>/timeseries   per-cycle telemetry series of the run
     GET  /api/experiments    distinct experiments with counts
     GET  /api/diff?a=&b=     metric-by-metric diff of two runs
+    GET  /api/runs/<id>/decisions    steering decision ledger of the run
+    GET  /api/logs           structured event log (?trace=&event=&limit=)
     GET  /api/jobs           submitted-job records
     GET  /api/jobs/<id>      one submitted job
     POST /api/jobs           submit a simulation job spec (202 / 200 cached)
+
+Job submissions mint a trace-context id (honouring an
+``X-Repro-Trace-Id`` request header) that rides on the job row through
+claim and simulation, stamps every event-log record the job touches,
+and lets ``repro trace <run-id>`` assemble one merged Perfetto file per
+request — see :mod:`repro.telemetry.tracing2`.
 
 Every request is counted and timed into a
 :class:`~repro.telemetry.MetricsRegistry` (labels are the route
@@ -48,13 +56,22 @@ from repro.evaluation.report import render_kv
 from repro.serving.dashboard import DASHBOARD_HTML
 from repro.serving.jobs import JobQueueFull, StoreJobQueue
 from repro.serving.store import RunStore
-from repro.telemetry import MetricsRegistry, render_merged
+from repro.telemetry import (
+    EventLog,
+    MetricsRegistry,
+    TRACE_HEADER,
+    events_path_for,
+    mint_trace_id,
+    read_events,
+    render_merged,
+)
 
 __all__ = ["ServingApp", "make_server", "serve"]
 
 _RUN_PATH = re.compile(r"/api/runs/([0-9a-f]{8,64})")
 _ARTIFACT_PATH = re.compile(r"/api/runs/([0-9a-f]{8,64})/artifact")
 _TIMESERIES_PATH = re.compile(r"/api/runs/([0-9a-f]{8,64})/timeseries")
+_DECISIONS_PATH = re.compile(r"/api/runs/([0-9a-f]{8,64})/decisions")
 _JOB_PATH = re.compile(r"/api/jobs/([\w-]+)")
 
 #: last-run metrics surfaced as gauges on /metrics.
@@ -93,6 +110,7 @@ class ServingApp:
         registry: MetricsRegistry | None = None,
         access_log=None,
         worker_name: str | None = None,
+        events: EventLog | None = None,
     ) -> None:
         self.store = store
         self.cache = cache
@@ -100,6 +118,9 @@ class ServingApp:
         self.registry = MetricsRegistry() if registry is None else registry
         #: optional callable receiving one dict per handled request.
         self.access_log = access_log
+        #: optional structured event log; backs ``GET /api/logs`` and
+        #: receives a ``job_submitted`` record per accepted submission.
+        self.events = events
         #: set under the pre-fork supervisor: this worker's identity.
         #: When set, /metrics publishes a snapshot into the store and
         #: answers with the merged view across all live workers.
@@ -157,7 +178,7 @@ class ServingApp:
     _KNOWN_ROUTES = frozenset(
         {
             "/", "/metrics", "/api/health", "/api/runs", "/api/experiments",
-            "/api/diff", "/api/jobs",
+            "/api/diff", "/api/jobs", "/api/logs",
         }
     )
 
@@ -170,6 +191,8 @@ class ServingApp:
             return path
         if _TIMESERIES_PATH.fullmatch(path):
             return "/api/runs/{id}/timeseries"
+        if _DECISIONS_PATH.fullmatch(path):
+            return "/api/runs/{id}/decisions"
         if _ARTIFACT_PATH.fullmatch(path):
             return "/api/runs/{id}/artifact"
         if _RUN_PATH.fullmatch(path):
@@ -202,12 +225,17 @@ class ServingApp:
             match = _TIMESERIES_PATH.fullmatch(path)
             if match:
                 return self._timeseries(match.group(1), headers)
+            match = _DECISIONS_PATH.fullmatch(path)
+            if match:
+                return self._decisions(match.group(1), headers)
             match = _ARTIFACT_PATH.fullmatch(path)
             if match:
                 return self._artifact(match.group(1), headers)
             match = _RUN_PATH.fullmatch(path)
             if match:
                 return self._run(match.group(1), query, headers)
+            if path == "/api/logs":
+                return self._logs(query)
             if path == "/api/jobs":
                 return self._jobs_list()
             match = _JOB_PATH.fullmatch(path)
@@ -215,7 +243,7 @@ class ServingApp:
                 return self._job(match.group(1))
         elif method == "POST":
             if path == "/api/jobs":
-                return self._submit(body)
+                return self._submit(headers, body)
             return self._error(405, f"POST not supported on {path}")
         else:
             return self._error(405, f"method {method} not supported")
@@ -424,6 +452,60 @@ class ServingApp:
             cache_control=_CC_IMMUTABLE,
         )
 
+    def _decisions(self, run_id, headers):
+        """Steering decision ledger of a stored run (``repro explain``).
+
+        Served from the run's result-cache blob: only runs produced with
+        a decision ledger attached (``steering-telemetry`` factory with
+        ``decision_ledger`` on, the default) carry a ``decisions``
+        payload.  Content-addressed, hence immutable.
+        """
+        run = self.store.get_run(run_id)
+        if run is None:
+            return self._error(404, f"no such run: {run_id}")
+        key = run["config_hash"]
+        etag = f'"{key[:24]}.dec"'
+        if self._etag_matches(headers, etag):
+            return self._not_modified(etag, _CC_IMMUTABLE)
+        result = self.cache.get(key) if self.cache is not None else None
+        payload = result.get("decisions") if isinstance(result, dict) else None
+        if payload is None:
+            return self._error(
+                404,
+                f"run {run_id} has no decision ledger "
+                "(only ledger-enabled runs carry one)",
+            )
+        return self._json(
+            200,
+            {"run_id": run_id, "key": key, "decisions": _jsonable(payload)},
+            etag=etag,
+            cache_control=_CC_IMMUTABLE,
+        )
+
+    def _logs(self, query):
+        """Tail of the structured event log, filterable by trace/event."""
+        try:
+            limit = int(query.get("limit", 100))
+        except ValueError:
+            return self._error(400, "limit must be an integer")
+        limit = max(1, min(limit, 1000))
+        trace = query.get("trace") or None
+        event = query.get("event") or None
+        if self.events is None:
+            entries: list[dict] = []
+        elif self.events.path is not None:
+            # the file sink sees every process's records, not just ours
+            entries = read_events(
+                self.events.path, trace=trace, event=event, limit=limit
+            )
+        else:
+            entries = self.events.tail(limit, trace=trace, event=event)
+        return self._json(
+            200,
+            {"events": entries, "count": len(entries)},
+            cache_control=_CC_NONE,
+        )
+
     def _diff(self, query, headers):
         a, b = query.get("a"), query.get("b")
         if not a or not b:
@@ -454,7 +536,7 @@ class ServingApp:
             return self._error(404, f"no such job: {job_id}")
         return self._json(200, record.to_dict(), cache_control=_CC_NONE)
 
-    def _submit(self, body):
+    def _submit(self, headers, body):
         if self.jobs is None:
             # Same backpressure contract as a full queue: clients retry
             # (this worker may be restarting), and the rejection is counted.
@@ -471,14 +553,21 @@ class ServingApp:
             spec = json.loads(body or b"")
         except json.JSONDecodeError as exc:
             return self._error(400, f"body is not valid JSON: {exc}")
+        # trace context is born here: honour the client's id or mint one
+        trace_id = mint_trace_id(headers.get(TRACE_HEADER.lower()))
         try:
-            record = self.jobs.submit(spec)
+            record = self.jobs.submit(spec, trace_id=trace_id)
         except JobQueueFull as exc:
             self._rejected.labels("queue_full").inc()
             return self._json(
                 503,
                 {"error": str(exc), "status": 503},
                 extra={"Retry-After": "1"},
+            )
+        if self.events is not None:
+            self.events.emit(
+                "job_submitted", trace=trace_id, job_id=record.job_id,
+                state=record.state, cached=record.cached,
             )
         # cached submissions are already complete; fresh ones are accepted
         status = 200 if record.cached else 202
@@ -569,8 +658,9 @@ def serve(
     long-running server keeps ``.report-cache`` bounded; run-store
     retention (``retention_max_runs`` / ``retention_max_age_days``)
     trims old runs and settled jobs the same way.  ``/metrics`` is
-    always exposed; ``verbose`` additionally logs one structured
-    record per request through ``log``.
+    always exposed.  Every request lands in the structured event log
+    (``<store>.events.jsonl`` + ``GET /api/logs``); ``verbose``
+    additionally echoes each event-log line to stderr.
     """
     def note(msg: str) -> None:
         if log is not None:
@@ -594,17 +684,21 @@ def serve(
             f"({pruned['bytes_freed']} bytes), kept {pruned['kept']}"
         )
     registry = MetricsRegistry()
+    events = EventLog(
+        "serve", path=events_path_for(store_path), echo=verbose
+    )
     jobs = StoreJobQueue(
         store, cache=cache, sim_workers=sim_workers,
-        capacity=queue_capacity, registry=registry,
+        capacity=queue_capacity, registry=registry, events=events,
     )
     jobs.start()
-    access_log = None
-    if verbose:
-        def access_log(record: dict) -> None:
-            note("request " + json.dumps(record, sort_keys=True))
+
+    def access_log(record: dict) -> None:
+        events.emit("http_request", **record)
+
     app = ServingApp(
-        store, cache=cache, jobs=jobs, registry=registry, access_log=access_log
+        store, cache=cache, jobs=jobs, registry=registry,
+        access_log=access_log, events=events,
     )
     server = make_server(app, host, port)
     note(f"serving on http://{host}:{server.server_address[1]}/")
@@ -616,4 +710,5 @@ def serve(
         server.server_close()
         jobs.stop()
         store.close()
+        events.close()
     return 0

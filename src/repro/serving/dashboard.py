@@ -6,8 +6,11 @@ trend (inline SVG line chart with a crosshair tooltip), a
 metric-by-metric diff of two selected runs (diverging delta bars), and a
 per-run telemetry panel plotting the downsampled per-cycle series
 (windowed IPC, slot occupancy, CEM error) from
-``/api/runs/<id>/timeseries`` with the same SVG/crosshair machinery.
-All API-sourced strings enter the DOM via ``textContent``.
+``/api/runs/<id>/timeseries`` with the same SVG/crosshair machinery,
+plus a per-run decisions panel tabulating the steering decision ledger
+from ``/api/runs/<id>/decisions`` (inputs, chosen configuration, and
+predicted vs. realized IPC).  All API-sourced strings enter the DOM via
+``textContent``.
 """
 
 from __future__ import annotations
@@ -167,6 +170,11 @@ button.series-btn:hover { border-color: var(--series-1); }
   <div id="series-body"><p class="hint">Press “series” on a run to plot its per-cycle probes (telemetry-enabled runs only).</p></div>
 </div>
 
+<div class="card" id="decisions-card">
+  <h2 id="decisions-title">Steering decisions</h2>
+  <div id="decisions-body"><p class="hint">Press “decisions” on a run to list its steering decision ledger (ledger-enabled runs only).</p></div>
+</div>
+
 <script>
 "use strict";
 const $ = (id) => document.getElementById(id);
@@ -261,7 +269,9 @@ function renderTable() {
     const seriesCell = el("td");
     const seriesBtn = el("button", "series-btn", "series");
     seriesBtn.addEventListener("click", () => loadSeries(run));
-    seriesCell.append(seriesBtn);
+    const decisionsBtn = el("button", "series-btn", "decisions");
+    decisionsBtn.addEventListener("click", () => loadDecisions(run));
+    seriesCell.append(seriesBtn, document.createTextNode(" "), decisionsBtn);
     tr.append(seriesCell);
     tbody.append(tr);
   }
@@ -380,6 +390,59 @@ function renderSeriesChart(container, title, xs, vs, color) {
     hover.setAttribute("visibility", "hidden");
   });
   svg.append(hit);
+}
+
+/* ------------------------------------------------ steering decision panel */
+async function loadDecisions(run) {
+  const body = $("decisions-body");
+  $("decisions-title").textContent = "Steering decisions — " + run.run_id;
+  body.replaceChildren(el("p", "hint", "loading…"));
+  try {
+    const data = await fetchJSON("/api/runs/" + run.run_id + "/decisions");
+    const ledger = data.decisions || {};
+    const decisions = ledger.decisions || [];
+    body.replaceChildren();
+    if (decisions.length === 0) {
+      body.append(el("p", "hint", "Ledger attached but no steering decisions were recorded."));
+      return;
+    }
+    const table = document.createElement("table");
+    const thead = document.createElement("thead");
+    const hrow = document.createElement("tr");
+    for (const h of ["cycle", "sel", "config", "err", "demand", "idle", "pred IPC", "real IPC", "Δ"]) {
+      hrow.append(el("th", ["cycle", "sel", "err", "pred IPC", "real IPC", "Δ"].includes(h) ? "num" : null, h));
+    }
+    thead.append(hrow);
+    table.append(thead);
+    const tbody = document.createElement("tbody");
+    const counts = (obj) => Object.entries(obj || {})
+      .filter(([, n]) => n > 0).map(([t, n]) => t + ":" + n).join(" ") || "–";
+    for (const d of decisions) {
+      const tr = document.createElement("tr");
+      tr.append(el("td", "num", fmt(d.cycle)));
+      tr.append(el("td", "num", fmt(d.selection)));
+      tr.append(el("td", "mono", d.config || "?"));
+      tr.append(el("td", "num", fmt(d.error)));
+      tr.append(el("td", "mono", counts(d.demand)));
+      tr.append(el("td", "mono", counts(d.idle)));
+      tr.append(el("td", "num", d.predicted_ipc == null ? "–" : d.predicted_ipc.toFixed(2)));
+      tr.append(el("td", "num", d.realized_ipc == null ? "–" : d.realized_ipc.toFixed(2)));
+      const pe = d.prediction_error;
+      tr.append(el("td", "num " + (pe >= 0 ? "delta-pos" : "delta-neg"),
+        pe == null ? "–" : (pe >= 0 ? "+" : "") + pe.toFixed(2)));
+      tbody.append(tr);
+    }
+    table.append(tbody);
+    body.append(table);
+    body.append(el("p", "hint",
+      fmt(ledger.seen) + " decisions seen, " + fmt(ledger.dropped) +
+      " thinned; realized IPC measured over the next " + fmt(ledger.window) +
+      "-cycle window (or until the next decision)."));
+  } catch (err) {
+    body.replaceChildren(el("p", "hint",
+      "No decision ledger for this run — only ledger-enabled runs " +
+      "(e.g. the steering-telemetry factory) record one."));
+  }
 }
 
 function togglePick(runId, box) {

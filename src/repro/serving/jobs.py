@@ -188,6 +188,8 @@ class JobRecord:
     error: str | None = None
     #: run-store id once the result is registered.
     run_id: str | None = None
+    #: trace-context id minted at HTTP ingress ("" when not traced).
+    trace_id: str = ""
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -200,6 +202,7 @@ class JobRecord:
             "finished": self.finished,
             "error": self.error,
             "run_id": self.run_id,
+            "trace_id": self.trace_id,
             "spec": self.spec,
         }
 
@@ -267,13 +270,15 @@ class JobQueue:
             self._thread.join(timeout)
 
     # ---------------------------------------------------------- submission
-    def submit(self, spec: dict) -> JobRecord:
+    def submit(self, spec: dict, trace_id: str = "") -> JobRecord:
         """Validate, answer from cache, or enqueue; never blocks."""
         job = build_job(spec)
         key = job_key(job)
         with self._lock:
             job_id = f"job-{len(self._records) + 1:04d}"
-            record = JobRecord(job_id=job_id, key=key, spec=spec)
+            record = JobRecord(
+                job_id=job_id, key=key, spec=spec, trace_id=trace_id
+            )
             self._records[job_id] = record
 
         cached = self.cache.get(key)
@@ -383,6 +388,7 @@ class StoreJobQueue:
         registry: Any | None = None,
         owner: str | None = None,
         poll_interval: float = 0.05,
+        events: Any | None = None,
     ) -> None:
         self.store = store
         self.cache = cache if cache is not None else ResultCache()
@@ -390,6 +396,9 @@ class StoreJobQueue:
         self.capacity = capacity
         self.owner = owner or f"worker-{secrets.token_hex(3)}"
         self.poll_interval = poll_interval
+        #: optional :class:`~repro.telemetry.events.EventLog`; job
+        #: lifecycle transitions are emitted with the job's trace id.
+        self.events = events
         self._thread: threading.Thread | None = None
         self._stop = threading.Event()
         #: simulations actually dispatched by THIS worker (cache answers
@@ -419,7 +428,7 @@ class StoreJobQueue:
         # random, not sequential: ids must not collide across API workers
         return f"job-{secrets.token_hex(6)}"
 
-    def submit(self, spec: dict) -> JobRecord:
+    def submit(self, spec: dict, trace_id: str = "") -> JobRecord:
         """Validate, answer from cache, or enqueue durably; never blocks."""
         job = build_job(spec)
         key = job_key(job)
@@ -437,15 +446,17 @@ class StoreJobQueue:
             self.store.enqueue_job(
                 job_id, key, spec, state="done", cached=True,
                 run_id=run_id, submitted=now, finished=now,
+                trace_id=trace_id,
             )
             self._submissions.labels("cached").inc()
             return JobRecord(
                 job_id=job_id, key=key, spec=spec, state="done",
                 cached=True, submitted=now, finished=now, run_id=run_id,
+                trace_id=trace_id,
             )
 
         accepted = self.store.enqueue_job(
-            job_id, key, spec, capacity=self.capacity
+            job_id, key, spec, capacity=self.capacity, trace_id=trace_id
         )
         if not accepted:
             self._submissions.labels("rejected").inc()
@@ -468,7 +479,13 @@ class StoreJobQueue:
         if claimed is None:
             return False
         job_id = claimed["job_id"]
+        trace = claimed.get("trace_id") or None
         self._queue_wait.observe(claimed["started"] - claimed["submitted"])
+        if self.events is not None:
+            self.events.emit(
+                "job_claimed", trace=trace, job_id=job_id, owner=self.owner,
+                queue_wait_s=round(claimed["started"] - claimed["submitted"], 6),
+            )
         start = time.time()
         try:
             job = build_job(claimed["spec"])
@@ -484,10 +501,21 @@ class StoreJobQueue:
                     experiment=f"job/{job.factory}",
                 )
             self.store.finish_job(job_id, "done", run_id=run_id)
+            if self.events is not None:
+                self.events.emit(
+                    "job_done", trace=trace, job_id=job_id,
+                    owner=self.owner, run_id=run_id,
+                    run_seconds=round(time.time() - start, 6),
+                )
         except Exception as exc:  # surface, don't kill the drain loop
             self.store.finish_job(
                 job_id, "failed", error=f"{type(exc).__name__}: {exc}"
             )
+            if self.events is not None:
+                self.events.emit(
+                    "job_failed", trace=trace, job_id=job_id,
+                    owner=self.owner, error=f"{type(exc).__name__}: {exc}",
+                )
         self._run_seconds.observe(time.time() - start)
         return True
 
@@ -534,6 +562,7 @@ class StoreJobQueue:
             finished=row["finished"],
             error=row["error"],
             run_id=row["run_id"],
+            trace_id=row.get("trace_id", ""),
         )
 
     def get(self, job_id: str) -> JobRecord | None:

@@ -69,7 +69,13 @@ __all__ = [
 OUTCOME_CODES = {"completed": 0, "cutoff": 1, "deadlock": 2}
 
 #: current on-disk schema version (``PRAGMA user_version``).
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
+
+#: seconds a worker-metrics snapshot stays credible without a heartbeat.
+#: Workers republish every ~2s (``supervisor.HEARTBEAT_SECONDS``), so a
+#: snapshot older than this belongs to a dead worker and must not be
+#: merged into ``/metrics`` (the ghost-worker bug fixed in PR 9).
+WORKER_METRICS_MAX_AGE = 15.0
 
 #: milliseconds a connection waits on a cross-process write lock before
 #: surfacing ``database is locked`` (WAL keeps these waits rare + short).
@@ -116,6 +122,13 @@ _V3_DDL = (
         payload TEXT NOT NULL
     )
     """,
+)
+
+#: version-4 addition: the trace-context correlation id minted at HTTP
+#: ingress rides on the job row so any process (and ``repro trace``)
+#: can tie queue-wait, claim and simulation back to one request.
+_V4_DDL = (
+    "ALTER TABLE jobs ADD COLUMN trace_id TEXT NOT NULL DEFAULT ''",
 )
 
 _git_rev_cache: str | None = None
@@ -286,7 +299,7 @@ class RunStore:
                 f"this build understands up to {SCHEMA_VERSION}"
             )
         if version == 0:
-            for ddl in _RUNS_DDL + _V3_DDL:
+            for ddl in _RUNS_DDL + _V3_DDL + _V4_DDL:
                 conn.execute(ddl)
         else:
             if version == 1:
@@ -307,6 +320,11 @@ class RunStore:
                 # v2 -> v3: the cross-process job queue and per-worker
                 # metrics snapshots; the runs table is untouched.
                 for ddl in _V3_DDL:
+                    conn.execute(ddl)
+            if version <= 3:
+                # v3 -> v4: trace-context id on the jobs queue; existing
+                # rows keep their data with an empty trace id.
+                for ddl in _V4_DDL:
                     conn.execute(ddl)
         conn.execute(f"PRAGMA user_version = {SCHEMA_VERSION}")
 
@@ -520,6 +538,7 @@ class RunStore:
         run_id: str | None = None,
         submitted: float | None = None,
         finished: float | None = None,
+        trace_id: str = "",
     ) -> bool:
         """Insert one submitted-job row; ``False`` when the queue is full.
 
@@ -538,8 +557,9 @@ class RunStore:
                     return False
             conn.execute(
                 "INSERT INTO jobs "
-                "(job_id, key, spec, state, cached, submitted, finished, run_id) "
-                "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                "(job_id, key, spec, state, cached, submitted, finished, "
+                "run_id, trace_id) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
                 (
                     job_id,
                     key,
@@ -549,6 +569,7 @@ class RunStore:
                     submitted,
                     finished,
                     run_id,
+                    trace_id,
                 ),
             )
         return True
@@ -619,21 +640,50 @@ class RunStore:
                 "SELECT COUNT(*) FROM jobs WHERE state = 'queued'"
             ).fetchone()[0]
 
+    def job_for_run(self, run_id: str) -> dict[str, Any] | None:
+        """The newest job row that produced ``run_id`` (trace assembly)."""
+        with self._read() as conn:
+            row = conn.execute(
+                "SELECT * FROM jobs WHERE run_id = ? "
+                "ORDER BY submitted DESC, job_id LIMIT 1",
+                (run_id,),
+            ).fetchone()
+        return self._job_row(row) if row is not None else None
+
     # ------------------------------------------------- worker metric sync
-    def publish_worker_metrics(self, worker: str, payload: dict[str, Any]) -> None:
-        """Upsert one worker's metrics snapshot (JSON document)."""
+    def publish_worker_metrics(
+        self,
+        worker: str,
+        payload: dict[str, Any],
+        now: float | None = None,
+    ) -> None:
+        """Upsert one worker's metrics snapshot (JSON document).
+
+        ``now`` overrides the heartbeat timestamp (tests only).
+        """
         with self._write() as conn:
             conn.execute(
                 "INSERT INTO worker_metrics (worker, updated, payload) "
                 "VALUES (?, ?, ?) "
                 "ON CONFLICT(worker) DO UPDATE SET "
                 "updated = excluded.updated, payload = excluded.payload",
-                (worker, time.time(), canonical_dumps(payload)),
+                (worker, time.time() if now is None else now,
+                 canonical_dumps(payload)),
             )
 
-    def worker_metrics(self, max_age: float = 60.0) -> dict[str, dict[str, Any]]:
-        """Fresh snapshots by worker name (stale rows are dead workers)."""
-        cutoff = time.time() - max_age
+    def worker_metrics(
+        self,
+        max_age: float = WORKER_METRICS_MAX_AGE,
+        now: float | None = None,
+    ) -> dict[str, dict[str, Any]]:
+        """Fresh snapshots by worker name (stale rows are dead workers).
+
+        Workers heartbeat their snapshot every couple of seconds even
+        when idle, so anything older than ``max_age`` is a ghost — a
+        crashed or killed worker whose row was never cleared — and is
+        excluded from the merged ``/metrics`` view.
+        """
+        cutoff = (time.time() if now is None else now) - max_age
         with self._read() as conn:
             rows = conn.execute(
                 "SELECT worker, payload FROM worker_metrics "

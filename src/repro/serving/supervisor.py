@@ -52,12 +52,17 @@ from repro.evaluation.batch import ResultCache
 from repro.serving.app import ServingApp, make_server
 from repro.serving.jobs import StoreJobQueue
 from repro.serving.store import RunStore
-from repro.telemetry import MetricsRegistry
+from repro.telemetry import EventLog, MetricsRegistry, events_path_for
 
 __all__ = ["Supervisor", "serve_forked"]
 
 #: a worker alive this long is "healthy" — its crash backoff resets.
 HEALTHY_SECONDS = 5.0
+
+#: every worker republishes its metrics snapshot at least this often,
+#: even when idle, so ``RunStore.worker_metrics`` can age out snapshots
+#: whose worker died (the /metrics ghost-entry fix).
+HEARTBEAT_SECONDS = 2.0
 
 
 def _reuseport_available() -> bool:
@@ -99,25 +104,20 @@ def _api_worker_main(
     store = RunStore(store_path)
     cache = ResultCache(cache_dir) if cache_dir is not None else ResultCache()
     registry = MetricsRegistry()
+    events = EventLog(name, path=events_path_for(store_path), echo=verbose)
     jobs = StoreJobQueue(
         store, cache=cache, capacity=queue_capacity,
-        registry=registry, owner=name,
+        registry=registry, owner=name, events=events,
     )
     if local_drain:  # no sim pool: this worker also executes what it accepts
         jobs.start()
-    access_log = None
-    if verbose:
-        import json as _json
-        import sys as _sys
 
-        def access_log(record: dict) -> None:
-            print(
-                f"[{name}] request " + _json.dumps(record, sort_keys=True),
-                file=_sys.stderr,
-            )
+    def access_log(record: dict) -> None:
+        events.emit("http_request", worker=name, **record)
+
     app = ServingApp(
         store, cache=cache, jobs=jobs, registry=registry,
-        access_log=access_log, worker_name=name,
+        access_log=access_log, worker_name=name, events=events,
     )
     if reuseport:
         sock = _bound_socket(host, port, reuseport=True, listen=True)
@@ -131,15 +131,31 @@ def _api_worker_main(
         threading.Thread(target=server.shutdown, daemon=True).start()
 
     signal.signal(signal.SIGTERM, _graceful)
-    # publish an initial snapshot so /metrics sees this worker immediately
+    # publish an initial snapshot so /metrics sees this worker immediately,
+    # then heartbeat it: a snapshot that stops refreshing marks this worker
+    # dead and the store's freshness cutoff drops it from /metrics.
     store.publish_worker_metrics(name, registry.snapshot())
+    # repro: allow[CON003] -- one Event per forked worker-process lifetime
+    hb_stop = threading.Event()
+
+    def _heartbeat() -> None:
+        while not hb_stop.wait(HEARTBEAT_SECONDS):
+            store.publish_worker_metrics(name, registry.snapshot())
+
+    hb = threading.Thread(target=_heartbeat, daemon=True, name=f"{name}-hb")
+    hb.start()
+    events.emit("worker_started", worker=name, kind="api")
     try:
         server.serve_forever(poll_interval=0.1)
     finally:
+        hb_stop.set()
+        hb.join(1.0)
         if reuseport:
             server.server_close()
         jobs.stop()
         store.clear_worker_metrics(name)
+        events.emit("worker_stopped", worker=name, kind="api")
+        events.close()
         store.close()
 
 
@@ -154,9 +170,10 @@ def _sim_worker_main(
     store = RunStore(store_path)
     cache = ResultCache(cache_dir) if cache_dir is not None else ResultCache()
     registry = MetricsRegistry()
+    events = EventLog(name, path=events_path_for(store_path))
     jobs = StoreJobQueue(
         store, cache=cache, capacity=queue_capacity,
-        registry=registry, owner=name,
+        registry=registry, owner=name, events=events,
     )
 
     def _graceful(signum, frame):
@@ -164,16 +181,26 @@ def _sim_worker_main(
 
     signal.signal(signal.SIGTERM, _graceful)
     store.publish_worker_metrics(name, registry.snapshot())
+    events.emit("worker_started", worker=name, kind="sim")
+    last_pub = time.monotonic()
     try:
         while not jobs.stopped():
             if jobs.claim_and_run_one():
                 # republish after each executed job so scrapes through any
                 # API worker reflect this worker's queue-wait/run histograms
                 store.publish_worker_metrics(name, registry.snapshot())
+                last_pub = time.monotonic()
             else:
+                # idle heartbeat: keep the snapshot fresh so the store's
+                # age cutoff doesn't mistake an idle worker for a dead one
+                if time.monotonic() - last_pub >= HEARTBEAT_SECONDS:
+                    store.publish_worker_metrics(name, registry.snapshot())
+                    last_pub = time.monotonic()
                 time.sleep(jobs.poll_interval)
     finally:
         store.clear_worker_metrics(name)
+        events.emit("worker_stopped", worker=name, kind="sim")
+        events.close()
         store.close()
 
 

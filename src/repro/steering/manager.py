@@ -94,6 +94,10 @@ class ConfigurationManager:
         #: candidate index selected by the most recent cycle (0 = current);
         #: kept unconditionally so callers never touch the trace for it.
         self.last_selection: int | None = None
+        #: full selection result of the most recent cycle — the frozen
+        #: object the selection unit returned, kept by reference (no
+        #: per-cycle allocation) for the telemetry decision ledger.
+        self.last_result: SelectionResult | None = None
         #: 6-bit CEM error of the winning candidate in the most recent cycle.
         self.last_error: int = 0
         #: most recent reconfiguration started by the loader.  Never cleared;
@@ -109,6 +113,7 @@ class ConfigurationManager:
         plan = self.loader.step()
 
         self.last_selection = result.index
+        self.last_result = result
         self.last_error = result.errors[result.index]
         self.stats.cycles += 1
         self.stats.selections[result.index] = (

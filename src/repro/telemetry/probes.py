@@ -53,6 +53,7 @@ class ProcessorTelemetry:
         sample_interval: int = 32,
         tracer: SpanTracer | None = None,
         profile_stages: bool = False,
+        ledger=None,
     ) -> None:
         self.registry = MetricsRegistry() if registry is None else registry
         self.series: SeriesBank | None = (
@@ -61,6 +62,9 @@ class ProcessorTelemetry:
         self.sample_interval = max(1, int(sample_interval))
         self.tracer = tracer
         self.profile_stages = bool(profile_stages)
+        #: optional steering decision ledger
+        #: (:class:`~repro.telemetry.ledger.DecisionLedger`).
+        self.ledger = ledger
 
         r = self.registry
         self._cycles = r.counter(
@@ -123,6 +127,7 @@ class ProcessorTelemetry:
             or self.series is not None
             or self.tracer is not None
             or self.profile_stages
+            or self.ledger is not None
         )
 
     # ------------------------------------------------------------ hot hooks
@@ -171,6 +176,8 @@ class ProcessorTelemetry:
                         evicted=[t.short_name for t in plan.evicted],
                     )
                 self._prev_loads = loads
+            if self.ledger is not None:
+                self.ledger.on_cycle(proc, cycle, manager)
         self._since_sample += 1
         if self._since_sample >= self.sample_interval:
             self._sample(proc, cycle, manager)
@@ -246,6 +253,8 @@ class ProcessorTelemetry:
         if self.tracer is not None:
             out["span_events"] = len(self.tracer)
             out["span_dropped"] = self.tracer.dropped
+        if self.ledger is not None:
+            out["decision_count"] = self.ledger.seen
         return out
 
     def summary_lines(self) -> list[str]:

@@ -1,0 +1,190 @@
+"""End-to-end trace context: correlation ids + the merged Perfetto view.
+
+A **trace id** is minted once at the edge (HTTP ingress honours an
+``X-Repro-Trace-Id`` request header, otherwise a random id is drawn),
+persisted on the durable ``jobs`` row, inherited by whichever sim-pool
+process claims the job, and stamped into every event-log record along
+the way.  It never enters a job's content key or the cached result blob
+— results are content-addressed and shared across requests, so the
+binding from trace id to result lives in the job row alone.
+
+:func:`merge_job_trace` assembles the one-file Perfetto story for a run:
+
+``pid 1`` — *serving (wall clock)*
+    HTTP ingress instant, the queue-wait span (``submitted -> started``)
+    and the claim/execute span (``started -> finished``, named after the
+    owning worker), all in wall-clock microseconds relative to
+    submission.
+``pid 2`` — *simulation (cycle domain)*
+    The run's cycle-domain span trace from the result blob
+    (1 simulated cycle = 1 µs), untouched except for the pid move —
+    the two time domains never share a track.
+``pid 3`` — *event log*
+    Matching structured-log records as instants, one track per emitting
+    process, in the same wall-clock base as pid 1.
+
+Every non-metadata event carries ``args.trace_id``; events are sorted so
+timestamps are monotonic within each ``(pid, tid)`` track (the CI smoke
+job asserts exactly that).
+"""
+
+from __future__ import annotations
+
+import re
+import secrets
+
+__all__ = [
+    "TRACE_HEADER",
+    "is_trace_id",
+    "merge_job_trace",
+    "mint_trace_id",
+]
+
+#: request/response header carrying the correlation id.
+TRACE_HEADER = "X-Repro-Trace-Id"
+
+_TRACE_ID_RE = re.compile(r"[0-9a-f]{8,32}")
+
+#: track ids on the serving (wall-clock) process.
+_TID_HTTP, _TID_QUEUE, _TID_EXECUTE = 1, 2, 3
+
+
+def is_trace_id(value) -> bool:
+    """Whether ``value`` is a well-formed trace id (8-32 lowercase hex)."""
+    return isinstance(value, str) and _TRACE_ID_RE.fullmatch(value) is not None
+
+
+def mint_trace_id(requested: str | None = None) -> str:
+    """A valid trace id: the (normalised) requested one, or a fresh draw."""
+    if isinstance(requested, str):
+        candidate = requested.strip().lower()
+        if is_trace_id(candidate):
+            return candidate
+    return secrets.token_hex(8)
+
+
+def _meta(pid: int, name: str, tid: int | None = None) -> dict:
+    if tid is None:
+        return {
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": name},
+        }
+    return {
+        "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+        "args": {"name": name},
+    }
+
+
+def merge_job_trace(
+    trace_id: str,
+    *,
+    job: dict | None = None,
+    sim_trace: dict | None = None,
+    events: list[dict] | tuple[dict, ...] = (),
+    run_id: str | None = None,
+) -> dict:
+    """One Chrome-trace document covering a run's whole lifecycle.
+
+    ``job`` is a jobs-table row dict (``submitted``/``started``/
+    ``finished``/``owner``/...); ``sim_trace`` is the result blob's
+    cycle-domain Chrome trace; ``events`` are event-log records already
+    filtered to this trace id.  Any part may be missing — the merge
+    renders whatever evidence exists.
+    """
+    metadata: list[dict] = [_meta(1, "serving (wall clock)")]
+    merged: list[dict] = []
+
+    # wall-clock base: submission when known, else the earliest event.
+    t0 = None
+    if job is not None and job.get("submitted") is not None:
+        t0 = float(job["submitted"])
+    elif events:
+        t0 = min(float(e.get("ts", 0.0)) for e in events)
+
+    def wall_us(t: float) -> float:
+        return round((float(t) - (t0 or 0.0)) * 1e6, 3)
+
+    if job is not None and job.get("submitted") is not None:
+        metadata.append(_meta(1, "http ingress", _TID_HTTP))
+        submitted = float(job["submitted"])
+        merged.append({
+            "name": "ingress", "ph": "i", "s": "p",
+            "ts": wall_us(submitted), "pid": 1, "tid": _TID_HTTP,
+            "args": {
+                "job_id": job.get("job_id"),
+                "state": job.get("state"),
+                "cached": bool(job.get("cached")),
+            },
+        })
+        started = job.get("started")
+        if started is not None:
+            metadata.append(_meta(1, "queue wait", _TID_QUEUE))
+            merged.append({
+                "name": "queue-wait", "ph": "X",
+                "ts": wall_us(submitted),
+                "dur": max(0.0, wall_us(started) - wall_us(submitted)),
+                "pid": 1, "tid": _TID_QUEUE,
+                "args": {"job_id": job.get("job_id")},
+            })
+            finished = job.get("finished")
+            if finished is not None:
+                owner = job.get("owner") or "worker"
+                metadata.append(_meta(1, f"execute ({owner})", _TID_EXECUTE))
+                merged.append({
+                    "name": f"claim+run ({owner})", "ph": "X",
+                    "ts": wall_us(started),
+                    "dur": max(0.0, wall_us(finished) - wall_us(started)),
+                    "pid": 1, "tid": _TID_EXECUTE,
+                    "args": {
+                        "job_id": job.get("job_id"),
+                        "owner": owner,
+                        "state": job.get("state"),
+                    },
+                })
+
+    if sim_trace is not None:
+        metadata.append(_meta(2, "simulation (cycle domain)"))
+        for event in sim_trace.get("traceEvents", ()):
+            if not isinstance(event, dict):
+                continue
+            moved = dict(event)
+            moved["pid"] = 2
+            if moved.get("ph") == "M":
+                metadata.append(moved)
+            else:
+                merged.append(moved)
+
+    if events:
+        metadata.append(_meta(3, "event log"))
+        tids: dict[str, int] = {}
+        for record in events:
+            proc = str(record.get("proc", "?"))
+            tid = tids.get(proc)
+            if tid is None:
+                tid = tids[proc] = len(tids) + 1
+                metadata.append(_meta(3, f"{proc} (pid {record.get('pid')})", tid))
+            merged.append({
+                "name": str(record.get("event", "event")), "ph": "i", "s": "t",
+                "ts": wall_us(record.get("ts", 0.0)), "pid": 3, "tid": tid,
+                "args": dict(record),
+            })
+
+    for event in merged:
+        args = event.setdefault("args", {})
+        if isinstance(args, dict):
+            args["trace_id"] = trace_id
+    # monotonic ts within each (pid, tid) track — validated downstream.
+    merged.sort(key=lambda e: (e.get("pid", 0), e.get("tid", 0), e.get("ts", 0.0)))
+
+    return {
+        "traceEvents": metadata + merged,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "trace_id": trace_id,
+            "run_id": run_id,
+            "time_convention": (
+                "pid 1/3: wall-clock us since submission; "
+                "pid 2: 1 simulated cycle = 1 us"
+            ),
+        },
+    }

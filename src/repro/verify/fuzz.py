@@ -174,7 +174,8 @@ def _metamorphic_checks(
     params: ProcessorParams,
     max_cycles: int,
 ) -> list[Violation]:
-    """Vector-vs-scalar (rotating policy) and telemetry-on/off (steering)."""
+    """Vector-vs-scalar (rotating policy) and, on steering iterations,
+    a rotating telemetry-on/off or decision-ledger-on/off comparison."""
     violations: list[Violation] = []
     probe = policies[iteration % len(policies)]
     if probe in results:
@@ -197,17 +198,34 @@ def _metamorphic_checks(
                 )
             )
     if probe == "steering" and "steering" in results:
-        from repro.telemetry import ProcessorTelemetry
+        from repro.telemetry import DecisionLedger, ProcessorTelemetry
 
-        tel = ProcessorTelemetry(series_capacity=256, sample_interval=64)
+        # rotate the instrumentation under test: plain telemetry on even
+        # iterations, telemetry + decision ledger on odd ones — both must
+        # leave SimulationResult.to_dict() bit-identical
+        with_ledger = bool(iteration % 2)
+        tel = ProcessorTelemetry(
+            series_capacity=256,
+            sample_interval=64,
+            ledger=DecisionLedger(capacity=64, window=32)
+            if with_ledger
+            else None,
+        )
         instrumented = steering_processor(program, params, telemetry=tel).run(
             max_cycles=max_cycles
         )
         if instrumented.to_dict() != results["steering"].to_dict():
+            invariant = (
+                "metamorphic-ledger" if with_ledger else "metamorphic-telemetry"
+            )
+            what = (
+                "attaching a decision ledger" if with_ledger
+                else "attaching telemetry"
+            )
             violations.append(
                 Violation(
-                    "metamorphic-telemetry", "steering",
-                    "attaching telemetry changed the simulation result",
+                    invariant, "steering",
+                    f"{what} changed the simulation result",
                 )
             )
     return violations

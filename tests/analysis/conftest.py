@@ -18,10 +18,12 @@ def make_test_config() -> AnalysisConfig:
     return AnalysisConfig(
         package="repro",
         layers={
+            "cli": ("errors", "serving", "telemetry"),
             "errors": (),
             "isa": ("errors",),
             "sched": ("errors", "isa"),
-            "serving": ("errors", "isa"),
+            "serving": ("errors", "isa", "telemetry"),
+            "telemetry": ("errors", "isa", "utils"),
             "utils": (),
         },
         hotzones={
@@ -34,6 +36,7 @@ def make_test_config() -> AnalysisConfig:
         concurrency_scope=("repro/serving", "repro/evaluation/batch.py"),
         config_modules=("repro/utils/env.py",),
         canonical_json_scope=("repro/sched/golden.py",),
+        event_log_modules=("repro/telemetry/events.py",),
         source_text="<test-config>",
     )
 

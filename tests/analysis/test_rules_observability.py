@@ -1,0 +1,95 @@
+"""OBS rule family: the serving/telemetry event-log funnel (OBS001)."""
+
+import textwrap
+
+
+def src(body: str) -> str:
+    return textwrap.dedent(body)
+
+
+def ids(findings):
+    return [f.rule for f in findings]
+
+
+class TestPrintFlagged:
+    def test_print_in_serving_flagged(self, lint_tree):
+        findings = lint_tree({"repro/serving/app.py": src("""
+            def access_log(record):
+                print(record)
+        """)})
+        assert ids(findings) == ["OBS001"]
+
+    def test_print_in_telemetry_flagged(self, lint_tree):
+        findings = lint_tree({"repro/telemetry/probes.py": src("""
+            def dump(snapshot):
+                print(snapshot)
+        """)})
+        assert ids(findings) == ["OBS001"]
+
+    def test_each_call_site_reported(self, lint_tree):
+        findings = lint_tree({"repro/serving/supervisor.py": src("""
+            def noisy():
+                print("a")
+                print("b")
+        """)})
+        assert ids(findings) == ["OBS001", "OBS001"]
+
+
+class TestRawLoggingFlagged:
+    def test_module_level_logging_calls_flagged(self, lint_tree):
+        findings = lint_tree({"repro/serving/app.py": src("""
+            import logging
+
+            def handle():
+                logging.info("handled")
+        """)})
+        assert ids(findings) == ["OBS001"]
+        assert "logging.info()" in findings[0].message
+
+    def test_getlogger_flagged(self, lint_tree):
+        findings = lint_tree({"repro/serving/jobs.py": src("""
+            import logging
+
+            log = logging.getLogger(__name__)
+        """)})
+        assert ids(findings) == ["OBS001"]
+
+
+class TestTheFunnelIsExempt:
+    def test_event_log_module_may_use_logging(self, lint_tree):
+        findings = lint_tree({"repro/telemetry/events.py": src("""
+            import logging
+
+            def build(name):
+                logger = logging.Logger(name)
+                print("also fine here")
+                return logger
+        """)})
+        assert findings == []
+
+
+class TestOutOfScope:
+    def test_cli_prints_are_fine(self, lint_tree):
+        findings = lint_tree({"repro/cli.py": src("""
+            def main():
+                print("tables are the CLI's job")
+        """)})
+        assert findings == []
+
+    def test_sched_is_out_of_scope(self, lint_tree):
+        findings = lint_tree({"repro/sched/cold.py": src("""
+            import logging
+
+            def debug():
+                logging.warning("x")
+        """)})
+        assert findings == []
+
+    def test_logger_instance_methods_are_not_flagged(self, lint_tree):
+        # only the logging module itself is the smell; an EventLog's own
+        # instance-owned logger is how the funnel is implemented
+        findings = lint_tree({"repro/serving/app.py": src("""
+            def emit(self, line):
+                self._logger.info("%s", line)
+        """)})
+        assert findings == []

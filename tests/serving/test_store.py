@@ -187,6 +187,92 @@ def test_migrates_v2_schema_to_v3(tmp_path):
     assert {"runs", "jobs", "worker_metrics"} <= tables
 
 
+def _make_v3_db(path):
+    """A database exactly as the v3 (pre-trace-context) code left it."""
+    conn = sqlite3.connect(path)
+    conn.executescript(
+        """
+        CREATE TABLE runs (
+            run_id      TEXT PRIMARY KEY,
+            experiment  TEXT NOT NULL,
+            config_hash TEXT NOT NULL,
+            created     REAL NOT NULL,
+            metrics     TEXT NOT NULL,
+            label       TEXT NOT NULL DEFAULT '',
+            git_rev     TEXT NOT NULL DEFAULT ''
+        );
+        CREATE INDEX runs_experiment ON runs (experiment, created);
+        CREATE TABLE jobs (
+            job_id    TEXT PRIMARY KEY,
+            key       TEXT NOT NULL,
+            spec      TEXT NOT NULL,
+            state     TEXT NOT NULL DEFAULT 'queued',
+            cached    INTEGER NOT NULL DEFAULT 0,
+            submitted REAL NOT NULL,
+            started   REAL,
+            finished  REAL,
+            error     TEXT,
+            run_id    TEXT,
+            owner     TEXT NOT NULL DEFAULT ''
+        );
+        CREATE INDEX jobs_state ON jobs (state, submitted);
+        CREATE TABLE worker_metrics (
+            worker  TEXT PRIMARY KEY,
+            updated REAL NOT NULL,
+            payload TEXT NOT NULL
+        );
+        """
+    )
+    conn.execute(
+        "INSERT INTO jobs (job_id, key, spec, submitted) VALUES (?, ?, ?, ?)",
+        ("job-v3", "k" * 64, '{"target": "checksum"}', 100.0),
+    )
+    conn.execute("PRAGMA user_version = 3")
+    conn.commit()
+    conn.close()
+
+
+def test_migrates_v3_schema_to_v4(tmp_path):
+    db = tmp_path / "v3.sqlite"
+    _make_v3_db(db)
+    with RunStore(db) as store:
+        # pre-migration job rows read back with an empty trace id
+        assert store.get_job("job-v3")["trace_id"] == ""
+        # new writes persist the trace context immediately
+        store.enqueue_job(
+            "job-v4", "n" * 64, {"target": "checksum"},
+            trace_id="cafe0123cafe0123",
+        )
+        assert store.get_job("job-v4")["trace_id"] == "cafe0123cafe0123"
+    conn = sqlite3.connect(db)
+    assert conn.execute("PRAGMA user_version").fetchone()[0] == SCHEMA_VERSION
+    conn.close()
+
+
+def test_trace_id_survives_claim_and_job_for_run():
+    with RunStore() as store:
+        store.enqueue_job(
+            "j1", "k" * 64, {"target": "checksum"},
+            trace_id="cafe0123cafe0123",
+        )
+        claimed = store.claim_job("sim-0")
+        assert claimed["trace_id"] == "cafe0123cafe0123"
+        store.finish_job("j1", "done", run_id="r" * 16)
+        row = store.job_for_run("r" * 16)
+        assert row["job_id"] == "j1"
+        assert row["trace_id"] == "cafe0123cafe0123"
+
+
+def test_job_for_run_picks_the_newest_job():
+    with RunStore() as store:
+        store.enqueue_job("old", "k1", {}, submitted=100.0, run_id="r" * 16,
+                          state="done", trace_id="aaaa1111aaaa1111")
+        store.enqueue_job("new", "k2", {}, submitted=200.0, run_id="r" * 16,
+                          state="done", trace_id="bbbb2222bbbb2222")
+        assert store.job_for_run("r" * 16)["job_id"] == "new"
+        assert store.job_for_run("missing-run") is None
+
+
 def test_file_store_runs_in_wal_mode(tmp_path):
     with RunStore(tmp_path / "wal.sqlite") as store:
         store.record_run("E", "a" * 64, {})
@@ -315,6 +401,27 @@ def test_worker_metrics_roundtrip_and_freshness():
         assert snaps["api-0"] == {"m": {"kind": "counter"}}
         # stale snapshots (older than max_age) are excluded
         assert store.worker_metrics(max_age=0.0) == {}
+
+
+def test_ghost_workers_expire_by_heartbeat_age():
+    """Regression: a SIGKILLed worker's last snapshot must drop out of the
+    merged /metrics view once its heartbeat goes stale, instead of being
+    served forever."""
+    with RunStore() as store:
+        store.publish_worker_metrics("api-0", {"m": 1}, now=1000.0)
+        store.publish_worker_metrics("api-1", {"m": 2}, now=1010.0)
+        # both fresh shortly after api-1's heartbeat
+        assert set(store.worker_metrics(max_age=15.0, now=1012.0)) == {
+            "api-0", "api-1",
+        }
+        # api-0 died: its snapshot ages past the cutoff, api-1 keeps
+        # heartbeating and stays
+        store.publish_worker_metrics("api-1", {"m": 2}, now=1020.0)
+        assert set(store.worker_metrics(max_age=15.0, now=1022.0)) == {"api-1"}
+        # a respawned api-0 reappears on its first publish
+        store.publish_worker_metrics("api-0", {"m": 3}, now=1025.0)
+        snaps = store.worker_metrics(max_age=15.0, now=1026.0)
+        assert snaps["api-0"] == {"m": 3}
 
 
 def test_clear_worker_metrics():

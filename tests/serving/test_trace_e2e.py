@@ -1,0 +1,140 @@
+"""End-to-end trace-context propagation across process boundaries.
+
+The acceptance test for the tracing layer: a job submitted to a
+``--workers 2`` supervisor under a caller-minted ``X-Repro-Trace-Id``
+must yield ONE merged Perfetto file whose spans cover HTTP ingress (an
+API worker process), queue wait, claim + simulation (a sim-pool
+process) and retirement — all stamped with the same trace id.
+"""
+
+import http.client
+import json
+import threading
+import time
+
+import pytest
+
+from repro.evaluation.batch import ResultCache
+from repro.serving.store import RunStore
+from repro.serving.supervisor import Supervisor
+from repro.telemetry import events_path_for, merge_job_trace, read_events
+
+TRACE_ID = "feedc0de12345678"
+
+
+def _request(port, method, path, body=None, headers=None, timeout=10):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    try:
+        conn.request(method, path, body=body, headers=headers or {})
+        response = conn.getresponse()
+        return response.status, response.read()
+    finally:
+        conn.close()
+
+
+def _wait_healthy(port, timeout=20.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            status, _ = _request(port, "GET", "/api/health", timeout=2)
+            if status == 200:
+                return
+        except OSError:
+            pass
+        time.sleep(0.1)
+    raise AssertionError(f"no healthy worker on :{port} within {timeout}s")
+
+
+@pytest.fixture()
+def cluster(tmp_path):
+    """2 API workers + 1 sim worker over an on-disk store + event log."""
+    store_path = str(tmp_path / "runs.sqlite")
+    cache_dir = str(tmp_path / "cache")
+    sup = Supervisor(
+        store_path, cache_dir=cache_dir,
+        host="127.0.0.1", port=0, workers=2, sim_pool=1,
+        respawn_base=0.1,
+    )
+    sup.start()
+    runner = threading.Thread(target=sup.run, daemon=True)
+    runner.start()
+    _wait_healthy(sup.port)
+    try:
+        yield sup, store_path, cache_dir
+    finally:
+        sup._stopping.set()
+        runner.join(30)
+        assert not runner.is_alive(), "supervisor failed to stop"
+
+
+def test_one_trace_id_spans_every_process(cluster):
+    sup, store_path, cache_dir = cluster
+    spec = json.dumps({
+        "target": "checksum", "max_cycles": 5_000,
+        "factory": "steering-telemetry",
+    }).encode()
+    status, body = _request(
+        sup.port, "POST", "/api/jobs", body=spec,
+        headers={"Content-Type": "application/json",
+                 "X-Repro-Trace-Id": TRACE_ID},
+    )
+    assert status == 202, body
+    job_id = json.loads(body)["job_id"]
+
+    deadline = time.monotonic() + 60
+    while time.monotonic() < deadline:
+        _, body = _request(sup.port, "GET", f"/api/jobs/{job_id}")
+        job = json.loads(body)
+        if job["state"] in ("done", "failed"):
+            break
+        time.sleep(0.1)
+    assert job["state"] == "done", job.get("error")
+    assert job["trace_id"] == TRACE_ID
+    run_id = job["run_id"]
+
+    # the shared event log saw the trace in at least two distinct
+    # processes: the API worker that accepted it and the sim worker
+    # that claimed and ran it
+    _, body = _request(sup.port, "GET", f"/api/logs?trace={TRACE_ID}")
+    log = json.loads(body)
+    names = {e["event"] for e in log["events"]}
+    assert {"job_submitted", "job_claimed", "job_done"} <= names
+    assert len({e["pid"] for e in log["events"]}) >= 2
+
+    # assemble the merged Perfetto document exactly as `repro trace` does
+    with RunStore(store_path) as store:
+        row = store.job_for_run(run_id)
+        run = store.get_run(run_id)
+    assert row["trace_id"] == TRACE_ID
+    payload = ResultCache(cache_dir).get(run["config_hash"])
+    events = read_events(events_path_for(store_path), trace=TRACE_ID)
+    merged = merge_job_trace(
+        TRACE_ID,
+        job=row,
+        sim_trace=payload.get("trace"),
+        events=events,
+        run_id=run_id,
+    )
+
+    spans = [e for e in merged["traceEvents"] if e["ph"] != "M"]
+    # one document, one trace id, on every event
+    assert merged["otherData"]["trace_id"] == TRACE_ID
+    assert all(e["args"]["trace_id"] == TRACE_ID for e in spans)
+    # the three merge domains are all present: serving wall clock,
+    # simulation cycle domain, structured event log
+    assert {e["pid"] for e in spans} == {1, 2, 3}
+    names = [e["name"] for e in spans if e["pid"] == 1]
+    assert names[0] == "ingress"
+    assert "queue-wait" in names
+    assert any(n.startswith("claim+run (sim-") for n in names)
+    # event-log instants carry records from >= 2 OS processes
+    os_pids = {
+        e["args"]["pid"] for e in spans if e["pid"] == 3
+    }
+    assert len(os_pids) >= 2
+    # timestamps are monotonic within each (pid, tid) track
+    last: dict = {}
+    for e in spans:
+        track = (e["pid"], e["tid"])
+        assert e["ts"] >= last.get(track, float("-inf")), track
+        last[track] = e["ts"]

@@ -1,0 +1,129 @@
+"""Trace context: id minting/validation and the merged Perfetto document."""
+
+from repro.telemetry import is_trace_id, merge_job_trace, mint_trace_id
+
+_TRACE = "cafe0123cafe0123"
+
+_JOB = {
+    "job_id": "job-1",
+    "state": "done",
+    "cached": False,
+    "owner": "sim-0",
+    "submitted": 100.0,
+    "started": 100.25,
+    "finished": 101.0,
+    "trace_id": _TRACE,
+}
+
+
+def _spans(doc):
+    return [e for e in doc["traceEvents"] if e["ph"] != "M"]
+
+
+class TestTraceIds:
+    def test_valid_ids(self):
+        assert is_trace_id("cafe0123")
+        assert is_trace_id("a" * 32)
+
+    def test_invalid_ids(self):
+        for bad in ("", "short", "CAFE0123", "g" * 16, "a" * 33, 42, None):
+            assert not is_trace_id(bad)
+
+    def test_mint_honours_a_wellformed_request(self):
+        assert mint_trace_id("cafe0123cafe0123") == _TRACE
+        # normalised: surrounding space and case are forgiven
+        assert mint_trace_id("  CAFE0123cafe0123 ") == _TRACE
+
+    def test_mint_replaces_garbage(self):
+        for bad in (None, "", "not hex!", "x" * 16):
+            assert is_trace_id(mint_trace_id(bad))
+
+    def test_minted_ids_are_distinct(self):
+        assert len({mint_trace_id() for _ in range(32)}) == 32
+
+
+class TestMergedTrace:
+    def test_serving_spans_from_the_job_row(self):
+        doc = merge_job_trace(_TRACE, job=_JOB, run_id="r" * 16)
+        spans = _spans(doc)
+        assert [e["name"] for e in spans] == [
+            "ingress", "queue-wait", "claim+run (sim-0)",
+        ]
+        assert all(e["pid"] == 1 for e in spans)
+        # wall-clock microseconds relative to submission
+        queue = next(e for e in spans if e["name"] == "queue-wait")
+        assert queue["ts"] == 0.0
+        assert queue["dur"] == 250_000.0
+        execute = spans[-1]
+        assert execute["ts"] == 250_000.0
+        assert execute["dur"] == 750_000.0
+
+    def test_every_event_carries_the_trace_id(self):
+        doc = merge_job_trace(
+            _TRACE,
+            job=_JOB,
+            sim_trace={"traceEvents": [
+                {"name": "reconfig", "ph": "X", "ts": 10, "dur": 8,
+                 "pid": 0, "tid": 1, "args": {}},
+            ]},
+            events=[{"event": "job_claimed", "ts": 100.3, "pid": 4711,
+                     "proc": "sim-0", "trace": _TRACE}],
+            run_id="r" * 16,
+        )
+        spans = _spans(doc)
+        assert {e["pid"] for e in spans} == {1, 2, 3}
+        assert all(e["args"]["trace_id"] == _TRACE for e in spans)
+        assert doc["otherData"]["trace_id"] == _TRACE
+        assert doc["otherData"]["run_id"] == "r" * 16
+
+    def test_sim_trace_moves_to_pid_2_untouched_otherwise(self):
+        sim = {"traceEvents": [
+            {"name": "thread_name", "ph": "M", "pid": 0, "tid": 7,
+             "args": {"name": "fabric"}},
+            {"name": "reconfig", "ph": "X", "ts": 42, "dur": 8,
+             "pid": 0, "tid": 7, "args": {"evicted": []}},
+        ]}
+        doc = merge_job_trace(_TRACE, sim_trace=sim)
+        moved = next(e for e in _spans(doc) if e["name"] == "reconfig")
+        assert moved["pid"] == 2
+        assert moved["ts"] == 42 and moved["tid"] == 7
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert any(
+            e["args"]["name"] == "fabric" and e["pid"] == 2 for e in meta
+        )
+
+    def test_event_log_gets_one_track_per_process(self):
+        events = [
+            {"event": "job_submitted", "ts": 100.1, "pid": 1, "proc": "api-0"},
+            {"event": "job_claimed", "ts": 100.3, "pid": 2, "proc": "sim-0"},
+            {"event": "job_done", "ts": 100.9, "pid": 2, "proc": "sim-0"},
+        ]
+        doc = merge_job_trace(_TRACE, job=_JOB, events=events)
+        instants = [e for e in _spans(doc) if e["pid"] == 3]
+        assert len(instants) == 3
+        assert len({e["tid"] for e in instants}) == 2  # api-0 and sim-0
+
+    def test_timestamps_monotonic_within_each_track(self):
+        events = [
+            {"event": "b", "ts": 100.9, "pid": 2, "proc": "sim-0"},
+            {"event": "a", "ts": 100.3, "pid": 2, "proc": "sim-0"},
+        ]
+        doc = merge_job_trace(_TRACE, job=_JOB, events=events)
+        last: dict = {}
+        for e in _spans(doc):
+            track = (e["pid"], e["tid"])
+            assert e["ts"] >= last.get(track, float("-inf")), track
+            last[track] = e["ts"]
+
+    def test_partial_evidence_still_renders(self):
+        # no job row: the earliest event anchors the wall clock
+        doc = merge_job_trace(
+            _TRACE,
+            events=[{"event": "x", "ts": 50.0, "pid": 1, "proc": "serve"}],
+        )
+        instant = _spans(doc)[0]
+        assert instant["ts"] == 0.0
+        # nothing at all: a valid, empty document
+        empty = merge_job_trace(_TRACE)
+        assert _spans(empty) == []
+        assert empty["otherData"]["trace_id"] == _TRACE
