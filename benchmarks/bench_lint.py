@@ -1,0 +1,124 @@
+"""Cold vs warm static-analysis wall clock (``BENCH_lint.json``).
+
+The lint engine promises day-to-day runs are a cache sweep: the per-file
+phase re-parses only changed files, module summaries are content-cached,
+and interprocedural findings re-derive only inside the edited file's
+reverse-dependency cone.  This bench pins that promise with numbers:
+
+* **cold** — empty cache directory: parse + summarise + link + analyse
+  the whole tree;
+* **warm** — the very next run over an unchanged tree: everything must
+  come from the cache, and the wall clock is what CI budgets.
+
+Usage:
+
+    PYTHONPATH=src python benchmarks/bench_lint.py \
+        [-o BENCH_lint.json] [--repeats 3] [--max-warm-seconds 0]
+
+``--max-warm-seconds`` > 0 turns the warm wall clock into a gate (the CI
+budget); the gate also fails if the warm run missed its caches, which
+would make the timing meaningless.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import shutil
+import sys
+import tempfile
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis.config import DEFAULT_CONFIG_PATH, load_config  # noqa: E402
+from repro.analysis.engine import AnalysisEngine  # noqa: E402
+
+
+def timed_run(config, root, cache_path):
+    engine = AnalysisEngine(
+        config, root=root, repo_root=REPO_ROOT, cache_path=cache_path
+    )
+    start = time.perf_counter()
+    findings = engine.run([root / config.package])
+    elapsed = time.perf_counter() - start
+    return elapsed, findings, engine
+
+
+def lint_record(repeats: int) -> dict:
+    config = load_config(REPO_ROOT / DEFAULT_CONFIG_PATH)
+    root = REPO_ROOT / "src"
+    cold_best = warm_best = float("inf")
+    record: dict = {}
+    for _ in range(repeats):
+        workdir = pathlib.Path(tempfile.mkdtemp(prefix="bench-lint-"))
+        try:
+            cache = workdir / "findings.json"
+            cold, findings, _ = timed_run(config, root, cache)
+            warm, _, engine = timed_run(config, root, cache)
+            cold_best = min(cold_best, cold)
+            warm_best = min(warm_best, warm)
+            record = {
+                "files": engine.files_checked,
+                "findings": len(findings),
+                "cache_hits": engine.cache_hits,
+                "graph_cache_hits": engine.graph_cache_hits,
+            }
+        finally:
+            shutil.rmtree(workdir, ignore_errors=True)
+    record.update({
+        "cold_seconds": round(cold_best, 3),
+        "warm_seconds": round(warm_best, 3),
+        "speedup": round(cold_best / warm_best, 2) if warm_best > 0 else None,
+    })
+    return record
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("-o", "--output", default="BENCH_lint.json")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--max-warm-seconds", type=float, default=0.0,
+        help="fail when the warm (fully cached) run exceeds this wall "
+             "clock; <= 0 disables the gate",
+    )
+    args = parser.parse_args(argv)
+
+    record = lint_record(repeats=max(1, args.repeats))
+    pathlib.Path(args.output).write_text(json.dumps(record, indent=2) + "\n")
+    print(json.dumps(record, indent=2))
+    print(f"\nwrote {args.output}")
+
+    if record["cache_hits"] != record["files"]:
+        print(
+            f"REGRESSION warm run re-analysed "
+            f"{record['files'] - record['cache_hits']} file(s); "
+            "the per-file cache is not sticking"
+        )
+        return 1
+    if record["graph_cache_hits"] != record["files"]:
+        print(
+            f"REGRESSION warm run re-derived interprocedural findings for "
+            f"{record['files'] - record['graph_cache_hits']} file(s); "
+            "the dependency-aware cache is not sticking"
+        )
+        return 1
+    if 0 < args.max_warm_seconds < record["warm_seconds"]:
+        print(
+            f"REGRESSION warm lint took {record['warm_seconds']}s, over "
+            f"the {args.max_warm_seconds}s budget"
+        )
+        return 1
+    print(
+        f"lint: cold {record['cold_seconds']}s -> warm "
+        f"{record['warm_seconds']}s over {record['files']} files "
+        f"({record['speedup']}x)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -141,6 +141,13 @@ class AnalysisConfig:
     #: in the serving/telemetry layers allowed to use print/logging
     #: directly (OBS001).
     event_log_modules: tuple[str, ...] = ()
+    #: process role -> entry-point roots ("file.py::Qual.name") for the
+    #: cross-process shared-state checker (CON006/CON007).  Empty table
+    #: disables the pass.
+    process_roles: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    #: role groups sharing one OS process ("api_worker/drain_thread"):
+    #: state crossing between them is thread-shared, not fork-divergent.
+    shared_process: tuple[str, ...] = ()
     #: raw text the config was parsed from (cache fingerprinting).
     source_text: str = ""
 
@@ -225,6 +232,10 @@ def load_config(path: str | Path) -> AnalysisConfig:
         for file, funcs in raw.get("hotzones", {}).items()
     }
     scopes = raw.get("scopes", {})
+    process_roles = {
+        str(role): _as_str_tuple(roots, f"{path}: process_roles.{role}")
+        for role, roots in raw.get("process_roles", {}).items()
+    }
     return AnalysisConfig(
         package=package,
         layers=layers,
@@ -247,6 +258,10 @@ def load_config(path: str | Path) -> AnalysisConfig:
         event_log_modules=_as_str_tuple(
             scopes.get("event_log_modules", []),
             f"{path}: scopes.event_log_modules",
+        ),
+        process_roles=process_roles,
+        shared_process=_as_str_tuple(
+            scopes.get("shared_process", []), f"{path}: scopes.shared_process"
         ),
         source_text=text,
     )

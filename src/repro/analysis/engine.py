@@ -1,18 +1,33 @@
 """The analysis engine: one process, whole tree, content-hash cached.
 
-For every ``.py`` file the engine parses the source once, hands the
+Two phases.  The *per-file* phase parses each target file once, hands the
 :class:`~repro.analysis.rules.FileContext` to every registered rule,
-filters the raw findings through the file's inline suppressions, and
-caches the surviving findings keyed by the file's SHA-256 — the same
+filters raw findings through the file's inline suppressions, and caches
+the surviving findings keyed by the file's SHA-256 — the same
 content-hash idiom :class:`repro.evaluation.batch.ResultCache` uses for
-simulation results.  A cache entry is valid only under the same *global
-fingerprint* (engine version, every rule's ``(id, version)`` pair, the
-raw config text), so changing a rule or the layer table re-analyses the
-tree while day-to-day runs only re-parse files that changed.
+simulation results.
+
+The *graph* phase summarises **every** file under the package root (not
+just the target set — a call graph with missing callees is wrong), links
+the summaries into a whole-program :class:`~repro.analysis.graph.CallGraph`,
+and runs the :class:`~repro.analysis.dataflow.GraphAnalysis` passes
+(hot-zone reachability, determinism taint, cross-process shared state).
+Module summaries are content-cached like findings.  Each file's
+*interprocedural* findings are cached under a dependency-aware key: its
+own content hash folded with a digest of everything those findings can
+depend on — the interface digests of its direct callees, its functions'
+hot-reachability chains, and its role attributions — so editing one leaf
+file invalidates exactly its reverse-dependency cone.  ``graph_cache_hits``
+counts the files whose interprocedural derivation was skipped.
+
+Every cache section is valid only under the same *global fingerprint*
+(engine + graph version, every rule's ``(id, version)`` pair, the raw
+config text), so changing a rule or the layer table re-analyses the tree
+while day-to-day runs only re-parse files that changed.
 
 A file that fails to parse yields one ``ENG001`` finding instead of
 crashing the run: a syntax error anywhere must not hide findings
-elsewhere.
+elsewhere.  Unparsable files are simply absent from the call graph.
 """
 
 from __future__ import annotations
@@ -23,7 +38,14 @@ import json
 from pathlib import Path
 
 from repro.analysis.config import AnalysisConfig
+from repro.analysis.dataflow import GRAPH_RULE_IDS, GraphAnalysis
 from repro.analysis.findings import Finding
+from repro.analysis.graph import (
+    GRAPH_VERSION,
+    build_graph,
+    canonical_graph_json,
+    summarize_module,
+)
 from repro.analysis.rules import (
     FileContext,
     Rule,
@@ -35,7 +57,7 @@ from repro.analysis.suppressions import SuppressionIndex
 __all__ = ["AnalysisEngine", "analyze_paths", "ENGINE_VERSION"]
 
 #: bump on engine-behaviour changes to invalidate every cache entry.
-ENGINE_VERSION = 1
+ENGINE_VERSION = 2
 
 #: rule id reserved for files the engine itself cannot analyse.
 PARSE_RULE_ID = "ENG001"
@@ -63,37 +85,55 @@ class AnalysisEngine:
         self.rules = rules if rules is not None else all_rules()
         self.cache_path = Path(cache_path) if cache_path is not None else None
         self._cache: dict[str, dict] = {}
+        self._summary_cache: dict[str, dict] = {}
+        self._graph_cache: dict[str, dict] = {}
         self.cache_hits = 0
+        #: files whose interprocedural findings came from the
+        #: dependency-aware cache (the cone-invalidation counter).
+        self.graph_cache_hits = 0
         self.files_checked = 0
         self._fingerprint = self._global_fingerprint()
+        self._graph = None
+        self._analysis: GraphAnalysis | None = None
         if self.cache_path is not None:
-            self._cache = self._load_cache()
+            self._load_cache()
 
     # ---------------------------------------------------------- fingerprint
     def _global_fingerprint(self) -> str:
         """SHA-256 over everything that can change a file's findings
         besides the file itself (the :func:`job_key` idiom)."""
         ruleset = tuple((r.id, r.version) for r in self.rules)
-        blob = repr((ENGINE_VERSION, ruleset, registry_fingerprint(),
-                     self.config.source_text))
+        blob = repr((ENGINE_VERSION, GRAPH_VERSION, ruleset,
+                     registry_fingerprint(), self.config.source_text))
         return hashlib.sha256(blob.encode()).hexdigest()
 
     # ---------------------------------------------------------------- cache
-    def _load_cache(self) -> dict[str, dict]:
+    def _load_cache(self) -> None:
         try:
             raw = json.loads(self.cache_path.read_text())
             if raw.get("fingerprint") != self._fingerprint:
-                return {}
-            files = raw.get("files", {})
-            return files if isinstance(files, dict) else {}
+                return
+            for attr, key in (
+                ("_cache", "files"),
+                ("_summary_cache", "summaries"),
+                ("_graph_cache", "graph_findings"),
+            ):
+                section = raw.get(key, {})
+                if isinstance(section, dict):
+                    setattr(self, attr, section)
         except (OSError, ValueError, AttributeError):
-            return {}
+            return
 
     def save_cache(self) -> None:
         if self.cache_path is None:
             return
         self.cache_path.parent.mkdir(parents=True, exist_ok=True)
-        doc = {"fingerprint": self._fingerprint, "files": self._cache}
+        doc = {
+            "fingerprint": self._fingerprint,
+            "files": self._cache,
+            "summaries": self._summary_cache,
+            "graph_findings": self._graph_cache,
+        }
         self.cache_path.write_text(json.dumps(doc))
 
     # ------------------------------------------------------------- analysis
@@ -110,7 +150,7 @@ class AnalysisEngine:
             return path.as_posix()
 
     def analyze_file(self, path: Path) -> list[Finding]:
-        """Findings of one file, post-suppression (cached by content)."""
+        """Per-file findings of one file, post-suppression (cached)."""
         module_path = self.module_path_of(path)
         display_path = self.display_path_of(path)
         data = path.read_bytes()
@@ -161,17 +201,124 @@ class AnalysisEngine:
             "findings": [f.to_dict() for f in findings],
         }
 
-    def run(self, paths: list[Path]) -> list[Finding]:
-        """Analyse files and directories; returns sorted findings."""
+    # ---------------------------------------------------------- graph phase
+    def _selected_graph_ids(self) -> set[str]:
+        return ({r.id for r in self.rules} | {"ENG002"}) & GRAPH_RULE_IDS
+
+    def summary_of(self, path: Path) -> tuple[str, str, dict | None]:
+        """(module_path, sha256, summary-or-None) for one file, cached."""
+        module_path = self.module_path_of(path)
+        data = path.read_bytes()
+        digest = hashlib.sha256(data).hexdigest()
+        cached = self._summary_cache.get(module_path)
+        if cached is not None and cached.get("sha256") == digest:
+            return module_path, digest, cached["summary"]
+        source = data.decode("utf-8", errors="replace")
+        try:
+            tree = ast.parse(source, filename=str(path))
+            summary = summarize_module(module_path, source, tree, self.config)
+        except SyntaxError:
+            summary = None
+        self._summary_cache[module_path] = {"sha256": digest, "summary": summary}
+        return module_path, digest, summary
+
+    def _graph_file_set(self, files: list[Path]) -> list[Path]:
+        """The whole-program file set: everything under the package root,
+        plus any explicitly targeted file outside it."""
+        package_dir = self.root / self.config.package
+        out: dict[str, Path] = {}
+        if package_dir.is_dir():
+            for path in sorted(package_dir.rglob("*.py")):
+                out[self.module_path_of(path)] = path
+        for path in files:
+            out.setdefault(self.module_path_of(path), path)
+        return [out[mp] for mp in sorted(out)]
+
+    def build_analysis(self, files: list[Path]) -> GraphAnalysis:
+        """Build (or reuse) the call graph + analyses for this run."""
+        if self._analysis is not None:
+            return self._analysis
+        summaries: dict[str, dict] = {}
+        self._file_digests: dict[str, str] = {}
+        for path in self._graph_file_set(files):
+            module_path, digest, summary = self.summary_of(path)
+            self._file_digests[module_path] = digest
+            if summary is not None:
+                summaries[module_path] = summary
+        self._graph = build_graph(summaries, self.config)
+        self._analysis = GraphAnalysis(self._graph, self.config)
+        return self._analysis
+
+    def graph_findings_for(self, path: Path) -> list[Finding]:
+        """One file's interprocedural findings (dependency-aware cache)."""
+        analysis = self._analysis
+        module_path = self.module_path_of(path)
+        if analysis is None or module_path not in analysis.graph.summaries:
+            return []
+        context = analysis.context_for(module_path)
+        context_blob = json.dumps(
+            context, sort_keys=True, separators=(",", ":")
+        )
+        file_digest = self._file_digests.get(module_path, "")
+        key = hashlib.sha256(
+            (file_digest + context_blob).encode()
+        ).hexdigest()
+        cached = self._graph_cache.get(module_path)
+        if cached is not None and cached.get("key") == key:
+            self.graph_cache_hits += 1
+            return [Finding.from_dict(e) for e in cached["findings"]]
+        source = path.read_bytes().decode("utf-8", errors="replace")
+        try:
+            tree = ast.parse(source)
+        except SyntaxError:
+            return []
+        suppressions = SuppressionIndex(source, tree)
+        findings = analysis.findings_for(
+            module_path, self.display_path_of(path), suppressions
+        )
+        self._graph_cache[module_path] = {
+            "key": key,
+            "findings": [f.to_dict() for f in findings],
+        }
+        return findings
+
+    def graph_json(self) -> str:
+        """The deterministic ``--graph-out`` artifact (builds if needed)."""
+        if self._analysis is None:
+            self.build_analysis([])
+        return canonical_graph_json(self._graph)
+
+    def file_closure(self, changed: set[str]) -> set[str]:
+        """``--changed`` support: the changed module paths plus every
+        transitive reverse call-graph/import dependent."""
+        if self._analysis is None:
+            self.build_analysis([])
+        return self._graph.reverse_dependents(changed)
+
+    # ------------------------------------------------------------------ run
+    def _expand(self, paths: list[Path]) -> list[Path]:
         files: list[Path] = []
         for path in paths:
             if path.is_dir():
                 files.extend(sorted(path.rglob("*.py")))
             else:
                 files.append(path)
+        return files
+
+    def run(self, paths: list[Path]) -> list[Finding]:
+        """Analyse files and directories; returns sorted findings."""
+        files = self._expand(paths)
         findings: list[Finding] = []
         for file in files:
             findings.extend(self.analyze_file(file))
+        selected = self._selected_graph_ids()
+        if selected:
+            self.build_analysis(files)
+            for file in files:
+                findings.extend(
+                    f for f in self.graph_findings_for(file)
+                    if f.rule in selected
+                )
         findings.sort(key=Finding.sort_key)
         if self.cache_path is not None:
             self.save_cache()

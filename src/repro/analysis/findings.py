@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass
+from dataclasses import dataclass, field
 
 
 @dataclass(frozen=True, slots=True)
@@ -12,6 +12,12 @@ class Finding:
     ``path`` is repository-relative with forward slashes, so findings
     (and therefore baseline entries and cache blobs) are identical across
     machines and operating systems.
+
+    Interprocedural findings additionally carry ``chain``: the call path
+    that produced them, as ``(node id, line)`` hops from the root (hot
+    zone or taint source) down to the function the finding lives in.
+    ``repro lint --explain`` renders it; it is excluded from the
+    fingerprint so chain refinements never churn the baseline.
     """
 
     rule: str
@@ -19,6 +25,7 @@ class Finding:
     line: int
     col: int
     message: str
+    chain: tuple[tuple[str, int], ...] = field(default=(), compare=False)
 
     def fingerprint(self) -> str:
         """Stable identity used for baseline matching.
@@ -34,7 +41,16 @@ class Finding:
         return (self.path, self.line, self.col, self.rule)
 
     def to_dict(self) -> dict:
-        return asdict(self)
+        record = {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+        if self.chain:
+            record["chain"] = [[node, line] for node, line in self.chain]
+        return record
 
     @classmethod
     def from_dict(cls, record: dict) -> "Finding":
@@ -44,4 +60,8 @@ class Finding:
             line=int(record["line"]),
             col=int(record.get("col", 0)),
             message=str(record["message"]),
+            chain=tuple(
+                (str(node), int(line))
+                for node, line in record.get("chain", [])
+            ),
         )

@@ -16,8 +16,8 @@ from repro.analysis.rules import RULE_REGISTRY
 
 __all__ = ["LintResult", "render_human", "render_json"]
 
-#: JSON document schema version.
-REPORT_VERSION = 1
+#: JSON document schema version (2: added graph_cache_hits).
+REPORT_VERSION = 2
 
 
 @dataclass(slots=True)
@@ -30,6 +30,9 @@ class LintResult:
     stale_baseline: list[Finding] = field(default_factory=list)
     files_checked: int = 0
     cache_hits: int = 0
+    #: files whose interprocedural findings were served from the
+    #: dependency-aware graph cache.
+    graph_cache_hits: int = 0
 
     @property
     def ok(self) -> bool:
@@ -50,7 +53,8 @@ def render_human(result: LintResult) -> str:
         lines.append("")
     lines.append(
         f"{len(result.findings)} finding(s) in {result.files_checked} "
-        f"file(s) ({result.cache_hits} cached): {len(result.new)} new, "
+        f"file(s) ({result.cache_hits} cached, {result.graph_cache_hits} "
+        f"graph-cached): {len(result.new)} new, "
         f"{len(result.baselined)} baselined"
     )
     if result.stale_baseline:
@@ -78,6 +82,7 @@ def render_json(result: LintResult) -> str:
         "ok": result.ok,
         "files_checked": result.files_checked,
         "cache_hits": result.cache_hits,
+        "graph_cache_hits": result.graph_cache_hits,
         "families": families,
         "counts": {
             "total": len(result.findings),

@@ -173,6 +173,7 @@ from repro.analysis.rules import (  # noqa: E402  (registration side effects)
     concurrency,
     determinism,
     hotpath,
+    interprocedural,
     layering,
     observability,
 )

@@ -15,6 +15,13 @@ or ``# repro: allow[HOT001,DET001]`` — and applies to:
 Blanket suppression is deliberately impossible: there is no bare
 ``allow`` form and no ``allow[*]``; every silenced finding names the
 rule it silences, so ``grep 'repro: allow'`` is a complete audit.
+
+The sibling annotation ``# repro: cold-call -- reason`` marks one *call
+site* (the line it sits on, or the line below for a comment-only line)
+as cold for the whole-program hot-zone reachability pass: the edge it
+annotates does not propagate hot-path obligations.  The reason is
+mandatory — an annotation without one is reported as ``ENG002`` rather
+than silently ignored.
 """
 
 from __future__ import annotations
@@ -24,10 +31,60 @@ import io
 import re
 import tokenize
 
-__all__ = ["SuppressionIndex", "collect_suppression_comments"]
+__all__ = [
+    "SuppressionIndex",
+    "collect_suppression_comments",
+    "collect_cold_call_comments",
+]
 
 #: the comment grammar; ids are comma-separated rule names.
 _PATTERN = re.compile(r"#\s*repro:\s*allow\[([A-Za-z0-9_,\s-]+)\]")
+
+#: cold-call edge annotations: ``# repro: cold-call -- reason``.
+_COLD_PATTERN = re.compile(r"#\s*repro:\s*cold-call(?:\s*--\s*(\S.*))?")
+
+
+def collect_cold_call_comments(
+    source: str,
+) -> tuple[dict[int, str], list[int]]:
+    """Scan for cold-call annotations; returns (line -> reason, malformed).
+
+    A comment-*only* annotation applies to the next *code* line below it
+    (skipping blank lines and continuation comment lines, so a reason may
+    wrap onto several comment lines); a trailing annotation covers its
+    own line.  Both are normalised here to the line of the *call* they
+    annotate.  Annotations missing the mandatory ``-- reason`` are
+    returned as malformed line numbers for the engine to report (ENG002).
+    """
+    reasons: dict[int, str] = {}
+    malformed: list[int] = []
+    lines = source.splitlines()
+
+    def next_code_line(after: int) -> int:
+        for offset in range(after, len(lines)):
+            stripped = lines[offset].strip()
+            if stripped and not stripped.startswith("#"):
+                return offset + 1  # 1-indexed
+        return after + 1
+
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _COLD_PATTERN.search(tok.string)
+            if match is None:
+                continue
+            line = tok.start[0]
+            comment_only = tok.line[: tok.start[1]].strip() == ""
+            target = next_code_line(line) if comment_only else line
+            reason = match.group(1)
+            if reason is None or not reason.strip():
+                malformed.append(line)
+            else:
+                reasons[target] = reason.strip()
+    except (tokenize.TokenizeError, SyntaxError, IndentationError):
+        pass
+    return reasons, malformed
 
 
 def collect_suppression_comments(

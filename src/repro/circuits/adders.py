@@ -69,7 +69,12 @@ def multi_operand_add(values: Sequence[int], in_width: int, out_width: int) -> i
     if not values:
         raise CircuitError("multi_operand_add requires at least one operand")
     for i, v in enumerate(values):
-        _check(f"operand[{i}]", v, in_width)
+        # bounds check inlined: the label only exists on the failure path,
+        # so the success path allocates nothing
+        if v < 0 or v > mask(in_width):
+            raise CircuitError(
+                f"operand[{i}]={v:#x} exceeds {in_width}-bit input width"
+            )
     total = 0
     for v in values:
         total, _ = ripple_carry_add(total, v & mask(out_width), out_width)

@@ -62,7 +62,12 @@ def minimum_index(values: Sequence[int], width: int) -> int:
     _check("values[0]", best_value, width)
     for i in range(1, len(values)):
         v = values[i]
-        _check(f"values[{i}]", v, width)
+        # bounds check inlined: the label only exists on the failure path,
+        # so the success path allocates nothing
+        if v < 0 or v > mask(width):
+            raise CircuitError(
+                f"values[{i}]={v:#x} exceeds {width}-bit comparator width"
+            )
         if less_than(v, best_value, width):
             best_index = i
             best_value = v

@@ -203,8 +203,13 @@ class DemandSteering(SteeringPolicy):
             onehots.append(self._decoder(ready[k]))
         required = self._encoder(onehots)
         self.synthesizer.observe(required)
-        target = self.synthesizer.synthesize()
-        if self.synthesizer.should_retarget(target, self.loader.current_counts()):
+        counts = self.synthesizer.synthesize_counts()
+        if self.synthesizer.should_retarget_counts(
+            counts, self.loader.current_counts()
+        ):
+            # repro: cold-call -- retarget adoption: bounded by accepted
+            # reconfigurations (hysteresis-gated), not cycles
+            target = self.synthesizer.materialize(counts)
             self.loader.set_target(target)
             self.retargets.append(target)
         elif self.loader.satisfied:
@@ -239,14 +244,30 @@ class OracleSteering(SteeringPolicy):
         self.configs = tuple(configs)
         self.lookahead = lookahead
         self.loader: ConfigurationLoader | None = None
+        # candidate availability vectors never change after construction;
+        # computing them here keeps cycle() allocation-free
+        self._config_avails = tuple(
+            tuple(cfg.count(t) + FFU_COUNTS.get(t, 0) for t in FU_TYPES)
+            for cfg in self.configs
+        )
+        self._type_index = {ty: i for i, ty in enumerate(FU_TYPES)}
+        self._window_counts = [0] * len(FU_TYPES)
 
     def bind(self, fabric: Fabric) -> None:
         super().bind(fabric)
         self.loader = ConfigurationLoader(fabric)
 
     def _window_required(self, retired: int) -> tuple[int, ...]:
-        window = self.trace[retired : retired + self.lookahead]
-        return tuple(sum(1 for t in window if t is ty) for ty in FU_TYPES)
+        counts = self._window_counts
+        for i in range(len(counts)):
+            counts[i] = 0
+        type_index = self._type_index
+        trace = self.trace
+        for pos in range(retired, min(retired + self.lookahead, len(trace))):
+            index = type_index.get(trace[pos])
+            if index is not None:
+                counts[index] += 1
+        return tuple(counts)
 
     def cycle(self, ready: Sequence[Instruction], retired: int) -> None:
         required = self._window_required(retired)
@@ -257,8 +278,7 @@ class OracleSteering(SteeringPolicy):
         current = self.loader.current_counts()
         best_config: Configuration | None = None
         best_err = exact_error(required, current)
-        for cfg in self.configs:
-            avail = tuple(cfg.count(t) + FFU_COUNTS.get(t, 0) for t in FU_TYPES)
+        for cfg, avail in zip(self.configs, self._config_avails):
             err = exact_error(required, avail)
             if err < best_err:
                 best_err = err

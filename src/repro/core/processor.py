@@ -162,6 +162,8 @@ class Processor:
         """Simulate one clock cycle."""
         tel = self._telemetry
         if tel is not None and tel.profile_stages:
+            # repro: cold-call -- opt-in stage-profiling mode: instrumentation
+            # cost is the point of this path
             return self._step_profiled(tel)
         # 1. retire
         retired = self.ruu.retire()
@@ -206,6 +208,8 @@ class Processor:
 
         # 6. record + advance time
         if self._record_events:
+            # repro: cold-call -- opt-in recording mode: per-cycle event
+            # capture is what the caller asked to pay for
             self._record_cycle(packet, dispatched, issued_seqs, retired, flushed)
         else:
             # fast path: stash the raw facts; snapshot_events() materialises
@@ -382,6 +386,8 @@ class Processor:
                 ):
                     oldest_mispredict = res
         if oldest_mispredict is not None:
+            # repro: cold-call -- mispredict repair: bounded by branch
+            # resolution events, not cycles
             self._squashed += self.ruu.flush_younger(oldest_mispredict.entry.seq)
             self._flushes += 1
             self.decode.flush()

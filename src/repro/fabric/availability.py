@@ -193,29 +193,41 @@ class AvailabilityCache:
     # ----------------------------------------------------------- queries
     def units_by_type(self) -> dict[FUType, tuple[FunctionalUnit, ...]]:
         """Configured units per type (treat as read-only)."""
+        # repro: cold-call -- version-guarded structure rebuild: bounded
+        # by reconfiguration events, not cycles
         self._refresh_structure()
         return self._by_type
 
     def units_of_type(self, fu_type: FUType) -> tuple[FunctionalUnit, ...]:
+        # repro: cold-call -- version-guarded structure rebuild: bounded
+        # by reconfiguration events, not cycles
         self._refresh_structure()
         return self._by_type[fu_type]
 
     def counts_tuple(self) -> tuple[int, ...]:
         """Configured units per type in canonical type order."""
+        # repro: cold-call -- version-guarded structure rebuild: bounded
+        # by reconfiguration events, not cycles
         self._refresh_structure()
         return self._counts
 
     def bits(self) -> int:
         """The Eq. 1 availability bus: bit ``t.bit_index`` set when a unit
         of type ``t`` is configured and idle."""
+        # repro: cold-call -- version-guarded structure rebuild: bounded
+        # by reconfiguration events, not cycles
         self._refresh_structure()
         if self.crosscheck:
+            # repro: cold-call -- opt-in divergence cross-check (debug)
             self._crosscheck()
         return self._bits
 
     def idle_counts(self) -> dict[FUType, int]:
         """Idle units per type (treat as read-only)."""
+        # repro: cold-call -- version-guarded structure rebuild: bounded
+        # by reconfiguration events, not cycles
         self._refresh_structure()
         if self.crosscheck:
+            # repro: cold-call -- opt-in divergence cross-check (debug)
             self._crosscheck()
         return self._idle_counts

@@ -118,7 +118,11 @@ class RfuSlotArray:
 
     def units(self) -> list[tuple[int, FunctionalUnit]]:
         """``(head_slot, unit)`` for every configured unit."""
-        return [(s.index, s.unit) for s in self.slots if s.unit is not None]
+        out: list[tuple[int, FunctionalUnit]] = []
+        for s in self.slots:
+            if s.unit is not None:
+                out.append((s.index, s.unit))
+        return out
 
     def units_of_type(self, fu_type: FUType) -> list[FunctionalUnit]:
         return [u for _, u in self.units() if u.fu_type is fu_type]

@@ -30,22 +30,23 @@ from repro.errors import ConfigurationError
 from repro.fabric.configuration import FFU_COUNTS, Configuration
 from repro.isa.futypes import FU_TYPES, FUType
 
-__all__ = ["DemandSynthesizer", "greedy_fill"]
+__all__ = ["DemandSynthesizer", "greedy_fill", "greedy_fill_counts"]
 
 
-def greedy_fill(
+def greedy_fill_counts(
     demand: Sequence[float],
     n_slots: int = 8,
     ffu_counts: dict[FUType, int] | None = None,
-    name: str = "synth",
     min_marginal: float = 0.05,
-) -> Configuration:
+) -> dict[FUType, int]:
     """Fill the slot budget greedily by marginal demand value.
 
     Each step adds the unit type with the highest demand per
     already-provisioned unit (discounted by slot cost), skipping types
-    whose demand is already saturated.  Shared by the demand-steering
-    policy and the §5 basis-design search.
+    whose demand is already saturated.  Returns the raw per-type counts;
+    :func:`greedy_fill` wraps them in a named :class:`Configuration`.
+    The counts form is the per-cycle path: the synthesizer only
+    materialises a Configuration when the loader actually retargets.
     """
     ffus = FFU_COUNTS if ffu_counts is None else ffu_counts
     counts: dict[FUType, int] = {}
@@ -67,6 +68,23 @@ def greedy_fill(
             break
         counts[best_type] = counts.get(best_type, 0) + 1
         free -= best_type.slot_cost
+    return counts
+
+
+def greedy_fill(
+    demand: Sequence[float],
+    n_slots: int = 8,
+    ffu_counts: dict[FUType, int] | None = None,
+    name: str = "synth",
+    min_marginal: float = 0.05,
+) -> Configuration:
+    """:func:`greedy_fill_counts` materialised as a named configuration.
+
+    Shared by the demand-steering policy and the §5 basis-design search.
+    """
+    counts = greedy_fill_counts(
+        demand, n_slots=n_slots, ffu_counts=ffu_counts, min_marginal=min_marginal
+    )
     return Configuration(name, counts).validate(n_slots)
 
 
@@ -90,6 +108,9 @@ class DemandSynthesizer:
         self.improvement_margin = improvement_margin
         self._demand = [0.0] * len(FU_TYPES)
         self._synth_counter = 0
+        #: reused per-type buffer for the hysteresis comparison, so the
+        #: per-cycle retarget check allocates nothing.
+        self._scratch_target: list[int] = []
 
     @property
     def demand(self) -> tuple[float, ...]:
@@ -106,34 +127,61 @@ class DemandSynthesizer:
         for i, r in enumerate(required):
             self._demand[i] = (1.0 - a) * self._demand[i] + a * r
 
-    def synthesize(self) -> Configuration:
-        """Greedy knapsack: fill the slot budget by marginal demand value."""
+    def synthesize_counts(self) -> dict[FUType, int]:
+        """Greedy knapsack: fill the slot budget by marginal demand value.
+
+        One synthesis event per call (the counter that names materialised
+        configurations advances here, whether or not the result is ever
+        adopted), but no :class:`Configuration` is built — the per-cycle
+        path stays allocation-light and only :meth:`materialize` pays for
+        a named object when the loader actually retargets.
+        """
         self._synth_counter += 1
-        return greedy_fill(
-            self._demand,
-            n_slots=self.n_slots,
-            ffu_counts=self.ffu_counts,
-            name=f"demand-{self._synth_counter}",
+        return greedy_fill_counts(
+            self._demand, n_slots=self.n_slots, ffu_counts=self.ffu_counts
         )
+
+    def materialize(self, counts: dict[FUType, int]) -> Configuration:
+        """Wrap synthesized counts as the named, validated configuration."""
+        return Configuration(f"demand-{self._synth_counter}", counts).validate(
+            self.n_slots
+        )
+
+    def synthesize(self) -> Configuration:
+        """One-shot convenience: :meth:`synthesize_counts` materialised."""
+        return self.materialize(self.synthesize_counts())
+
+    def should_retarget_counts(
+        self,
+        counts: dict[FUType, int],
+        current_counts: Sequence[int],
+    ) -> bool:
+        """Hysteresis: retarget only on a clear expected improvement.
+
+        ``counts`` are synthesized RFU counts (:meth:`synthesize_counts`);
+        ``current_counts`` are the live configured units per type
+        (including the fixed bank).
+        """
+        target_counts = self._scratch_target
+        target_counts.clear()
+        for t in FU_TYPES:
+            target_counts.append(counts.get(t, 0) + self.ffu_counts.get(t, 0))
+        current_err = self._saturated_error(current_counts)
+        target_err = self._saturated_error(target_counts)
+        if current_err <= 0.0:
+            return False
+        return target_err < current_err * (1.0 - self.improvement_margin)
 
     def should_retarget(
         self,
         target: Configuration,
         current_counts: Sequence[int],
     ) -> bool:
-        """Hysteresis: retarget only on a clear expected improvement.
-
-        ``current_counts`` are the live configured units per type
-        (including the fixed bank).
-        """
-        target_counts = [
-            target.count(t) + self.ffu_counts.get(t, 0) for t in FU_TYPES
-        ]
-        current_err = self._saturated_error(current_counts)
-        target_err = self._saturated_error(target_counts)
-        if current_err <= 0.0:
-            return False
-        return target_err < current_err * (1.0 - self.improvement_margin)
+        """:meth:`should_retarget_counts` for an already-built configuration."""
+        counts: dict[FUType, int] = {}
+        for t in FU_TYPES:
+            counts[t] = target.count(t)
+        return self.should_retarget_counts(counts, current_counts)
 
     def _saturated_error(self, available: Sequence[int]) -> float:
         """Queue-drain estimate: a type's term cannot drop below one cycle,

@@ -28,6 +28,12 @@ from repro.isa.futypes import FU_TYPES, FUType
 __all__ = ["LoadPlan", "ConfigurationLoader"]
 
 
+def _slot_cost_of(fu_type: FUType) -> int:
+    """Sort key for the placement order (largest units are hardest to
+    place); a named function so the per-cycle path allocates no closure."""
+    return fu_type.slot_cost
+
+
 @dataclass(frozen=True, slots=True)
 class LoadPlan:
     """One reconfiguration the loader has initiated."""
@@ -76,7 +82,9 @@ class ConfigurationLoader:
 
     def _have(self) -> dict[FUType, int]:
         """Loaded + in-flight units per type (RFU portion only)."""
-        have = dict(self.fabric.rfus.counts())
+        have: dict[FUType, int] = {}
+        for t, n in self.fabric.rfus.counts().items():
+            have[t] = n
         for t, n in self.fabric.rfus.pending_counts().items():
             have[t] = have.get(t, 0) + n
         return have
@@ -90,7 +98,7 @@ class ConfigurationLoader:
         for t in FU_TYPES:
             deficit = self._target.count(t) - have.get(t, 0)
             missing.extend([t] * max(0, deficit))
-        missing.sort(key=lambda t: t.slot_cost, reverse=True)
+        missing.sort(key=_slot_cost_of, reverse=True)
         return missing
 
     def _surplus(self) -> dict[FUType, int]:
@@ -98,9 +106,10 @@ class ConfigurationLoader:
         if self._target is None:
             return {}
         have = self._have()
-        return {
-            t: max(0, have.get(t, 0) - self._target.count(t)) for t in FU_TYPES
-        }
+        surplus: dict[FUType, int] = {}
+        for t in FU_TYPES:
+            surplus[t] = max(0, have.get(t, 0) - self._target.count(t))
+        return surplus
 
     def _find_run(
         self, fu_type: FUType, max_wanted_cost: int = 0
@@ -123,20 +132,20 @@ class ConfigurationLoader:
         for head in range(rfus.n_slots - cost + 1):
             if not rfus.range_reconfigurable(head, fu_type):
                 continue
-            # units this run would evict, counted once each
-            evict_heads: set[int] = set()
+            # units this run would evict, counted once each (dict keyed by
+            # head slot doubles as an insertion-ordered set)
+            evict_heads: dict[int, None] = {}
             for i in range(head, head + cost):
                 h = rfus.head_of(i)
                 if h is not None:
-                    evict_heads.add(h)
+                    evict_heads[h] = None
             per_type: dict[FUType, int] = {}
             for h in evict_heads:
                 t = rfus.slots[h].unit.fu_type
                 per_type[t] = per_type.get(t, 0) + 1
-            wanted_cost = sum(
-                max(0, n - surplus.get(t, 0)) * t.slot_cost
-                for t, n in per_type.items()
-            )
+            wanted_cost = 0
+            for t, n in per_type.items():
+                wanted_cost += max(0, n - surplus.get(t, 0)) * t.slot_cost
             if wanted_cost > max_wanted_cost:
                 continue
             candidate = _RunCandidate(

@@ -23,6 +23,9 @@ class RequirementsEncoder:
 
     def __init__(self, count_width: int = 3) -> None:
         self.count_width = count_width
+        #: reused bit-column buffer so the per-cycle encode path
+        #: allocates nothing beyond the returned counts tuple.
+        self._scratch_column: list[int] = []
 
     def encode(self, onehots: Sequence[int]) -> tuple[int, ...]:
         """Count required units per type across the queue.
@@ -34,8 +37,11 @@ class RequirementsEncoder:
         """
         limit = mask(self.count_width)
         counts = []
+        column = self._scratch_column
         for t in FU_TYPES:
-            column = [(v >> t.bit_index) & 1 for v in onehots]
+            column.clear()
+            for v in onehots:
+                column.append((v >> t.bit_index) & 1)
             # popcount then saturate: with <= 7 entries this is exact
             raw = popcount_tree(column, out_width=self.count_width + 1)
             counts.append(min(raw, limit))

@@ -162,8 +162,11 @@ class ConfigurationSelectionUnit:
         if cached is not None:
             self._memo.move_to_end(memo_key)
             return cached
+        # repro: cold-call -- memo-miss path: amortised by the LRU memo above
         required = self.required_counts(window)
+        # repro: cold-call -- memo-miss path: amortised by the LRU memo above
         errors = self.candidate_errors(required, current_counts)
+        # repro: cold-call -- memo-miss path: amortised by the LRU memo above
         distances = self._distances(current_counts)
         keys = [
             (e << _DISTANCE_WIDTH) | d for e, d in zip(errors, distances)

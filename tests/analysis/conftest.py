@@ -14,8 +14,10 @@ from repro.analysis.config import AnalysisConfig
 from repro.analysis.engine import AnalysisEngine
 
 
-def make_test_config() -> AnalysisConfig:
-    return AnalysisConfig(
+def make_test_config(**overrides) -> AnalysisConfig:
+    """The default test configuration; keyword overrides replace fields
+    (e.g. ``process_roles=...`` for the cross-process checker tests)."""
+    fields = dict(
         package="repro",
         layers={
             "cli": ("errors", "serving", "telemetry"),
@@ -39,6 +41,8 @@ def make_test_config() -> AnalysisConfig:
         event_log_modules=("repro/telemetry/events.py",),
         source_text="<test-config>",
     )
+    fields.update(overrides)
+    return AnalysisConfig(**fields)
 
 
 @pytest.fixture()

@@ -126,7 +126,7 @@ class TestJsonReport:
         _, run = workspace
         assert run("--format", "json") == 1
         doc = json.loads(capsys.readouterr().out)
-        assert doc["version"] == 1
+        assert doc["version"] == 2
         assert doc["ok"] is False
         assert doc["counts"]["new"] == 1
         assert doc["counts"]["baselined"] == 0
@@ -206,3 +206,38 @@ class TestBaselineMechanics:
         path.write_text('{"version": 1, "findings": [{"rule": "X"}]}')
         with pytest.raises(ConfigurationError):
             load_baseline(path)
+
+
+class TestUpdateBaselinePrune:
+    def test_stale_entries_pruned_printed_and_removed(self, workspace, capsys):
+        ws, run = workspace
+        baseline = ws / "analysis" / "baseline.json"
+        assert run("--update-baseline", baseline=str(baseline)) == 0
+        entries = load_baseline(baseline)
+        assert entries  # the workspace tree has one HOT001 finding
+        stale = Finding(
+            rule="HOT001", path="src/repro/sched/gone.py", line=9, col=0,
+            message="finding whose file no longer exists",
+        )
+        save_baseline(baseline, entries + [stale])
+        capsys.readouterr()
+        assert run("--update-baseline", baseline=str(baseline)) == 0
+        out = capsys.readouterr().out
+        assert "pruned stale baseline entry" in out
+        assert stale.fingerprint() in out
+        assert "(1 pruned)" in out
+        after = load_baseline(baseline)
+        assert stale.fingerprint() not in {f.fingerprint() for f in after}
+        assert {f.fingerprint() for f in after} == {
+            f.fingerprint() for f in entries
+        }
+
+    def test_no_prune_message_when_nothing_stale(self, workspace, capsys):
+        ws, run = workspace
+        baseline = ws / "analysis" / "baseline.json"
+        assert run("--update-baseline", baseline=str(baseline)) == 0
+        capsys.readouterr()
+        assert run("--update-baseline", baseline=str(baseline)) == 0
+        out = capsys.readouterr().out
+        assert "pruned stale baseline entry" not in out
+        assert "(0 pruned)" in out

@@ -87,7 +87,7 @@ class TestCaching:
         cache = tmp_path / ".cache" / "findings.json"
         make_engine(tmp_path, cache).run(paths)
         doc = json.loads(cache.read_text())
-        assert set(doc) == {"fingerprint", "files"}
+        assert set(doc) == {"fingerprint", "files", "summaries", "graph_findings"}
         assert "repro/isa/ok.py" in doc["files"]
         assert set(doc["files"]["repro/isa/ok.py"]) == {"sha256", "findings"}
 

@@ -1,0 +1,255 @@
+"""Incremental behaviour: dependency-aware cache cones, --changed, artifacts."""
+
+import argparse
+import subprocess
+import textwrap
+
+import pytest
+
+from repro.analysis.cli import add_lint_arguments, run_lint
+from repro.analysis.engine import AnalysisEngine
+from tests.analysis.conftest import make_test_config
+
+TREE = {
+    "repro/sched/hot.py": """
+        from repro.sched.mid import middle
+
+        class Kernel:
+            def step(self):
+                return middle(self.window)
+    """,
+    "repro/sched/mid.py": """
+        from repro.isa.leaf import leaf
+
+        def middle(window):
+            return leaf(window)
+    """,
+    "repro/isa/leaf.py": """
+        def leaf(window):
+            total = 0
+            for x in window:
+                total += x
+            return total
+    """,
+    "repro/utils/other.py": """
+        def unrelated():
+            return 2
+    """,
+}
+
+
+def write_tree(tmp_path, files=TREE):
+    for rel, source in files.items():
+        target = tmp_path / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(source))
+    return [tmp_path / rel for rel in sorted(files)]
+
+
+def make_engine(tmp_path, cache):
+    return AnalysisEngine(
+        make_test_config(), root=tmp_path, repo_root=tmp_path, cache_path=cache
+    )
+
+
+def graph_hits_by_file(tmp_path, cache, paths):
+    """module path -> whether its interprocedural findings came from cache."""
+    engine = make_engine(tmp_path, cache)
+    engine.build_analysis(paths)
+    hits = {}
+    for path in paths:
+        before = engine.graph_cache_hits
+        engine.graph_findings_for(path)
+        hits[engine.module_path_of(path)] = engine.graph_cache_hits > before
+    return hits
+
+
+class TestDependencyCone:
+    def test_warm_run_hits_every_file(self, tmp_path):
+        paths = write_tree(tmp_path)
+        cache = tmp_path / ".cache" / "findings.json"
+        make_engine(tmp_path, cache).run(paths)
+        engine = make_engine(tmp_path, cache)
+        engine.run(paths)
+        assert engine.cache_hits == len(paths)
+        assert engine.graph_cache_hits == len(paths)
+
+    def test_comment_edit_invalidates_only_the_file_itself(self, tmp_path):
+        paths = write_tree(tmp_path)
+        cache = tmp_path / ".cache" / "findings.json"
+        make_engine(tmp_path, cache).run(paths)
+        leaf = tmp_path / "repro/isa/leaf.py"
+        leaf.write_text(leaf.read_text() + "# cosmetic\n")
+        engine = make_engine(tmp_path, cache)
+        engine.run(paths)
+        # the comment changes leaf's content hash but not its interface,
+        # so no dependent is re-derived
+        assert engine.graph_cache_hits == len(paths) - 1
+
+    def test_interface_edit_invalidates_exactly_the_reverse_cone(self, tmp_path):
+        paths = write_tree(tmp_path)
+        cache = tmp_path / ".cache" / "findings.json"
+        make_engine(tmp_path, cache).run(paths)
+        # a list comprehension in the (hot-reachable) leaf changes its
+        # effect interface: leaf and its reverse dependents must re-derive
+        (tmp_path / "repro/isa/leaf.py").write_text(textwrap.dedent("""
+            def leaf(window):
+                return sum([x for x in window])
+        """))
+        hits = graph_hits_by_file(tmp_path, cache, paths)
+        assert hits["repro/isa/leaf.py"] is False
+        assert hits["repro/sched/mid.py"] is False
+        # hot.py depends on mid.py, whose *own* interface (effects, taint,
+        # hot membership) did not move — so the frontier stops there ...
+        assert hits["repro/sched/hot.py"] is True
+        # ... and a file outside the cone is never touched
+        assert hits["repro/utils/other.py"] is True
+
+
+class TestGraphArtifact:
+    def test_graph_json_deterministic_across_engines(self, tmp_path):
+        paths = write_tree(tmp_path)
+        first = make_engine(tmp_path, None)
+        first.run(paths)
+        second = make_engine(tmp_path, None)
+        second.run(paths)
+        assert first.graph_json() == second.graph_json()
+
+
+def parse_args(*argv):
+    parser = argparse.ArgumentParser()
+    add_lint_arguments(parser)
+    return parser.parse_args(list(argv))
+
+
+@pytest.fixture()
+def workspace(tmp_path, monkeypatch):
+    """src tree + config + a real git checkout, cwd pinned inside it."""
+    write_tree(tmp_path)
+    (tmp_path / "analysis").mkdir()
+    (tmp_path / "analysis/layers.toml").write_text(textwrap.dedent("""
+        package = "repro"
+
+        [layers]
+        errors = []
+        isa = ["errors"]
+        sched = ["errors", "isa"]
+        utils = []
+
+        [hotzones]
+        "repro/sched/hot.py" = ["Kernel.step"]
+
+        [scopes]
+        determinism = ["repro/sched"]
+        concurrency = []
+        config_modules = []
+    """))
+    monkeypatch.chdir(tmp_path)
+
+    def run(*extra):
+        return run_lint(parse_args(
+            str(tmp_path / "repro"),
+            "--config", str(tmp_path / "analysis/layers.toml"),
+            "--root", str(tmp_path),
+            "--baseline", "none",
+            "--no-cache",
+            *extra,
+        ))
+
+    return tmp_path, run
+
+
+def git(cwd, *argv):
+    return subprocess.run(
+        ["git", *argv], cwd=cwd, capture_output=True, text=True, timeout=30
+    )
+
+
+def git_available(tmp_path):
+    try:
+        return git(tmp_path, "--version").returncode == 0
+    except OSError:
+        return False
+
+
+class TestGraphOutAndExplain:
+    def test_graph_out_written_and_stable(self, workspace):
+        ws, run = workspace
+        out_a = ws / "graph-a.json"
+        out_b = ws / "graph-b.json"
+        run("--graph-out", str(out_a))
+        run("--graph-out", str(out_b))
+        assert out_a.read_bytes() == out_b.read_bytes()
+        assert b'"edges"' in out_a.read_bytes()
+
+    def test_explain_prints_call_chain(self, workspace, capsys):
+        ws, run = workspace
+        (ws / "repro/isa/leaf.py").write_text(textwrap.dedent("""
+            def leaf(window):
+                return [x for x in window]
+        """))
+        assert run() == 1
+        finding = capsys.readouterr().out
+        assert "repro/isa/leaf.py" in finding
+        code = run("--explain", "repro/isa/leaf.py:3:HOT001")
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "call chain:" in out
+        assert "Kernel.step" in out
+        assert "middle" in out
+
+    def test_explain_unknown_target_exits_2(self, workspace, capsys):
+        _, run = workspace
+        assert run("--explain", "repro/isa/leaf.py:999:HOT001") == 2
+
+    def test_explain_new_out_without_findings(self, workspace):
+        ws, run = workspace
+        run("--explain-new-out", str(ws / "chains.txt"))
+        assert (ws / "chains.txt").read_text() == "no new findings\n"
+
+
+class TestChanged:
+    def test_changed_analyses_reverse_dependents(self, workspace, capsys):
+        ws, run = workspace
+        if not git_available(ws):
+            pytest.skip("git unavailable")
+        git(ws, "init", "-q", "-b", "main")
+        git(ws, "-c", "user.email=t@t", "-c", "user.name=t", "add", ".")
+        git(ws, "-c", "user.email=t@t", "-c", "user.name=t",
+            "commit", "-q", "-m", "seed")
+        # introduce a hot-reachable violation in the leaf only
+        (ws / "repro/isa/leaf.py").write_text(textwrap.dedent("""
+            def leaf(window):
+                return [x for x in window]
+        """))
+        code = run("--changed", "--changed-base", "main")
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "repro/isa/leaf.py" in out
+        # the closure pulled in the dependents, not the whole tree
+        assert "3 file(s)" in out
+
+    def test_changed_with_no_changes_exits_clean(self, workspace, capsys):
+        ws, run = workspace
+        if not git_available(ws):
+            pytest.skip("git unavailable")
+        git(ws, "init", "-q", "-b", "main")
+        git(ws, "-c", "user.email=t@t", "-c", "user.name=t", "add", ".")
+        git(ws, "-c", "user.email=t@t", "-c", "user.name=t",
+            "commit", "-q", "-m", "seed")
+        code = run("--changed", "--changed-base", "main")
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "no analysable files changed" in out or "0 finding(s)" in out
+
+    def test_changed_without_git_falls_back_to_full_run(
+        self, workspace, capsys
+    ):
+        ws, run = workspace
+        if not git_available(ws):
+            pytest.skip("git unavailable")
+        # no `git init`: merge-base fails, the run must degrade gracefully
+        code = run("--changed", "--changed-base", "main")
+        err = capsys.readouterr().err
+        assert code == 0
+        assert "falling back" in err

@@ -123,3 +123,88 @@ class TestScopedSuppression:
                 seq: int
         """)})
         assert findings == []
+
+
+class TestScopedEdgeCases:
+    """Def-scoped suppressions on decorated functions, async defs and
+    class bodies — each with a matching negative."""
+
+    def test_decorated_def_decorator_line_covers_body(self, lint_source):
+        findings = lint_source(src("""
+            import functools
+
+            class Kernel:
+                @functools.cache  # repro: allow[HOT001]
+                def step(self):
+                    return [x for x in self.window]
+        """))
+        assert findings == []
+
+    def test_decorated_def_wrong_rule_does_not_suppress(self, lint_source):
+        findings = lint_source(src("""
+            import functools
+
+            class Kernel:
+                @functools.cache  # repro: allow[HOT003]
+                def step(self):
+                    return [x for x in self.window]
+        """))
+        assert ids(findings) == ["HOT001"]
+
+    def test_comment_block_above_decorator_covers_body(self, lint_source):
+        findings = lint_source(src("""
+            import functools
+
+            class Kernel:
+                # memoised: the comprehension runs once per distinct window
+                # repro: allow[HOT001]
+                @functools.cache
+                def step(self):
+                    return [x for x in self.window]
+        """))
+        assert findings == []
+
+    def test_async_def_header_suppression_covers_body(self, lint_source):
+        findings = lint_source(src("""
+            async def helper(window):  # repro: allow[HOT001]
+                return [x for x in window]
+        """), path="repro/sched/allhot.py")
+        assert findings == []
+
+    def test_async_def_suppression_does_not_leak_to_sibling(self, lint_source):
+        findings = lint_source(src("""
+            # repro: allow[HOT001]
+            async def helper(window):
+                return [x for x in window]
+
+            async def other(window):
+                return [y for y in window]
+        """), path="repro/sched/allhot.py")
+        assert ids(findings) == ["HOT001"]
+        assert findings[0].line == 7
+
+    def test_class_body_comment_block_covers_all_methods(self, lint_source):
+        findings = lint_source(src("""
+            # presentation helpers: formatting is this class's entire job
+            # repro: allow[HOT003]
+            class Kernel:
+                def step(self):
+                    return f"cycle {self.cycle}"
+
+                def tick(self):
+                    return f"tick {self.cycle}"
+        """))
+        assert findings == []
+
+    def test_class_scope_ends_at_class_end(self, lint_source):
+        findings = lint_source(src("""
+            # repro: allow[HOT003]
+            class Kernel:
+                def step(self):
+                    return f"cycle {self.cycle}"
+
+            def helper(cycle):
+                return f"outside {cycle}"
+        """), path="repro/sched/allhot.py")
+        assert ids(findings) == ["HOT003"]
+        assert findings[0].line == 8
